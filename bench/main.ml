@@ -1,0 +1,95 @@
+(* Benchmark entry point.
+
+   Running `dune exec bench/main.exe` produces:
+   1. the experiment tables E1..E13 (DESIGN.md §3) — the paper's
+      quantitative claims, paper-reference vs measured;
+   2. a bechamel microbenchmark suite over the hot kernels behind each
+      experiment family (one Test.make per family).
+
+   `dune exec bench/main.exe -- tables` / `-- micro` runs one half;
+   `-- csv` emits the headline series in machine-readable form. *)
+
+open Bechamel
+open Toolkit
+
+let kernel_tests =
+  let graph_k8 = Graphs.Gen.harary ~k:8 ~n:64 in
+  let graph_big = Graphs.Gen.harary ~k:8 ~n:128 in
+  [
+    (* E1/E2 family: the CDS packing itself *)
+    Test.make ~name:"cds_packing n=64 k=8"
+      (Staged.stage (fun () ->
+           ignore (Domtree.Cds_packing.pack ~seed:1 graph_k8 ~k:8)));
+    (* E3/E4 family: one multiplicative-weights packing *)
+    Test.make ~name:"lagrangian n=64 lambda=8"
+      (Staged.stage (fun () ->
+           ignore
+             (Spantree.Lagrangian.run ~max_iterations:60 graph_k8 ~lambda:8)));
+    (* E7 family: exact connectivity baselines *)
+    Test.make ~name:"stoer_wagner n=128"
+      (Staged.stage (fun () ->
+           ignore (Graphs.Connectivity.edge_connectivity graph_big)));
+    Test.make ~name:"vertex_connectivity n=64"
+      (Staged.stage (fun () ->
+           ignore (Graphs.Connectivity.vertex_connectivity graph_k8)));
+    (* E9 family: the connector-path flow *)
+    Test.make ~name:"connector max_disjoint"
+      (Staged.stage (fun () ->
+           let g = Graphs.Gen.clique_path ~k:6 ~len:8 in
+           let in_class v = v < 6 || v >= 42 in
+           let in_component v = v < 6 in
+           ignore (Domtree.Connector.max_disjoint g ~in_class ~in_component)));
+    (* E10 family: the tester *)
+    Test.make ~name:"tester (centralized) n=64"
+      (Staged.stage (fun () ->
+           ignore
+             (Domtree.Tester.run_centralized graph_k8
+                ~memberships:(fun v -> [ v mod 2 ])
+                ~classes:2 ~detection_rounds:16)));
+    (* E11 family: building the lower-bound graph *)
+    Test.make ~name:"lowerbound build h=6"
+      (Staged.stage (fun () ->
+           let rng = Random.State.make [| 1 |] in
+           let inst =
+             Lowerbound.Disjointness.random_intersecting rng ~h:6 ~density:0.5
+           in
+           ignore (Lowerbound.Construction.build inst ~ell:1 ~w:5)));
+    (* substrate: max-flow and MST *)
+    Test.make ~name:"dinic vertex pair n=64"
+      (Staged.stage (fun () ->
+           ignore (Graphs.Maxflow.vertex_connectivity_pair graph_k8 0 32)));
+    Test.make ~name:"distributed MST n=64"
+      (Staged.stage (fun () ->
+           let net = Congest.Net.create Congest.Model.V_congest graph_k8 in
+           ignore
+             (Congest.Dist_mst.minimum_spanning_forest net
+                ~weight:(fun u v -> (u * 7) + (v * 13)))));
+  ]
+
+let run_micro () =
+  Format.printf "@.== bechamel microbenchmarks (monotonic clock) ==@.";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:(Some 500) () in
+  let instances = Instance.[ monotonic_clock ] in
+  let analyze = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name wall ->
+          match Analyze.one analyze Instance.monotonic_clock wall with
+          | ols -> (
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] ->
+              Format.printf "%-32s %12.0f ns/run@." name est
+            | _ -> Format.printf "%-32s (no estimate)@." name)
+          | exception _ -> Format.printf "%-32s (failed)@." name)
+        results)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) kernel_tests)
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  if mode = "csv" then Csv_export.all ()
+  else begin
+    if mode = "tables" || mode = "all" then Experiments.all ();
+    if mode = "micro" || mode = "all" then run_micro ()
+  end

@@ -1,0 +1,292 @@
+(* Command-line driver for the connectivity decompositions.
+
+   Graphs come either from a generator spec (--gen "harary:k=8,n=64") or
+   from an edge-list file (--file graph.txt: one "u v" pair per line,
+   vertices 0-based; `--file -` reads stdin).
+
+     decompose vertex --gen harary:k=8,n=64
+     decompose edge   --file my_graph.txt
+     decompose approx-vc --gen hypercube:d=5
+     decompose gossip --gen harary:k=32,n=64
+     decompose test-packing --gen clique_path:k=6,len=4 *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Graph sources *)
+
+let parse_kv spec =
+  (* "name:k=8,n=64" -> (name, assoc) *)
+  match String.split_on_char ':' spec with
+  | [ name ] -> (name, [])
+  | [ name; args ] ->
+    let kvs =
+      String.split_on_char ',' args
+      |> List.map (fun kv ->
+             match String.split_on_char '=' kv with
+             | [ k; v ] -> (String.trim k, int_of_string (String.trim v))
+             | _ -> failwith ("bad generator argument: " ^ kv))
+    in
+    (name, kvs)
+  | _ -> failwith ("bad generator spec: " ^ spec)
+
+let gen_graph spec =
+  let name, kvs = parse_kv spec in
+  let get key ~default =
+    match List.assoc_opt key kvs with Some v -> v | None -> default
+  in
+  let rng = Random.State.make [| get "seed" ~default:42 |] in
+  match name with
+  | "harary" -> Graphs.Gen.harary ~k:(get "k" ~default:4) ~n:(get "n" ~default:32)
+  | "hypercube" -> Graphs.Gen.hypercube (get "d" ~default:4)
+  | "clique" -> Graphs.Gen.clique (get "n" ~default:8)
+  | "cycle" -> Graphs.Gen.cycle (get "n" ~default:16)
+  | "grid" -> Graphs.Gen.grid (get "rows" ~default:6) (get "cols" ~default:6)
+  | "torus" -> Graphs.Gen.torus (get "rows" ~default:6) (get "cols" ~default:6)
+  | "clique_path" ->
+    Graphs.Gen.clique_path ~k:(get "k" ~default:4) ~len:(get "len" ~default:8)
+  | "random" ->
+    Graphs.Gen.random_k_connected rng ~n:(get "n" ~default:32)
+      ~k:(get "k" ~default:4)
+      ~extra:(get "extra" ~default:32)
+  | other -> failwith ("unknown generator: " ^ other)
+
+let load ~gen ~file =
+  match (gen, file) with
+  | Some spec, None -> gen_graph spec
+  | None, Some path -> Graphs.Io.load path
+  | _ -> failwith "exactly one of --gen or --file is required"
+
+let gen_arg =
+  Arg.(value & opt (some string) None & info [ "gen" ] ~docv:"SPEC"
+         ~doc:"Generator spec, e.g. harary:k=8,n=64 | hypercube:d=5 | \
+               clique_path:k=6,len=8 | random:n=64,k=4,extra=40.")
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "file" ] ~docv:"PATH"
+         ~doc:"Edge-list file, one 'u v' per line ('-' = stdin).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+(* ------------------------------------------------------------------ *)
+(* Subcommands *)
+
+let vertex_cmd =
+  let run gen file seed distributed dot =
+    let g = load ~gen ~file in
+    let k = Graphs.Connectivity.vertex_connectivity g in
+    Format.printf "n=%d m=%d vertex connectivity=%d@." (Graphs.Graph.n g)
+      (Graphs.Graph.m g) k;
+    let res =
+      if distributed then begin
+        let net = Congest.Net.create Congest.Model.V_congest g in
+        let r = Domtree.Dist_packing.pack ~seed net ~k:(max 1 k) in
+        Format.printf "distributed run: %d rounds, %d messages@."
+          (Congest.Net.rounds net)
+          (Congest.Net.messages_sent net);
+        r
+      end
+      else Domtree.Cds_packing.pack ~seed g ~k:(max 1 k)
+    in
+    let p = Domtree.Tree_extract.of_cds_packing res in
+    Format.printf "dominating trees: %d, packing size %.3f, max load %.3f@."
+      (Domtree.Packing.count p) (Domtree.Packing.size p)
+      (Domtree.Packing.max_node_load p);
+    List.iter
+      (fun tr ->
+        Format.printf "  tree %d: %d vertices, diameter %d@."
+          tr.Domtree.Packing.cls
+          (Array.length tr.Domtree.Packing.vertices)
+          (Domtree.Packing.tree_diameter p tr))
+      p.Domtree.Packing.trees;
+    (match dot with
+    | Some path ->
+      let oc = open_out path in
+      let ppf = Format.formatter_of_out_channel oc in
+      (match p.Domtree.Packing.trees with
+      | tr :: _ ->
+        let members = Array.to_list tr.Domtree.Packing.vertices in
+        Graphs.Graph.pp_dot ~highlight:(fun v -> List.mem v members) ppf g;
+        Format.pp_print_flush ppf ();
+        Format.printf "first tree written to %s (members highlighted)@." path
+      | [] -> ());
+      close_out oc
+    | None -> ());
+    match Domtree.Packing.verify p with
+    | [] -> Format.printf "verification: OK@."
+    | vs ->
+      List.iter
+        (Format.printf "violation: %a@." Domtree.Packing.pp_violation)
+        vs;
+      exit 1
+  in
+  let dist_arg =
+    Arg.(value & flag & info [ "distributed" ]
+           ~doc:"Run the V-CONGEST distributed algorithm (Theorem 1.1).")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None & info [ "dot" ] ~docv:"PATH"
+           ~doc:"Write Graphviz source for the first tree to PATH.")
+  in
+  Cmd.v
+    (Cmd.info "vertex" ~doc:"Vertex-connectivity decomposition (dominating trees)")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ dot_arg)
+
+let edge_cmd =
+  let run gen file seed distributed =
+    let g = load ~gen ~file in
+    let lambda = Graphs.Connectivity.edge_connectivity g in
+    Format.printf "n=%d m=%d edge connectivity=%d@." (Graphs.Graph.n g)
+      (Graphs.Graph.m g) lambda;
+    let p =
+      if distributed then begin
+        let net = Congest.Net.create Congest.Model.E_congest g in
+        let r = Spantree.Dist_packing.run_sampled ~seed net ~lambda:(max 1 lambda) in
+        Format.printf "distributed run: %d rounds (pipelined estimate %d)@."
+          r.Spantree.Dist_packing.measured_rounds
+          r.Spantree.Dist_packing.parallel_rounds;
+        r.Spantree.Dist_packing.packing
+      end
+      else
+        (Spantree.Sampling_pack.run ~seed g ~lambda:(max 1 lambda))
+          .Spantree.Sampling_pack.packing
+    in
+    Format.printf
+      "spanning trees: %d, packing size %.3f (target %d), max edge load %.3f@."
+      (Spantree.Spacking.count p) (Spantree.Spacking.size p)
+      (Spantree.Lagrangian.target ~lambda:(max 1 lambda))
+      (Spantree.Spacking.max_edge_load p);
+    match Spantree.Spacking.verify ~tolerance:1e-6 p with
+    | [] -> Format.printf "verification: OK@."
+    | vs ->
+      List.iter
+        (Format.printf "violation: %a@." Spantree.Spacking.pp_violation)
+        vs;
+      exit 1
+  in
+  let dist_arg =
+    Arg.(value & flag & info [ "distributed" ]
+           ~doc:"Run the E-CONGEST distributed algorithm (Theorem 1.3).")
+  in
+  Cmd.v
+    (Cmd.info "edge" ~doc:"Edge-connectivity decomposition (spanning trees)")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg)
+
+let approx_vc_cmd =
+  let run gen file seed distributed =
+    let g = load ~gen ~file in
+    let r =
+      if distributed then begin
+        let net = Congest.Net.create Congest.Model.V_congest g in
+        let r = Domtree.Vc_approx.distributed ~seed net in
+        Format.printf "distributed run: %d rounds@." (Congest.Net.rounds net);
+        r
+      end
+      else Domtree.Vc_approx.centralized ~seed g
+    in
+    Format.printf "estimate k-hat = %d (accepted guess %d after %d attempts)@."
+      r.Domtree.Vc_approx.estimate r.Domtree.Vc_approx.accepted_guess
+      r.Domtree.Vc_approx.attempts;
+    let truth = Graphs.Connectivity.vertex_connectivity g in
+    Format.printf "exact k = %d; ratio %.2f@." truth
+      (Domtree.Vc_approx.approximation_ratio ~truth r)
+  in
+  let dist_arg =
+    Arg.(value & flag & info [ "distributed" ] ~doc:"V-CONGEST variant.")
+  in
+  Cmd.v
+    (Cmd.info "approx-vc"
+       ~doc:"O(log n)-approximate vertex connectivity (Corollary 1.7)")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg)
+
+let gossip_cmd =
+  let run gen file seed per_node =
+    let g = load ~gen ~file in
+    let k = Graphs.Connectivity.vertex_connectivity g in
+    let res =
+      Domtree.Cds_packing.run ~seed g
+        ~classes:(max 1 (2 * k / 3))
+        ~layers:2
+    in
+    let p = Domtree.Tree_extract.of_cds_packing res in
+    let net = Congest.Net.create Congest.Model.V_congest g in
+    let rep = Routing.Gossip.all_to_all ~seed ~per_node net p ~k in
+    let r = rep.Routing.Gossip.result in
+    Format.printf
+      "gossip: %d messages in %d rounds (%.2f/round); reference bound %.1f@."
+      r.Routing.Broadcast.messages r.Routing.Broadcast.rounds
+      r.Routing.Broadcast.throughput rep.Routing.Gossip.bound;
+    let net2 = Congest.Net.create Congest.Model.V_congest g in
+    let naive = Routing.Gossip.all_to_all_naive ~per_node net2 in
+    Format.printf "single-tree baseline: %d rounds (%.2f/round)@."
+      naive.Routing.Broadcast.rounds naive.Routing.Broadcast.throughput
+  in
+  let per_node_arg =
+    Arg.(value & opt int 1 & info [ "per-node" ] ~doc:"Messages per node.")
+  in
+  Cmd.v
+    (Cmd.info "gossip" ~doc:"All-to-all broadcast via the decomposition (App. A)")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ per_node_arg)
+
+let test_packing_cmd =
+  let run gen file seed =
+    let g = load ~gen ~file in
+    let k = max 1 (Graphs.Connectivity.vertex_connectivity g) in
+    let res = Domtree.Cds_packing.pack ~seed g ~k in
+    let per_real = Domtree.Cds_packing.real_classes res in
+    let outcome =
+      Domtree.Tester.run_centralized ~seed g
+        ~memberships:(fun r -> per_real.(r))
+        ~classes:res.Domtree.Cds_packing.classes
+        ~detection_rounds:
+          (Domtree.Tester.default_detection_rounds ~n:(Graphs.Graph.n g))
+    in
+    Format.printf "tester: pass=%b domination=%b connectivity=%b@."
+      outcome.Domtree.Tester.pass outcome.Domtree.Tester.domination_ok
+      outcome.Domtree.Tester.connectivity_ok;
+    if not outcome.Domtree.Tester.pass then exit 1
+  in
+  Cmd.v
+    (Cmd.info "test-packing"
+       ~doc:"Pack, then run the randomized Appendix E partition tester")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg)
+
+let exact_cmd =
+  let run gen file =
+    let g = load ~gen ~file in
+    Format.printf "n=%d m=%d min degree=%d@." (Graphs.Graph.n g)
+      (Graphs.Graph.m g) (Graphs.Graph.min_degree g);
+    let lambda = Graphs.Connectivity.edge_connectivity g in
+    let k = Graphs.Connectivity.vertex_connectivity g in
+    Format.printf "edge connectivity lambda = %d@." lambda;
+    Format.printf "vertex connectivity k = %d@." k;
+    (match Graphs.Connectivity.min_vertex_cut g with
+    | Some cut ->
+      Format.printf "a minimum vertex cut: {%s}@."
+        (String.concat ", " (List.map string_of_int cut))
+    | None -> ());
+    let bridges = Graphs.Biconnectivity.bridges g in
+    if bridges <> [] then
+      Format.printf "bridges: %s@."
+        (String.concat ", "
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) bridges));
+    let cuts = Graphs.Biconnectivity.articulation_points g in
+    if cuts <> [] then
+      Format.printf "articulation points: %s@."
+        (String.concat ", " (List.map string_of_int cuts))
+  in
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact connectivity values and cut witnesses")
+    Term.(const run $ gen_arg $ file_arg)
+
+let () =
+  let doc = "distributed connectivity decomposition (PODC'14), executable" in
+  let info = Cmd.info "decompose" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            vertex_cmd; edge_cmd; approx_vc_cmd; gossip_cmd; test_packing_cmd;
+            exact_cmd;
+          ]))

@@ -1,0 +1,46 @@
+(* Edge-connectivity decomposition tour (Theorem 1.3 and friends):
+   fractional spanning-tree packing via multiplicative weights, the
+   Karger-sampled general case, integral peeling, the distributed run,
+   and the packing driving an E-CONGEST broadcast.
+
+     dune exec examples/edge_decomposition.exe *)
+
+let () =
+  let lambda = 12 and n = 72 in
+  let g = Graphs.Gen.harary ~k:lambda ~n in
+  Format.printf "graph: n=%d m=%d lambda=%d, target = ceil((l-1)/2) = %d@.@."
+    n (Graphs.Graph.m g) lambda
+    (Spantree.Lagrangian.target ~lambda);
+
+  (* fractional: §5.1 multiplicative weights *)
+  let r = Spantree.Lagrangian.run g ~lambda in
+  let p = r.Spantree.Lagrangian.packing in
+  Format.printf "fractional packing: %d weighted trees, size %.2f, max edge load %.3f@."
+    (Spantree.Spacking.count p) (Spantree.Spacking.size p)
+    (Spantree.Spacking.max_edge_load p);
+  Format.printf "  %d iterations (stop rule fired: %b)@."
+    r.Spantree.Lagrangian.trace.Spantree.Lagrangian.iterations
+    r.Spantree.Lagrangian.trace.Spantree.Lagrangian.stopped_by_rule;
+
+  (* integral: degree-balanced peeling *)
+  let trees = Spantree.Integral.peel g in
+  Format.printf "integral peeling: %d edge-disjoint spanning trees@."
+    (List.length trees);
+
+  (* distributed, with the sampling-based lambda estimate first *)
+  let net = Congest.Net.create Congest.Model.E_congest g in
+  let d = Spantree.Dist_packing.run_auto net in
+  Format.printf
+    "distributed: size %.2f over eta=%d parts, %d rounds (pipelined %d)@."
+    (Spantree.Spacking.size d.Spantree.Dist_packing.packing)
+    d.Spantree.Dist_packing.eta d.Spantree.Dist_packing.measured_rounds
+    d.Spantree.Dist_packing.parallel_rounds;
+
+  (* use it: many-message broadcast at ~lambda/2 per round *)
+  let sources = List.init n (fun v -> (v, 6)) in
+  let net2 = Congest.Net.create Congest.Model.E_congest g in
+  let b = Routing.Broadcast.via_spanning_trees net2 p ~sources in
+  Format.printf
+    "broadcast over the packing: %d messages in %d rounds = %.2f/round@."
+    b.Routing.Broadcast.messages b.Routing.Broadcast.rounds
+    b.Routing.Broadcast.throughput

@@ -1,0 +1,33 @@
+(* The Fast Merger Lemma, watched live (Lemma 4.4, Fig. 1): run the
+   recursive class assignment on a clique path with a deliberately thin
+   jump-start, and print how the bridging-graph matchings collapse the
+   excess component count layer by layer.
+
+     dune exec examples/merger_trace.exe *)
+
+let () =
+  let g = Graphs.Gen.clique_path ~k:8 ~len:32 in
+  Format.printf
+    "clique path: n=%d, vertex connectivity 8, diameter %d@.@."
+    (Graphs.Graph.n g)
+    (Graphs.Traversal.diameter g);
+  let res =
+    Domtree.Cds_packing.run ~seed:9 ~jumpstart:1 g ~classes:12 ~layers:14
+  in
+  let stats = res.Domtree.Cds_packing.stats in
+  Format.printf "%8s %12s %12s %12s@." "layer" "excess M"
+    "bridge edges" "matched";
+  let bridging = stats.Domtree.Cds_packing.bridging_edges_per_layer in
+  let matched = stats.Domtree.Cds_packing.matched_per_layer in
+  List.iter
+    (fun (layer, m) ->
+      let b = try List.assoc layer bridging with Not_found -> 0 in
+      let mt = try List.assoc layer matched with Not_found -> 0 in
+      Format.printf "%8d %12d %12d %12d@." layer m b mt)
+    stats.Domtree.Cds_packing.excess_after_layer;
+  let valid = List.length (Domtree.Cds_packing.valid_classes res) in
+  Format.printf "@.valid classes at the end: %d / %d@." valid
+    res.Domtree.Cds_packing.classes;
+  let p = Domtree.Tree_extract.of_cds_packing res in
+  Format.printf "fractional dominating-tree packing size: %.2f@."
+    (Domtree.Packing.size p)

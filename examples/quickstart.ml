@@ -1,0 +1,60 @@
+(* Quickstart: build a well-connected graph, run both connectivity
+   decompositions (vertex -> dominating trees, edge -> spanning trees),
+   verify them, and print what came out.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  Format.printf "== Connectivity decomposition quickstart ==@.@.";
+
+  (* a 12-vertex-connected graph on 72 nodes *)
+  let k = 12 in
+  let g = Graphs.Gen.harary ~k ~n:72 in
+  Format.printf "graph: n=%d m=%d vertex-connectivity=%d edge-connectivity=%d@."
+    (Graphs.Graph.n g) (Graphs.Graph.m g)
+    (Graphs.Connectivity.vertex_connectivity g)
+    (Graphs.Connectivity.edge_connectivity g);
+
+  (* --- vertex connectivity -> fractional dominating-tree packing --- *)
+  Format.printf "@.-- dominating-tree packing (Theorem 1.2) --@.";
+  let cds = Domtree.Cds_packing.pack g ~k in
+  let dom = Domtree.Tree_extract.of_cds_packing cds in
+  Format.printf "trees: %d, size: %.2f, max node load: %.2f, multiplicity: %d@."
+    (Domtree.Packing.count dom)
+    (Domtree.Packing.size dom)
+    (Domtree.Packing.max_node_load dom)
+    (Domtree.Packing.max_multiplicity dom);
+  Format.printf "max tree diameter: %d (n/k = %d)@."
+    (Domtree.Packing.max_tree_diameter dom)
+    (Graphs.Graph.n g / k);
+  (match Domtree.Packing.verify dom with
+  | [] -> Format.printf "verification: OK@."
+  | vs ->
+    List.iter (Format.printf "violation: %a@." Domtree.Packing.pp_violation) vs);
+
+  (* --- edge connectivity -> fractional spanning-tree packing --- *)
+  Format.printf "@.-- spanning-tree packing (Theorem 1.3) --@.";
+  let sp = Spantree.Sampling_pack.run_auto g in
+  let packing = sp.Spantree.Sampling_pack.packing in
+  Format.printf "trees: %d, size: %.2f (target %d), max edge load: %.3f@."
+    (Spantree.Spacking.count packing)
+    (Spantree.Spacking.size packing)
+    (Spantree.Lagrangian.target ~lambda:k)
+    (Spantree.Spacking.max_edge_load packing);
+  (match Spantree.Spacking.verify ~tolerance:1e-6 packing with
+  | [] -> Format.printf "verification: OK@."
+  | vs ->
+    List.iter (Format.printf "violation: %a@." Spantree.Spacking.pp_violation) vs);
+
+  (* --- the same, distributed --- *)
+  Format.printf "@.-- distributed dominating-tree packing (Theorem 1.1) --@.";
+  let net = Congest.Net.create Congest.Model.V_congest g in
+  let dres = Domtree.Dist_packing.pack net ~k in
+  let valid = List.length (Domtree.Cds_packing.valid_classes dres) in
+  Format.printf "valid classes: %d/%d, rounds: %d, messages: %d@."
+    valid dres.Domtree.Cds_packing.classes
+    (Congest.Net.rounds net) (Congest.Net.messages_sent net);
+  let d = Graphs.Traversal.diameter g in
+  let sqrt_n = sqrt (float_of_int (Graphs.Graph.n g)) in
+  Format.printf "round budget shape: D + sqrt(n) = %.0f (x polylog)@."
+    (float_of_int d +. sqrt_n)

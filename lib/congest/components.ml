@@ -1,0 +1,163 @@
+module Graph = Graphs.Graph
+
+(* Min-pair flooding restricted to the marked subgraph. Each round every
+   active node broadcasts its current best (value, id); neighbors joined
+   by an active edge adopt smaller pairs. Stops one round after global
+   stabilization (the simulator detects quiescence; a real execution
+   would detect it with a constant-factor doubling horizon). *)
+let flood_pairs net ~active ~edge_active ~init =
+  let n = Net.n net in
+  let best = Array.init n init in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let inboxes =
+      Net.broadcast_round net (fun u ->
+          if active u then
+            let value, id = best.(u) in
+            Some [| value; id |]
+          else None)
+    in
+    for v = 0 to n - 1 do
+      if active v then
+        List.iter
+          (fun (sender, m) ->
+            if edge_active sender v && edge_active v sender then begin
+              let pair = (m.(0), m.(1)) in
+              if pair < best.(v) then begin
+                best.(v) <- pair;
+                changed := true
+              end
+            end)
+          inboxes.(v)
+    done
+  done;
+  best
+
+let identify net ~active ~edge_active =
+  let best = flood_pairs net ~active ~edge_active ~init:(fun u -> (u, u)) in
+  Array.mapi (fun v (_, id) -> if active v then id else -1) best
+
+let identify_min_value net ~active ~edge_active ~value =
+  let best =
+    flood_pairs net ~active ~edge_active ~init:(fun u -> (value u, u))
+  in
+  let values = Array.mapi (fun v (x, _) -> if active v then x else -1) best in
+  let ids = Array.mapi (fun v (_, id) -> if active v then id else -1) best in
+  (values, ids)
+
+(* Capped flooding of (random rank, id) pairs for exactly [cap] rounds.
+   Every node adopts the id of the smallest rank within its cap-radius
+   ball; with random ranks (the paper's §2 random-id assumption) the
+   expected number of distinct ball minima is O~(n / cap) even on paths,
+   where sequential ids would give Θ(n) fragments. Fragment label regions
+   need not be connected, but any two labels joined by a subgraph edge
+   belong to one true component, so contracting labels preserves the
+   component structure and the global merge below is exact. *)
+let capped_flood net ~active ~edge_active ~cap ~seed =
+  let n = Net.n net in
+  let rng = Random.State.make [| seed; n; cap |] in
+  let rank = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = rank.(i) in
+    rank.(i) <- rank.(j);
+    rank.(j) <- tmp
+  done;
+  let best = Array.init n (fun u -> (rank.(u), u)) in
+  for _ = 1 to cap do
+    let inboxes =
+      Net.broadcast_round net (fun u ->
+          if active u then
+            let r, id = best.(u) in
+            Some [| r; id |]
+          else None)
+    in
+    for v = 0 to n - 1 do
+      if active v then
+        List.iter
+          (fun (sender, m) ->
+            if edge_active sender v && edge_active v sender then begin
+              let pair = (m.(0), m.(1)) in
+              if pair < best.(v) then best.(v) <- pair
+            end)
+          inboxes.(v)
+    done
+  done;
+  Array.mapi (fun v (_, id) -> if active v then id else -1) best
+
+let identify_hybrid ?cap ?(seed = 1) net ~active ~edge_active =
+  let n = Net.n net in
+  let cap =
+    match cap with
+    | Some c -> c
+    | None -> int_of_float (ceil (sqrt (float_of_int (max 1 n))))
+  in
+  (* phase 1: fragments by capped flooding of random ranks *)
+  let frag = capped_flood net ~active ~edge_active ~cap ~seed in
+  (* one round: everyone announces its fragment label so crossing edges
+     can be seen locally *)
+  let inboxes =
+    Net.broadcast_round net (fun u ->
+        if active u then Some [| frag.(u) |] else None)
+  in
+  let crossing = Array.make n [] in
+  for v = 0 to n - 1 do
+    if active v then
+      List.iter
+        (fun (sender, m) ->
+          if
+            edge_active sender v && edge_active v sender
+            && m.(0) >= 0 && m.(0) <> frag.(v)
+          then begin
+            let pair = (min m.(0) frag.(v), max m.(0) frag.(v)) in
+            if not (List.mem pair crossing.(v)) then
+              crossing.(v) <- pair :: crossing.(v)
+          end)
+        inboxes.(v)
+  done;
+  (* phase 2: Kutten-Peleg pipelined upcast of the fragment graph through
+     per-node spanning-forest filters *)
+  let tree = Primitives.bfs_tree net ~root:0 in
+  let filters = Array.init n (fun _ -> Graphs.Union_find.create n) in
+  let surviving =
+    Primitives.pipelined_upcast net tree
+      ~items:(fun u -> List.map (fun (a, b) -> [| a; b |]) crossing.(u))
+      ~filter:(fun v m -> Graphs.Union_find.union filters.(v) m.(0) m.(1))
+  in
+  (* the root solves the fragment components *)
+  let root_uf = Graphs.Union_find.create n in
+  List.iter (fun m -> ignore (Graphs.Union_find.union root_uf m.(0) m.(1)))
+    surviving;
+  let involved = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      Hashtbl.replace involved m.(0) ();
+      Hashtbl.replace involved m.(1) ())
+    surviving;
+  (* final label of an involved fragment = min fragment label of its class *)
+  let class_min = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun l () ->
+      let r = Graphs.Union_find.find root_uf l in
+      match Hashtbl.find_opt class_min r with
+      | Some m when m <= l -> ()
+      | _ -> Hashtbl.replace class_min r l)
+    involved;
+  let mapping =
+    Hashtbl.fold
+      (fun l () acc ->
+        let final = Hashtbl.find class_min (Graphs.Union_find.find root_uf l) in
+        [| l; final |] :: acc)
+      involved []
+  in
+  (* phase 3: pipelined downcast of the mapping; fragments not involved in
+     any crossing edge already carry their component's minimum *)
+  Primitives.pipelined_downcast net tree mapping;
+  let remap = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace remap m.(0) m.(1)) mapping;
+  Array.map
+    (fun l ->
+      if l < 0 then -1
+      else match Hashtbl.find_opt remap l with Some f -> f | None -> l)
+    frag

@@ -1,0 +1,269 @@
+module Graph = Graphs.Graph
+
+let no_edge = (max_int, max_int, max_int)
+
+(* Flood minimum (w, a, b) triples inside fragments (over forest edges)
+   until stable; one round past stabilization, as in Components. *)
+let flood_triples net ~active ~in_fragment ~init =
+  let n = Net.n net in
+  let best = Array.init n init in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let inboxes =
+      Net.broadcast_round net (fun u ->
+          if active u then
+            let w, a, b = best.(u) in
+            if (w, a, b) = no_edge then None else Some [| w; a; b |]
+          else None)
+    in
+    for v = 0 to n - 1 do
+      if active v then
+        List.iter
+          (fun (sender, m) ->
+            if in_fragment sender v then begin
+              let t = (m.(0), m.(1), m.(2)) in
+              if t < best.(v) then begin
+                best.(v) <- t;
+                changed := true
+              end
+            end)
+          inboxes.(v)
+    done
+  done;
+  best
+
+let minimum_spanning_forest_on net ~active ~edge_active ~weight =
+  let n = Net.n net in
+  let forest = Hashtbl.create 64 in
+  let forest_mem u v =
+    Hashtbl.mem forest (min u v, max u v)
+  in
+  let forest_add u v = Hashtbl.replace forest (min u v, max u v) () in
+  let continue = ref true in
+  while !continue do
+    (* 1. fragment labels over the current forest *)
+    let labels = Components.identify net ~active ~edge_active:forest_mem in
+    (* 2. all nodes announce labels so neighbors can spot outgoing edges *)
+    let inboxes =
+      Net.broadcast_round net (fun u ->
+          if active u then Some [| labels.(u) |] else None)
+    in
+    let neighbor_label = Array.make n [] in
+    for v = 0 to n - 1 do
+      neighbor_label.(v) <-
+        List.map (fun (sender, m) -> (sender, m.(0))) inboxes.(v)
+    done;
+    (* 3. local best outgoing edge per node *)
+    let local_best u =
+      if not (active u) then no_edge
+      else
+        List.fold_left
+          (fun acc (v, lv) ->
+            if lv >= 0 && lv <> labels.(u) && edge_active u v && edge_active v u
+            then begin
+              let cand = (weight u v, min u v, max u v) in
+              if cand < acc then cand else acc
+            end
+            else acc)
+          no_edge neighbor_label.(u)
+    in
+    (* 4. fragment-wide minimum by intra-fragment flooding *)
+    let best =
+      flood_triples net ~active ~in_fragment:forest_mem ~init:local_best
+    in
+    (* 5. an endpoint whose local candidate equals its fragment's best
+          declares the merge; the other endpoint hears the declaration *)
+    let declares u =
+      active u && best.(u) <> no_edge && local_best u = best.(u)
+    in
+    let inboxes =
+      Net.broadcast_round net (fun u ->
+          if declares u then
+            let w, a, b = best.(u) in
+            Some [| w; a; b |]
+          else None)
+    in
+    let merged = ref false in
+    for v = 0 to n - 1 do
+      if declares v then begin
+        let _, a, b = best.(v) in
+        if v = a || v = b then begin
+          if not (forest_mem a b) then merged := true;
+          forest_add a b
+        end
+      end;
+      List.iter
+        (fun (_, m) ->
+          let a = m.(1) and b = m.(2) in
+          if v = a || v = b then begin
+            if not (forest_mem a b) then merged := true;
+            forest_add a b
+          end)
+        inboxes.(v)
+    done;
+    (* termination: no fragment found an outgoing edge *)
+    if not !merged then continue := false
+  done;
+  Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) forest []
+  |> List.sort compare
+
+let minimum_spanning_forest net ~weight =
+  minimum_spanning_forest_on net
+    ~active:(fun _ -> true)
+    ~edge_active:(fun _ _ -> true)
+    ~weight
+
+(* Kutten-Peleg-shaped variant (controlled GHS): Boruvka phases run in
+   cheap LOCAL mode (intra-fragment flooding, fully parallel across
+   fragments) while fragment diameters stay below the cap; once a flood
+   fails to stabilize within the cap — fragments now have >= cap nodes,
+   so at most n/cap of them remain — the algorithm switches to GLOBAL
+   mode: fragment labels via the hybrid component identification and
+   per-fragment minima via one pipelined keyed convergecast over the
+   global BFS tree (height + #fragments rounds per phase). A one-bit
+   "did the flood stabilize" convergecast is charged per local phase. *)
+let minimum_spanning_forest_hybrid ?cap net ~weight =
+  let n = Net.n net in
+  let cap =
+    match cap with
+    | Some c -> c
+    | None -> int_of_float (ceil (sqrt (float_of_int (max 1 n))))
+  in
+  let tree = Primitives.bfs_tree net ~root:0 in
+  let forest = Hashtbl.create 64 in
+  let forest_mem u v = Hashtbl.mem forest (min u v, max u v) in
+  let forest_add u v = Hashtbl.replace forest (min u v, max u v) () in
+  let continue = ref true in
+  let global_mode = ref false in
+  let phase = ref 0 in
+
+  (* capped min-id flood over forest edges; returns (labels, stable) *)
+  let capped_labels () =
+    let best = Array.init n (fun u -> u) in
+    for _ = 1 to cap do
+      let inboxes =
+        Net.broadcast_round net (fun u -> Some [| best.(u) |])
+      in
+      for v = 0 to n - 1 do
+        List.iter
+          (fun (sender, m) ->
+            if forest_mem sender v && m.(0) < best.(v) then best.(v) <- m.(0))
+          inboxes.(v)
+      done
+    done;
+    (* stability: would one more sweep change anything? (the real protocol
+       learns this with a one-bit convergecast, charged below) *)
+    let stable = ref true in
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun u ->
+          if forest_mem u v && best.(u) < best.(v) then stable := false)
+        (Graph.neighbors (Net.graph net) v)
+    done;
+    Net.silent_rounds net ((2 * tree.height) + 1);
+    (best, !stable)
+  in
+
+  while !continue do
+    incr phase;
+    if not !global_mode then begin
+      (* LOCAL phase *)
+      let labels, stable = capped_labels () in
+      if not stable then global_mode := true
+      else begin
+        let inboxes =
+          Net.broadcast_round net (fun u -> Some [| labels.(u) |])
+        in
+        let local_best u =
+          List.fold_left
+            (fun acc (v, lv) ->
+              if lv <> labels.(u) then begin
+                let cand = (weight u v, min u v, max u v) in
+                match acc with Some b when b <= cand -> acc | _ -> Some cand
+              end
+              else acc)
+            None
+            (List.map (fun (s, (m : Net.msg)) -> (s, m.(0))) inboxes.(u))
+        in
+        let init u =
+          match local_best u with Some t -> t | None -> no_edge
+        in
+        let best =
+          flood_triples net ~active:(fun _ -> true) ~in_fragment:forest_mem
+            ~init
+        in
+        (* declaring endpoints add their fragment's winning edge *)
+        let declares u = best.(u) <> no_edge && init u = best.(u) in
+        let inboxes2 =
+          Net.broadcast_round net (fun u ->
+              if declares u then
+                let w, a, b = best.(u) in
+                Some [| w; a; b |]
+              else None)
+        in
+        let merged = ref false in
+        for v = 0 to n - 1 do
+          if declares v then begin
+            let _, a, b = best.(v) in
+            if v = a || v = b then begin
+              if not (forest_mem a b) then merged := true;
+              forest_add a b
+            end
+          end;
+          List.iter
+            (fun (_, (m : Net.msg)) ->
+              let a = m.(1) and b = m.(2) in
+              if v = a || v = b then begin
+                if not (forest_mem a b) then merged := true;
+                forest_add a b
+              end)
+            inboxes2.(v)
+        done;
+        if not !merged then continue := false
+      end
+    end
+    else begin
+      (* GLOBAL phase *)
+      let labels =
+        Components.identify_hybrid ~cap ~seed:!phase net
+          ~active:(fun _ -> true) ~edge_active:forest_mem
+      in
+      let inboxes =
+        Net.broadcast_round net (fun u -> Some [| labels.(u) |])
+      in
+      let local_best = Array.make n None in
+      for u = 0 to n - 1 do
+        List.iter
+          (fun (v, (m : Net.msg)) ->
+            if m.(0) <> labels.(u) then begin
+              let cand = (weight u v, min u v, max u v) in
+              match local_best.(u) with
+              | Some best when best <= cand -> ()
+              | _ -> local_best.(u) <- Some cand
+            end)
+          inboxes.(u)
+      done;
+      let values u =
+        match local_best.(u) with
+        | Some (w, a, b) -> [ (labels.(u), [| w; a; b |]) ]
+        | None -> []
+      in
+      let better (x : Net.msg) (y : Net.msg) =
+        (x.(0), x.(1), x.(2)) < (y.(0), y.(1), y.(2))
+      in
+      let winners = Primitives.pipelined_converge net tree ~values ~better in
+      let edges =
+        List.map (fun (_, m) -> (m.(1), m.(2))) winners
+        |> List.sort_uniq compare
+      in
+      if edges = [] then continue := false
+      else begin
+        Primitives.pipelined_downcast net tree
+          (List.map (fun (a, b) -> [| a; b |]) edges);
+        List.iter (fun (a, b) -> forest_add a b) edges
+      end
+    end
+  done;
+  Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) forest []
+  |> List.sort compare

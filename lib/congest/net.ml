@@ -1,0 +1,149 @@
+module Graph = Graphs.Graph
+
+type msg = int array
+
+type t = {
+  graph : Graph.t;
+  model : Model.t;
+  words_budget : int;
+  max_word : int;
+  mutable rounds : int;
+  mutable messages : int;
+  mutable words : int;
+  mutable max_node_load : int;
+  mutable max_edge_load : int;
+  node_load : int array; (* scratch: words received this round *)
+  edge_load : int array; (* scratch: words over each edge this round *)
+  mutable boundary : (int -> bool) option;
+      (* Alice/Bob side predicate for two-party simulation accounting *)
+  mutable boundary_words : int;
+}
+
+let create ?words_budget model g =
+  let n = Graph.n g in
+  let budget =
+    match words_budget with Some b -> b | None -> Model.words_budget ~n
+  in
+  {
+    graph = g;
+    model;
+    words_budget = budget;
+    max_word = Model.max_word ~n;
+    rounds = 0;
+    messages = 0;
+    words = 0;
+    max_node_load = 0;
+    max_edge_load = 0;
+    node_load = Array.make n 0;
+    edge_load = Array.make (Graph.m g) 0;
+    boundary = None;
+    boundary_words = 0;
+  }
+
+let graph net = net.graph
+let model net = net.model
+let n net = Graph.n net.graph
+
+let check_msg net m =
+  if Array.length m > net.words_budget then
+    invalid_arg
+      (Printf.sprintf "Congest: message of %d words exceeds budget %d"
+         (Array.length m) net.words_budget);
+  Array.iter
+    (fun w ->
+      if abs w > net.max_word then
+        invalid_arg
+          (Printf.sprintf "Congest: word %d exceeds O(log n) width bound" w))
+    m
+
+let begin_round net =
+  Array.fill net.node_load 0 (Array.length net.node_load) 0;
+  Array.fill net.edge_load 0 (Array.length net.edge_load) 0
+
+let end_round net =
+  net.rounds <- net.rounds + 1;
+  Array.iter (fun l -> if l > net.max_node_load then net.max_node_load <- l)
+    net.node_load;
+  Array.iter (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
+    net.edge_load
+
+let account net ~src ~dst m =
+  let len = Array.length m in
+  net.messages <- net.messages + 1;
+  net.words <- net.words + len;
+  net.node_load.(dst) <- net.node_load.(dst) + len;
+  (match net.boundary with
+  | Some side -> if side src <> side dst then
+      net.boundary_words <- net.boundary_words + len
+  | None -> ());
+  let ei = Graph.edge_index net.graph src dst in
+  net.edge_load.(ei) <- net.edge_load.(ei) + len
+
+let broadcast_round net send =
+  begin_round net;
+  let nn = n net in
+  let inboxes = Array.make nn [] in
+  for u = nn - 1 downto 0 do
+    match send u with
+    | None -> ()
+    | Some m ->
+      check_msg net m;
+      Array.iter
+        (fun v ->
+          account net ~src:u ~dst:v m;
+          inboxes.(v) <- (u, m) :: inboxes.(v))
+        (Graph.neighbors net.graph u)
+  done;
+  end_round net;
+  inboxes
+
+let edge_round net send =
+  if net.model = Model.V_congest then
+    invalid_arg "Congest.edge_round: per-edge messages illegal in V-CONGEST";
+  begin_round net;
+  let nn = n net in
+  let inboxes = Array.make nn [] in
+  for u = nn - 1 downto 0 do
+    let outs = send u in
+    let seen = Hashtbl.create (List.length outs) in
+    List.iter
+      (fun (v, m) ->
+        if not (Graph.mem_edge net.graph u v) then
+          invalid_arg "Congest.edge_round: message along a non-edge";
+        if Hashtbl.mem seen v then
+          invalid_arg "Congest.edge_round: two messages on one edge direction";
+        Hashtbl.add seen v ();
+        check_msg net m;
+        account net ~src:u ~dst:v m;
+        inboxes.(v) <- (u, m) :: inboxes.(v))
+      outs
+  done;
+  end_round net;
+  inboxes
+
+let silent_rounds net k =
+  if k < 0 then invalid_arg "Congest.silent_rounds: negative";
+  net.rounds <- net.rounds + k
+
+let rounds net = net.rounds
+let messages_sent net = net.messages
+let words_sent net = net.words
+let max_node_load net = net.max_node_load
+let max_edge_load net = net.max_edge_load
+
+let reset_stats net =
+  net.rounds <- 0;
+  net.messages <- 0;
+  net.words <- 0;
+  net.max_node_load <- 0;
+  net.max_edge_load <- 0;
+  net.boundary_words <- 0
+
+let set_boundary net side = net.boundary <- Some side
+let clear_boundary net = net.boundary <- None
+let boundary_words net = net.boundary_words
+
+type checkpoint = int
+
+let checkpoint net = net.rounds
+let rounds_since net cp = net.rounds - cp

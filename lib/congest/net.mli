@@ -1,0 +1,82 @@
+(** Synchronous message-passing runtime with bandwidth enforcement and
+    congestion accounting.
+
+    Algorithms advance the network one synchronous round at a time via
+    [broadcast_round] (the V-CONGEST primitive: one message per node,
+    delivered to all neighbors) or [edge_round] (the E-CONGEST
+    primitive: one message per edge direction). The runtime
+
+    - rejects messages exceeding the model's word budget or word width,
+    - rejects [edge_round] under V-CONGEST,
+    - counts rounds, messages and words,
+    - tracks per-node and per-edge received-word loads (congestion).
+
+    Protocol code must follow the locality discipline: what a node sends
+    in round [r] may depend only on its id, its neighbors' ids, protocol
+    inputs local to it, and messages received in rounds < r. The runtime
+    cannot check this, but every algorithm in this repository is written
+    against per-node knowledge arrays to respect it. *)
+
+type msg = int array
+
+type t
+
+(** [create ?words_budget model g] wraps graph [g]. *)
+val create : ?words_budget:int -> Model.t -> Graphs.Graph.t -> t
+
+val graph : t -> Graphs.Graph.t
+val model : t -> Model.t
+val n : t -> int
+
+(** {1 Rounds} *)
+
+(** [broadcast_round net send] performs one round in which node [u]
+    locally broadcasts [send u] (or stays silent on [None]).
+    [inboxes.(v)] lists [(sender, message)] in increasing sender order.
+    Legal in both models. *)
+val broadcast_round : t -> (int -> msg option) -> (int * msg) list array
+
+(** [edge_round net send] performs one round in which node [u] sends
+    [send u], a list of [(neighbor, message)] pairs, at most one message
+    per incident edge.
+    @raise Invalid_argument under [V_congest] or on duplicate targets. *)
+val edge_round : t -> (int -> (int * msg) list) -> (int * msg) list array
+
+(** [silent_rounds net k] advances the clock by [k] message-free rounds
+    (used when a protocol idles, e.g. waiting for a known bound). *)
+val silent_rounds : t -> int -> unit
+
+(** {1 Accounting} *)
+
+val rounds : t -> int
+val messages_sent : t -> int
+val words_sent : t -> int
+
+(** Maximum words received by any single node during any single round. *)
+val max_node_load : t -> int
+
+(** Maximum words that crossed any single edge (both directions summed)
+    during any single round. *)
+val max_edge_load : t -> int
+
+(** [reset_stats net] zeroes all counters (the clock too). *)
+val reset_stats : t -> unit
+
+(** {1 Two-party simulation accounting (Appendix G)}
+
+    When a boundary predicate is set (Alice's side vs Bob's side), the
+    runtime counts every word carried by a message crossing the boundary
+    — the communication a two-party simulation of the protocol needs
+    (Lemma G.6 charges 2BT; the cross-boundary traffic of the actual run
+    is what the simulating players must forward). *)
+
+val set_boundary : t -> (int -> bool) -> unit
+val clear_boundary : t -> unit
+val boundary_words : t -> int
+
+(** [checkpoint net] snapshots the counters; [rounds_since net cp] is the
+    rounds elapsed since. *)
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val rounds_since : t -> checkpoint -> int

@@ -1,0 +1,28 @@
+(** The predecessor algorithm of [CGK, SODA'14] ("A new perspective on
+    vertex connectivity"), reimplemented as the paper's comparison
+    baseline (see §3.1, "An intuitive comparison with the approach of
+    [12]").
+
+    Where the PODC'14 algorithm only {e benefits implicitly} from the
+    abundance of connector paths, the baseline finds them explicitly:
+    per layer, for every class with multiple components, it enumerates
+    internally-disjoint connector paths of each component (a
+    vertex-capacitated flow per component — the expensive part that
+    blocks a distributed implementation and makes the centralized
+    algorithm Ω(n³)-flavored) and allocates the new layer's virtual
+    nodes on the paths' internal vertices to that class.
+
+    Outputs the same result shape as {!Cds_packing}, so the verifier,
+    extractor and benchmarks apply unchanged. The E7b experiment row
+    compares its running time against the near-linear Theorem 1.2
+    implementation. *)
+
+val run :
+  ?seed:int ->
+  ?jumpstart:int ->
+  Graphs.Graph.t ->
+  classes:int ->
+  layers:int ->
+  Cds_packing.t
+
+val pack : ?seed:int -> Graphs.Graph.t -> k:int -> Cds_packing.t

@@ -1,0 +1,183 @@
+module Graph = Graphs.Graph
+module Maxflow = Graphs.Maxflow
+
+type path = {
+  endpoint_in : int;
+  internals : int list;
+  endpoint_out : int;
+}
+
+let is_short p = List.length p.internals = 1
+
+let has_neighbor_in g pred x = Array.exists pred (Graph.neighbors g x)
+
+let is_connector_path g ~in_class ~in_component p =
+  let in_rest v = in_class v && not (in_component v) in
+  let internal_ok x = not (in_class x) in
+  (* (A) endpoints on the right sides *)
+  in_component p.endpoint_in && in_rest p.endpoint_out
+  &&
+  (* (B) at most two internal vertices, consecutive edges exist *)
+  (match p.internals with
+  | [ x ] ->
+    internal_ok x
+    && Graph.mem_edge g p.endpoint_in x
+    && Graph.mem_edge g x p.endpoint_out
+  | [ u; w ] ->
+    internal_ok u && internal_ok w
+    && Graph.mem_edge g p.endpoint_in u
+    && Graph.mem_edge g u w
+    && Graph.mem_edge g w p.endpoint_out
+    (* (C) minimality *)
+    && (not (has_neighbor_in g in_rest u))
+    && not (has_neighbor_in g (fun v -> in_component v) w)
+  | _ -> false)
+
+(* Auxiliary DAG with unit vertex capacities: contract C to a source and
+   S \ C to a sink; internal candidates are vertices outside S. *)
+let build_network g ~in_class ~in_component =
+  let n = Graph.n g in
+  let in_rest v = in_class v && not (in_component v) in
+  let src = 2 * n and sink = (2 * n) + 1 in
+  let net = Maxflow.create ((2 * n) + 2) in
+  let adj_c = Array.init n (fun x -> has_neighbor_in g in_component x) in
+  let adj_r = Array.init n (fun x -> has_neighbor_in g in_rest x) in
+  for x = 0 to n - 1 do
+    if not (in_class x) then begin
+      Maxflow.add_edge net (2 * x) ((2 * x) + 1) 1;
+      if adj_c.(x) then Maxflow.add_edge net src (2 * x) 1;
+      if adj_r.(x) then Maxflow.add_edge net ((2 * x) + 1) sink 1
+    end
+  done;
+  Graph.iter_edges
+    (fun a b ->
+      if (not (in_class a)) && not (in_class b) then begin
+        (* directed long-path links u -> w, both orientations considered *)
+        let link u w =
+          if adj_c.(u) && adj_r.(w) && (not adj_r.(u)) && not adj_c.(w) then
+            Maxflow.add_edge net ((2 * u) + 1) (2 * w) 1
+        in
+        link a b;
+        link b a
+      end)
+    g;
+  (net, src, sink)
+
+let max_disjoint g ~in_class ~in_component =
+  let net, src, sink = build_network g ~in_class ~in_component in
+  Maxflow.max_flow net ~src ~sink
+
+let enumerate g ~in_class ~in_component =
+  let in_rest v = in_class v && not (in_component v) in
+  (* Greedy maximal family, short paths first: at least half the optimum
+     (each chosen path blocks at most two disjoint alternatives). *)
+  let n = Graph.n g in
+  let used = Array.make n false in
+  let adj_c x = has_neighbor_in g in_component x in
+  let adj_r x = has_neighbor_in g in_rest x in
+  let pick_neighbor pred x =
+    let found = ref (-1) in
+    Array.iter
+      (fun v -> if !found < 0 && pred v then found := v)
+      (Graph.neighbors g x);
+    !found
+  in
+  let paths = ref [] in
+  (* short paths first *)
+  for x = 0 to n - 1 do
+    if (not (in_class x)) && (not used.(x)) && adj_c x && adj_r x then begin
+      used.(x) <- true;
+      paths :=
+        {
+          endpoint_in = pick_neighbor in_component x;
+          internals = [ x ];
+          endpoint_out = pick_neighbor in_rest x;
+        }
+        :: !paths
+    end
+  done;
+  (* long paths *)
+  Graph.iter_edges
+    (fun a b ->
+      let try_link u w =
+        if
+          (not (in_class u)) && (not (in_class w))
+          && (not used.(u)) && (not used.(w))
+          && adj_c u && adj_r w
+          && (not (adj_r u)) && not (adj_c w)
+        then begin
+          used.(u) <- true;
+          used.(w) <- true;
+          paths :=
+            {
+              endpoint_in = pick_neighbor in_component u;
+              internals = [ u; w ];
+              endpoint_out = pick_neighbor in_rest w;
+            }
+            :: !paths
+        end
+      in
+      try_link a b;
+      try_link b a)
+    g;
+  List.rev !paths
+
+let realize vg ~layer p =
+  match p.internals with
+  | [ x ] -> [ (Virtual_graph.vid vg ~real:x ~layer ~vtype:1, 1) ]
+  | [ u; w ] ->
+    [
+      (Virtual_graph.vid vg ~real:u ~layer ~vtype:2, 2);
+      (Virtual_graph.vid vg ~real:w ~layer ~vtype:3, 3);
+    ]
+  | _ -> invalid_arg "Connector.realize: not a connector path"
+
+type audit = {
+  classes_checked : int;
+  components_checked : int;
+  min_disjoint : int;
+  all_above_k : bool;
+}
+
+let audit_jumpstart ?(seed = 7) g ~classes ~layers ~k =
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed; n; classes |] in
+  let member = Array.make_matrix classes n false in
+  for _layer = 1 to layers / 2 do
+    for r = 0 to n - 1 do
+      for _vtype = 1 to 3 do
+        member.(Random.State.int rng classes).(r) <- true
+      done
+    done
+  done;
+  let classes_checked = ref 0 in
+  let components_checked = ref 0 in
+  let min_disjoint = ref max_int in
+  for i = 0 to classes - 1 do
+    let in_class v = member.(i).(v) in
+    if Graphs.Domination.is_dominating g in_class then begin
+      let sub = Graph.spanning_subgraph g (fun u v -> in_class u && in_class v) in
+      (* component labels among members *)
+      let _, labels = Graphs.Traversal.components sub in
+      let roots = Hashtbl.create 8 in
+      for v = 0 to n - 1 do
+        if in_class v then Hashtbl.replace roots labels.(v) ()
+      done;
+      if Hashtbl.length roots >= 2 then begin
+        incr classes_checked;
+        Hashtbl.iter
+          (fun root () ->
+            incr components_checked;
+            let in_component v = in_class v && labels.(v) = root in
+            let d = max_disjoint g ~in_class ~in_component in
+            if d < !min_disjoint then min_disjoint := d)
+          roots
+      end
+    end
+  done;
+  {
+    classes_checked = !classes_checked;
+    components_checked = !components_checked;
+    min_disjoint = !min_disjoint;
+    all_above_k = !min_disjoint = max_int || !min_disjoint >= k;
+  }

@@ -1,0 +1,62 @@
+(** Connector paths (§4.1, Fig. 2): the analysis toolbox behind the Fast
+    Merger Lemma, realized executably so Lemma 4.3 (Connector Abundance)
+    can be audited empirically (experiment E9).
+
+    Given a class's member set S (its projection Ψ(V_i^ℓ) onto G) and a
+    connected component C of G[S], a {e potential connector path} is a
+    G-path from Ψ(C) to Ψ(S \ C) with at most two internal vertices, all
+    internal vertices outside S, and (minimality, condition (C)) for a
+    two-internal path s,u,w,t: u has no neighbor in S \ C and w has no
+    neighbor in C. *)
+
+type path = {
+  endpoint_in : int;  (** endpoint inside the component C *)
+  internals : int list;  (** one or two internal vertices, in order *)
+  endpoint_out : int;  (** endpoint in S \ C *)
+}
+
+(** [is_short p] holds for one-internal-vertex paths. *)
+val is_short : path -> bool
+
+(** [is_connector_path g ~in_class ~in_component p] checks conditions
+    (A), (B), (C) of §4.1. *)
+val is_connector_path :
+  Graphs.Graph.t -> in_class:(int -> bool) -> in_component:(int -> bool) ->
+  path -> bool
+
+(** [max_disjoint g ~in_class ~in_component] is the maximum number of
+    internally vertex-disjoint potential connector paths for the
+    component, computed by a vertex-capacitated flow on the two-level
+    auxiliary DAG. Lemma 4.3: >= k whenever the class is dominating and
+    has >= 2 components. *)
+val max_disjoint :
+  Graphs.Graph.t -> in_class:(int -> bool) -> in_component:(int -> bool) -> int
+
+(** [enumerate g ~in_class ~in_component] lists a {e maximal} internally
+    disjoint family of connector paths, greedily, short paths first (its
+    size is at least half of [max_disjoint]). *)
+val enumerate :
+  Graphs.Graph.t -> in_class:(int -> bool) -> in_component:(int -> bool) ->
+  path list
+
+(** [realize vg ~layer p] applies rules (D)/(E) of §4.1: the virtual-node
+    ids (with their types) that the path's internal vertices contribute
+    in layer [layer] — one type-1 node for a short path; a type-2 node
+    (on the component side) and a type-3 node (on the far side) for a
+    long path. Fig. 2, executable. *)
+val realize : Virtual_graph.t -> layer:int -> path -> (int * int) list
+(** Returns [(virtual id, vtype)] pairs. *)
+
+type audit = {
+  classes_checked : int;
+  components_checked : int;
+  min_disjoint : int;  (** min over audited components; max_int if none *)
+  all_above_k : bool;
+}
+
+(** [audit_jumpstart ?seed g ~classes ~layers ~k] reproduces the
+    algorithm's jump-start (layers 1..L/2 random classes), then checks
+    Lemma 4.3 for every class with >= 2 components: each component must
+    admit >= k internally disjoint connector paths. *)
+val audit_jumpstart :
+  ?seed:int -> Graphs.Graph.t -> classes:int -> layers:int -> k:int -> audit

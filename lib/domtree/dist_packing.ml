@@ -1,0 +1,389 @@
+module Graph = Graphs.Graph
+module Net = Congest.Net
+module Union_find = Graphs.Union_find
+
+let matching_stages ~n =
+  max 4 (2 * int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.)))
+
+(* Message tags for the single-round broadcasts of B.2 *)
+let tag_connector = 0
+let tag_one = 1
+
+let run ?(seed = 42) ?jumpstart net ~classes ~layers =
+  if classes < 1 then invalid_arg "Dist_packing.run: classes < 1";
+  let jumpstart = match jumpstart with Some j -> j | None -> layers / 2 in
+  if jumpstart < 1 || jumpstart > layers then
+    invalid_arg "Dist_packing.run: jumpstart out of range";
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let vg = Virtual_graph.create g ~layers in
+  let rng = Random.State.make [| seed; n; classes; 77 |] in
+  let class_of = Array.make (Virtual_graph.count vg) (-1) in
+  (* per-node local knowledge: the distinct classes of own virtual nodes *)
+  let my_classes = Array.make n [] in
+  let assign ~real ~layer ~vtype ~cls =
+    class_of.(Virtual_graph.vid vg ~real ~layer ~vtype) <- cls;
+    if not (List.mem cls my_classes.(real)) then
+      my_classes.(real) <- cls :: my_classes.(real)
+  in
+  let random_class () = Random.State.int rng classes in
+  (* jump-start *)
+  for layer = 1 to jumpstart do
+    for r = 0 to n - 1 do
+      for vtype = 1 to 3 do
+        assign ~real:r ~layer ~vtype ~cls:(random_class ())
+      done
+    done
+  done;
+  let memberships r = my_classes.(r) in
+  (* instrumentation: excess components, computed post-hoc per layer from
+     the same membership data (costs no rounds) *)
+  let excess () =
+    let ufs = Array.init classes (fun _ -> Union_find.create n) in
+    let member = Array.make_matrix classes n false in
+    for r = 0 to n - 1 do
+      List.iter (fun i -> member.(i).(r) <- true) my_classes.(r)
+    done;
+    Graph.iter_edges
+      (fun u v ->
+        for i = 0 to classes - 1 do
+          if member.(i).(u) && member.(i).(v) then
+            ignore (Union_find.union ufs.(i) u v)
+        done)
+      g;
+    let total = ref 0 in
+    for i = 0 to classes - 1 do
+      let roots = Hashtbl.create 16 in
+      for r = 0 to n - 1 do
+        if member.(i).(r) then
+          Hashtbl.replace roots (Union_find.find ufs.(i) r) ()
+      done;
+      if Hashtbl.length roots >= 1 then
+        total := !total + (Hashtbl.length roots - 1)
+    done;
+    !total
+  in
+  let stats_excess = ref [ (jumpstart, excess ()) ] in
+  let stats_matched = ref [] in
+  let stats_bridging = ref [] in
+  let stages = matching_stages ~n in
+  let proposal_range = max 64 (n * n) in
+
+  for new_layer = jumpstart + 1 to layers do
+    (* local random choices for type-1 and type-3 new nodes *)
+    let class1 = Array.init n (fun _ -> random_class ()) in
+    let class3 = Array.init n (fun _ -> random_class ()) in
+
+    (* B.1: component identification of old nodes *)
+    let cids = Multiflood.flood_min net ~memberships ~init:(fun r _ -> (r, r)) in
+    let cid r i =
+      match Hashtbl.find_opt cids (r, i) with Some (c, _) -> c | None -> -1
+    in
+    (* status sweep #1: members announce (class, cid) *)
+    let sweep1 =
+      Multiflood.membership_sweep net ~memberships ~payload:(fun r i ->
+          [ cid r i ])
+    in
+    (* each node's view: class -> distinct cids in closed neighborhood *)
+    let nbhd_cids r i =
+      let acc = ref [] in
+      if List.mem i my_classes.(r) then acc := [ cid r i ];
+      List.iter
+        (fun (_, j, payload) ->
+          match payload with
+          | [ c ] when j = i -> if not (List.mem c !acc) then acc := c :: !acc
+          | _ -> ())
+        sweep1.(r);
+      !acc
+    in
+
+    (* B.2a: type-1 connector declarations (one round) *)
+    let inboxes =
+      Net.broadcast_round net (fun r ->
+          let i = class1.(r) in
+          if List.length (nbhd_cids r i) >= 2 then
+            Some [| tag_connector; i |]
+          else None)
+    in
+    (* members adjacent to a declaring type-1 node mark deactivation *)
+    let deact_local = Hashtbl.create 64 in
+    for r = 0 to n - 1 do
+      List.iter
+        (fun (_, m) ->
+          if m.(0) = tag_connector then begin
+            let i = m.(1) in
+            if List.mem i my_classes.(r) then
+              Hashtbl.replace deact_local (r, i) ()
+          end)
+        inboxes.(r)
+    done;
+    (* flood the deactivation flag through each component (flag 0 wins) *)
+    let deact_table =
+      Multiflood.flood_min net ~memberships ~init:(fun r i ->
+          if Hashtbl.mem deact_local (r, i) then (0, r) else (1, r))
+    in
+    let deactivated r i =
+      match Hashtbl.find_opt deact_table (r, i) with
+      | Some (0, _) -> true
+      | _ -> false
+    in
+    (* status sweep #2: members announce (class, cid, active?) *)
+    let sweep2 =
+      Multiflood.membership_sweep net ~memberships ~payload:(fun r i ->
+          [ cid r i; (if deactivated r i then 0 else 1) ])
+    in
+    (* per node: class -> (cid, active) list seen in closed neighborhood *)
+    let view r i =
+      let acc = ref [] in
+      if List.mem i my_classes.(r) then
+        acc := [ (cid r i, not (deactivated r i)) ];
+      List.iter
+        (fun (_, j, payload) ->
+          match payload with
+          | [ c; a ] when j = i ->
+            if not (List.mem_assoc c !acc) then acc := (c, a = 1) :: !acc
+          | _ -> ())
+        sweep2.(r);
+      !acc
+    in
+
+    (* B.2b: type-3 messages (one round) *)
+    let msg3_of r =
+      let i = class3.(r) in
+      match nbhd_cids r i with
+      | [] -> None
+      | [ c ] -> Some [| tag_one; i; c |]
+      | _ :: _ :: _ -> Some [| tag_connector; i |]
+    in
+    let inboxes3 = Net.broadcast_round net (fun r -> msg3_of r) in
+    (* type-2 witness check: does r (or a neighbor) carry a type-3 message
+       of class i naming a component other than c (or "connector")? *)
+    let witnesses r =
+      (* collect all type-3 messages audible at r, own included *)
+      let own = match msg3_of r with Some m -> [ (r, m) ] | None -> [] in
+      own @ inboxes3.(r)
+    in
+
+    (* B.2c: type-2 neighbor lists *)
+    let listv =
+      Array.init n (fun r ->
+          let audible = witnesses r in
+          let witnessed i c =
+            List.exists
+              (fun (_, m) ->
+                if m.(0) = tag_connector then m.(1) = i
+                else m.(1) = i && m.(2) <> c)
+              audible
+          in
+          (* candidate components: distinct (class, cid) active around r *)
+          let acc = ref [] in
+          for i = 0 to classes - 1 do
+            List.iter
+              (fun (c, active) ->
+                if active && witnessed i c && not (List.mem (i, c) !acc) then
+                  acc := (i, c) :: !acc)
+              (view r i)
+          done;
+          !acc)
+    in
+    let bridging = Array.fold_left (fun a l -> a + List.length l) 0 listv in
+
+    (* B.3: proposal-based maximal matching, Θ(log n) stages *)
+    let class2 = Array.make n (-1) in
+    let options = Array.map (fun l -> ref l) listv in
+    (* members remember that their component got matched so it never
+       accepts a second proposal in a later stage *)
+    let matched_memberships = Hashtbl.create 64 in
+    for _stage = 1 to stages do
+      (* a. proposals *)
+      let proposal =
+        Array.init n (fun r ->
+            if class2.(r) >= 0 then None
+            else
+              match !(options.(r)) with
+              | [] -> None
+              | opts ->
+                let scored =
+                  List.map
+                    (fun (i, c) ->
+                      (Random.State.int rng proposal_range, i, c))
+                    opts
+                in
+                let best =
+                  List.fold_left
+                    (fun acc x -> if x > acc then x else acc)
+                    (List.hd scored) (List.tl scored)
+                in
+                Some best)
+      in
+      let inboxes =
+        Net.broadcast_round net (fun r ->
+            match proposal.(r) with
+            | Some (value, i, c) -> Some [| i; c; value; r |]
+            | None -> None)
+      in
+      (* b. members of still-unmatched components record the best proposal
+         addressed to their component *)
+      let best_local = Hashtbl.create 64 in
+      for r = 0 to n - 1 do
+        List.iter
+          (fun (_, m) ->
+            let i = m.(0) and c = m.(1) and value = m.(2) and who = m.(3) in
+            if
+              List.mem i my_classes.(r) && cid r i = c
+              && not (Hashtbl.mem matched_memberships (r, i))
+            then begin
+              let cur =
+                match Hashtbl.find_opt best_local (r, i) with
+                | Some p -> p
+                | None -> (-1, -1)
+              in
+              if (value, who) > cur then
+                Hashtbl.replace best_local (r, i) (value, who)
+            end)
+          inboxes.(r)
+      done;
+      (* c. component-wide maximum via min-flood on negated values *)
+      let accepted =
+        Multiflood.flood_min net ~memberships ~init:(fun r i ->
+            match Hashtbl.find_opt best_local (r, i) with
+            | Some (value, who) -> (-value, who)
+            | None -> (1, -1))
+      in
+      let accepted_of r i =
+        match Hashtbl.find_opt accepted (r, i) with
+        | Some (neg, who) when neg <= 0 && who >= 0 -> Some (-neg, who)
+        | _ -> None
+      in
+      (* d. members announce the accepted proposal and lock their
+         component; every listener drops any component it hears got
+         matched to somebody else (the paper's Listv update) *)
+      let sweep3 =
+        Multiflood.membership_sweep net ~memberships ~payload:(fun r i ->
+            match accepted_of r i with
+            | Some (value, who) -> [ cid r i; value; who ]
+            | None -> [ cid r i; -1; -1 ])
+      in
+      for r = 0 to n - 1 do
+        (* members lock their now-matched memberships *)
+        List.iter
+          (fun i ->
+            if accepted_of r i <> None then
+              Hashtbl.replace matched_memberships (r, i) ())
+          my_classes.(r);
+        List.iter
+          (fun (_, j, payload) ->
+            match payload with
+            | [ c'; value'; who ] when who >= 0 ->
+              (* did my own proposal win? *)
+              (match proposal.(r) with
+              | Some (value, i, c)
+                when j = i && c' = c && who = r && value' = value ->
+                class2.(r) <- i
+              | _ -> ());
+              (* either way, component (j, c') is taken now *)
+              options.(r) :=
+                List.filter
+                  (fun (j2, c2) -> not (j2 = j && c2 = c'))
+                  !(options.(r))
+            | _ -> ())
+          sweep3.(r)
+      done
+    done;
+    let matched = Array.fold_left (fun a c -> if c >= 0 then a + 1 else a) 0 class2 in
+    for r = 0 to n - 1 do
+      if class2.(r) < 0 then class2.(r) <- random_class ()
+    done;
+
+    (* commit the layer *)
+    for r = 0 to n - 1 do
+      assign ~real:r ~layer:new_layer ~vtype:1 ~cls:class1.(r);
+      assign ~real:r ~layer:new_layer ~vtype:2 ~cls:class2.(r);
+      assign ~real:r ~layer:new_layer ~vtype:3 ~cls:class3.(r)
+    done;
+    stats_excess := (new_layer, excess ()) :: !stats_excess;
+    stats_matched := (new_layer, matched) :: !stats_matched;
+    stats_bridging := (new_layer, bridging) :: !stats_bridging
+  done;
+
+  (* harvest (post-hoc verification, free) *)
+  let member = Array.make_matrix classes n false in
+  for r = 0 to n - 1 do
+    List.iter (fun i -> member.(i).(r) <- true) my_classes.(r)
+  done;
+  let members =
+    Array.init classes (fun i ->
+        let acc = ref [] in
+        for r = n - 1 downto 0 do
+          if member.(i).(r) then acc := r :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  let connected =
+    Array.init classes (fun i ->
+        let ms = members.(i) in
+        Array.length ms > 0
+        &&
+        let in_set v = member.(i).(v) in
+        let dist = Graphs.Traversal.distances_within g in_set ms.(0) in
+        Array.for_all (fun r -> dist.(r) >= 0) ms)
+  in
+  let dominating =
+    Array.init classes (fun i ->
+        Graphs.Domination.is_dominating g (fun v -> member.(i).(v)))
+  in
+  {
+    Cds_packing.vg;
+    classes;
+    class_of;
+    members;
+    connected;
+    dominating;
+    stats =
+      {
+        Cds_packing.excess_after_layer = List.rev !stats_excess;
+        matched_per_layer = List.rev !stats_matched;
+        bridging_edges_per_layer = List.rev !stats_bridging;
+      };
+  }
+
+let extract_trees net (result : Cds_packing.t) =
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let valid = Cds_packing.valid_classes result in
+  let member = Array.make_matrix result.Cds_packing.classes n false in
+  Array.iteri
+    (fun i ms -> Array.iter (fun r -> member.(i).(r) <- true) ms)
+    result.Cds_packing.members;
+  let trees =
+    List.map
+      (fun cls ->
+        let active v = member.(cls).(v) in
+        let edges =
+          Congest.Dist_mst.minimum_spanning_forest_on net ~active
+            ~edge_active:(fun u v -> active u && active v)
+            ~weight:(fun _ _ -> 0)
+        in
+        {
+          Packing.cls;
+          vertices = result.Cds_packing.members.(cls);
+          edges;
+        })
+      valid
+  in
+  let mult =
+    let counts = Array.make n 0 in
+    List.iter
+      (fun tr ->
+        Array.iter (fun v -> counts.(v) <- counts.(v) + 1) tr.Packing.vertices)
+      trees;
+    Array.fold_left max 1 counts
+  in
+  let w = 1. /. float_of_int mult in
+  { Packing.graph = g; trees; weights = List.map (fun _ -> w) trees }
+
+let pack ?seed net ~k =
+  let n = Net.n net in
+  run ?seed net
+    ~classes:(Cds_packing.default_classes ~k)
+    ~layers:(Cds_packing.default_layers ~n)

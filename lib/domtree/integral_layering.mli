@@ -1,0 +1,22 @@
+(** Integral dominating-tree packing by random layering (§1.2,
+    "Integral Tree Packings"; the technique of [CGK SODA'14, Thm 1.2]).
+
+    Vertices are partitioned into L = Θ(log n) random layers; inside
+    each layer we look for a connected dominating set of the {e whole}
+    graph using only that layer's vertices (possible w.h.p. when the
+    sampled connectivity κ is Ω(L·log n)). Layers are disjoint, so the
+    resulting dominating trees are vertex-disjoint — an integral packing
+    of size Ω(κ / log² n). *)
+
+type result = {
+  packing : Packing.t;  (** vertex-disjoint trees, each weight 1 *)
+  layers : int;
+  successes : int;  (** layers that yielded a CDS *)
+}
+
+(** [run ?seed g ~layers] attempts one CDS per layer. More layers means
+    more potential trees but thinner layers (the κ/log² n trade-off). *)
+val run : ?seed:int -> Graphs.Graph.t -> layers:int -> result
+
+(** [default_layers ~n] = Θ(log n). *)
+val default_layers : n:int -> int

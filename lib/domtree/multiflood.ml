@@ -1,0 +1,76 @@
+module Net = Congest.Net
+
+let max_slots n memberships =
+  let best = ref 0 in
+  for r = 0 to n - 1 do
+    let l = List.length (memberships r) in
+    if l > !best then best := l
+  done;
+  !best
+
+let flood_min net ~memberships ~init =
+  let n = Net.n net in
+  let table = Hashtbl.create (4 * n) in
+  for r = 0 to n - 1 do
+    List.iter (fun i -> Hashtbl.replace table (r, i) (init r i)) (memberships r)
+  done;
+  let slots = max_slots n memberships in
+  let member_lists = Array.init n (fun r -> Array.of_list (memberships r)) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for s = 0 to slots - 1 do
+      let inboxes =
+        Net.broadcast_round net (fun r ->
+            if s < Array.length member_lists.(r) then begin
+              let i = member_lists.(r).(s) in
+              let v, tb = Hashtbl.find table (r, i) in
+              Some [| i; v; tb |]
+            end
+            else None)
+      in
+      for r = 0 to n - 1 do
+        List.iter
+          (fun (_, m) ->
+            let i = m.(0) in
+            match Hashtbl.find_opt table (r, i) with
+            | None -> ()
+            | Some cur ->
+              let pair = (m.(1), m.(2)) in
+              if pair < cur then begin
+                Hashtbl.replace table (r, i) pair;
+                changed := true
+              end)
+          inboxes.(r)
+      done
+    done;
+    (* same-real virtual adjacency: all of a node's memberships in the
+       same class share the same entry here, so nothing further to do *)
+    ()
+  done;
+  table
+
+let membership_sweep net ~memberships ~payload =
+  let n = Net.n net in
+  let slots = max_slots n memberships in
+  let member_lists = Array.init n (fun r -> Array.of_list (memberships r)) in
+  let received = Array.make n [] in
+  for s = 0 to slots - 1 do
+    let inboxes =
+      Net.broadcast_round net (fun r ->
+          if s < Array.length member_lists.(r) then begin
+            let i = member_lists.(r).(s) in
+            Some (Array.of_list (i :: payload r i))
+          end
+          else None)
+    in
+    for r = 0 to n - 1 do
+      List.iter
+        (fun (sender, m) ->
+          let i = m.(0) in
+          let rest = Array.to_list (Array.sub m 1 (Array.length m - 1)) in
+          received.(r) <- (sender, i, rest) :: received.(r))
+        inboxes.(r)
+    done
+  done;
+  received

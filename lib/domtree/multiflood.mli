@@ -1,0 +1,35 @@
+(** Simulation of per-class flooding on the virtual graph (§3.1).
+
+    Every real node holds one value per class membership; one virtual
+    round is simulated by [max memberships] base-graph rounds (the
+    meta-round of §3.1), in which each real node broadcasts one
+    (class, value, tiebreak) triple per membership slot. Values flow
+    only along intra-class virtual edges, i.e. between same-class
+    memberships of adjacent (or identical) real nodes. *)
+
+(** [flood_min net ~memberships ~init] floods minimum (value, tiebreak)
+    pairs within every class-component simultaneously; returns the fixed
+    point: [(real, class) -> (value, tiebreak)]. Termination is detected
+    by the simulator (one quiescent sweep is charged).
+
+    Instantiations used in this repository:
+    - component identification: [init r i = (r, r)] gives every
+      membership the minimum real id of its class-component;
+    - flag dissemination: [init r i = (flag, r)] with flag ∈ {0,1}
+      spreads a 0 flag to the whole component;
+    - maximum aggregation: negate values at the call site. *)
+val flood_min :
+  Congest.Net.t ->
+  memberships:(int -> int list) ->
+  init:(int -> int -> int * int) ->
+  (int * int, int * int) Hashtbl.t
+
+(** [membership_sweep net ~memberships ~payload] performs one meta-round
+    in which every real node broadcasts [payload r cls] (a short word
+    list, to which the class is prepended) once per membership; returns
+    for every node the list of [(sender, class, payload)] it received. *)
+val membership_sweep :
+  Congest.Net.t ->
+  memberships:(int -> int list) ->
+  payload:(int -> int -> int list) ->
+  (int * int * int list) list array

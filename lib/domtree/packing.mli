@@ -1,0 +1,68 @@
+(** Fractional dominating-tree packings: the §2 object produced by the
+    algorithms, plus its validity checker.
+
+    A packing is a collection of dominating trees, each with a weight in
+    [0,1], such that for every vertex the weights of the trees containing
+    it sum to at most 1. Its size is the total weight. *)
+
+type tree = {
+  cls : int;  (** originating class id *)
+  vertices : int array;  (** sorted distinct vertices *)
+  edges : (int * int) list;  (** tree edges, (u,v) with u < v *)
+}
+
+type t = {
+  graph : Graphs.Graph.t;
+  trees : tree list;
+  weights : float list;  (** same length/order as [trees] *)
+}
+
+(** Total weight Σ x_τ — the packing size κ. *)
+val size : t -> float
+
+(** Number of trees. *)
+val count : t -> int
+
+(** [node_load p v] is Σ of weights of trees containing [v]. *)
+val node_load : t -> int -> float
+
+(** [max_node_load p] over all vertices. *)
+val max_node_load : t -> float
+
+(** [max_multiplicity p] is the maximum number of trees sharing one
+    vertex (the O(log n) bound of Theorems 1.1/1.2). *)
+val max_multiplicity : t -> int
+
+(** [tree_diameter p tree] is the diameter of the tree subgraph. *)
+val tree_diameter : t -> tree -> int
+
+(** [max_tree_diameter p] over all trees (0 when empty). *)
+val max_tree_diameter : t -> int
+
+type violation =
+  | Not_a_tree of int  (** class id *)
+  | Not_dominating of int
+  | Edge_outside_graph of int
+  | Overloaded_vertex of int * float  (** vertex, load *)
+  | Bad_weight of int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [verify p] lists all violations; a valid fractional dominating-tree
+    packing yields []. *)
+val verify : t -> violation list
+
+val is_valid : t -> bool
+
+(** {1 Serialization}
+
+    Text format: one [tree <cls> <weight>] header per tree, then a
+    [v ...] vertex line and one [e u v] line per edge; [#] comments and
+    blanks ignored. The graph itself is not stored — loading takes it as
+    an argument and re-verification is the caller's business. *)
+
+val save : string -> t -> unit
+(** ["-"] = stdout. *)
+
+val load : string -> graph:Graphs.Graph.t -> t
+(** ["-"] = stdin. @raise Failure on malformed input. *)

@@ -1,0 +1,191 @@
+module Graph = Graphs.Graph
+module Net = Congest.Net
+
+type outcome = {
+  pass : bool;
+  domination_ok : bool;
+  connectivity_ok : bool;
+  detection_round : int option;
+}
+
+let default_detection_rounds ~n =
+  max 8 (4 * int_of_float (ceil (log (float_of_int (max 2 n)) /. log 2.)))
+
+(* ------------------------------------------------------------------ *)
+(* Distributed tester *)
+
+let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
+  let n = Net.n net in
+  let rng = Random.State.make [| seed; n; classes |] in
+  (* 0. the standard O(D) preprocessing gives a diameter bound for the
+        failure-flag floods *)
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let d_bound = max 1 (2 * tree.Congest.Primitives.height) in
+  (* 1. domination: every class must appear in every closed neighborhood *)
+  let received = Multiflood.membership_sweep net ~memberships ~payload:(fun _ _ -> []) in
+  let domination_ok = ref true in
+  for r = 0 to n - 1 do
+    let seen = Array.make classes false in
+    List.iter (fun i -> seen.(i) <- true) (memberships r);
+    List.iter (fun (_, i, _) -> seen.(i) <- true) received.(r);
+    if not (Array.for_all (fun b -> b) seen) then domination_ok := false
+  done;
+  if not !domination_ok then begin
+    (* 'domination-failure' flood: Θ(D) rounds *)
+    let _ =
+      Congest.Primitives.flood_min net ~value:(fun r -> r) ~rounds:d_bound
+    in
+    {
+      pass = false;
+      domination_ok = false;
+      connectivity_ok = true;
+      detection_round = None;
+    }
+  end
+  else begin
+    (* 2. per-class component identification *)
+    let cids =
+      Multiflood.flood_min net ~memberships ~init:(fun r _ -> (r, r))
+    in
+    let cid r i =
+      match Hashtbl.find_opt cids (r, i) with
+      | Some (c, _) -> c
+      | None -> -1
+    in
+    (* 3. status sweep: members announce (class, cid); everyone records
+          the first id heard per class and watches for conflicts *)
+    let heard = Array.init n (fun _ -> Hashtbl.create 8) in
+    let detection = ref None in
+    let detect_at round = if !detection = None then detection := Some round in
+    let note r round i c =
+      (* own membership id counts as heard *)
+      match Hashtbl.find_opt heard.(r) i with
+      | None -> Hashtbl.replace heard.(r) i c
+      | Some c' -> if c' <> c then detect_at round
+    in
+    for r = 0 to n - 1 do
+      List.iter (fun i -> note r 0 i (cid r i)) (memberships r)
+    done;
+    let received =
+      Multiflood.membership_sweep net ~memberships ~payload:(fun r i ->
+          [ cid r i ])
+    in
+    for r = 0 to n - 1 do
+      List.iter
+        (fun (_, i, payload) ->
+          match payload with [ c ] -> note r 0 i c | _ -> ())
+        received.(r)
+    done;
+    (* 4. random announcement rounds (Lemma E.1's detector-path process) *)
+    for round = 1 to detection_rounds do
+      let choice =
+        Array.init n (fun r ->
+            let ks =
+              Hashtbl.fold (fun i c acc -> (i, c) :: acc) heard.(r) []
+            in
+            match ks with
+            | [] -> None
+            | _ -> Some (List.nth ks (Random.State.int rng (List.length ks))))
+      in
+      let inboxes =
+        Net.broadcast_round net (fun r ->
+            match choice.(r) with
+            | Some (i, c) -> Some [| i; c |]
+            | None -> None)
+      in
+      for r = 0 to n - 1 do
+        List.iter (fun (_, m) -> note r round m.(0) m.(1)) inboxes.(r)
+      done
+    done;
+    (* 5. failure-flag flood: Θ(D) rounds *)
+    let flag r = if !detection <> None && r = 0 then 0 else 1 in
+    ignore (Congest.Primitives.flood_min net ~value:flag ~rounds:d_bound);
+    let connectivity_ok = !detection = None in
+    {
+      pass = connectivity_ok;
+      domination_ok = true;
+      connectivity_ok;
+      detection_round = !detection;
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Centralized tester: same process without the message-passing layer *)
+
+let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed; n; classes |] in
+  let member = Array.make_matrix classes n false in
+  for r = 0 to n - 1 do
+    List.iter (fun i -> member.(i).(r) <- true) (memberships r)
+  done;
+  (* domination *)
+  let domination_ok = ref true in
+  for r = 0 to n - 1 do
+    for i = 0 to classes - 1 do
+      let covered =
+        member.(i).(r)
+        || Array.exists (fun u -> member.(i).(u)) (Graph.neighbors g r)
+      in
+      if not covered then domination_ok := false
+    done
+  done;
+  if not !domination_ok then
+    {
+      pass = false;
+      domination_ok = false;
+      connectivity_ok = true;
+      detection_round = None;
+    }
+  else begin
+    (* component ids per class via union-find *)
+    let ufs = Array.init classes (fun _ -> Graphs.Union_find.create n) in
+    Graph.iter_edges
+      (fun u v ->
+        for i = 0 to classes - 1 do
+          if member.(i).(u) && member.(i).(v) then
+            ignore (Graphs.Union_find.union ufs.(i) u v)
+        done)
+      g;
+    let cid r i = Graphs.Union_find.find ufs.(i) r in
+    let heard = Array.init n (fun _ -> Hashtbl.create 8) in
+    let detection = ref None in
+    let detect_at round = if !detection = None then detection := Some round in
+    let note r round i c =
+      match Hashtbl.find_opt heard.(r) i with
+      | None -> Hashtbl.replace heard.(r) i c
+      | Some c' -> if c' <> c then detect_at round
+    in
+    for r = 0 to n - 1 do
+      List.iter (fun i -> note r 0 i (cid r i)) (memberships r);
+      Array.iter
+        (fun u -> List.iter (fun i -> note r 0 i (cid u i)) (memberships u))
+        (Graph.neighbors g r)
+    done;
+    for round = 1 to detection_rounds do
+      let choice =
+        Array.init n (fun r ->
+            let ks =
+              Hashtbl.fold (fun i c acc -> (i, c) :: acc) heard.(r) []
+            in
+            match ks with
+            | [] -> None
+            | _ -> Some (List.nth ks (Random.State.int rng (List.length ks))))
+      in
+      for r = 0 to n - 1 do
+        Array.iter
+          (fun u ->
+            match choice.(u) with
+            | Some (i, c) -> note r round i c
+            | None -> ())
+          (Graph.neighbors g r)
+      done
+    done;
+    let connectivity_ok = !detection = None in
+    {
+      pass = connectivity_ok;
+      domination_ok = true;
+      connectivity_ok;
+      detection_round = !detection;
+    }
+  end

@@ -1,0 +1,50 @@
+(** The Appendix E randomized CDS-partition tester (Lemma E.1).
+
+    Given per-node class memberships (a partition of the virtual nodes,
+    seen from the base graph as each real node holding O(log n)
+    memberships), the tester checks that every class is a connected
+    dominating set:
+
+    - {b domination test} (exact): every node must see every class in
+      its closed neighborhood;
+    - {b connectivity test} (randomized): identify per-class component
+      ids, then run Θ(log n) rounds in which each node announces the
+      component id of a random class; two different ids for one class
+      meeting at a node is a {e disconnect detection}. Lemma E.1: if any
+      class is disconnected, detection happens w.h.p.
+
+    A passing test is always sound for domination and sound w.h.p. for
+    connectivity; a valid partition always passes. *)
+
+type outcome = {
+  pass : bool;
+  domination_ok : bool;
+  connectivity_ok : bool;
+  detection_round : int option;
+      (** first random round at which a disconnect was detected *)
+}
+
+(** [run_distributed ?seed net ~memberships ~classes ~detection_rounds]
+    executes the test over the CONGEST runtime (rounds are charged,
+    including the final Θ(D) failure-flag flood). *)
+val run_distributed :
+  ?seed:int ->
+  Congest.Net.t ->
+  memberships:(int -> int list) ->
+  classes:int ->
+  detection_rounds:int ->
+  outcome
+
+(** [run_centralized ?seed g ~memberships ~classes ~detection_rounds] is
+    the O(m log n)-step centralized counterpart simulating the same
+    random process. *)
+val run_centralized :
+  ?seed:int ->
+  Graphs.Graph.t ->
+  memberships:(int -> int list) ->
+  classes:int ->
+  detection_rounds:int ->
+  outcome
+
+(** [default_detection_rounds ~n] = Θ(log n). *)
+val default_detection_rounds : n:int -> int

@@ -1,0 +1,79 @@
+module Graph = Graphs.Graph
+
+let spanning_tree_of_members g members =
+  (* BFS tree of the induced subgraph; members must induce a connected
+     subgraph *)
+  let in_set = Hashtbl.create (Array.length members) in
+  Array.iter (fun v -> Hashtbl.replace in_set v ()) members;
+  let member v = Hashtbl.mem in_set v in
+  let dist = Graphs.Traversal.distances_within g member members.(0) in
+  let edges = ref [] in
+  Array.iter
+    (fun v ->
+      if v <> members.(0) then begin
+        (* connect v to any already-closer member neighbor *)
+        let parent = ref (-1) in
+        Array.iter
+          (fun u -> if member u && dist.(u) = dist.(v) - 1 && !parent < 0 then parent := u)
+          (Graph.neighbors g v);
+        if !parent >= 0 then
+          edges := (min v !parent, max v !parent) :: !edges
+      end)
+    members;
+  List.sort compare !edges
+
+let of_cds_packing (result : Cds_packing.t) =
+  let g = Virtual_graph.base result.Cds_packing.vg in
+  let valid = Cds_packing.valid_classes result in
+  let trees =
+    List.map
+      (fun cls ->
+        let members = result.Cds_packing.members.(cls) in
+        {
+          Packing.cls;
+          vertices = members;
+          edges = spanning_tree_of_members g members;
+        })
+      valid
+  in
+  let mult =
+    let n = Graph.n g in
+    let counts = Array.make n 0 in
+    List.iter
+      (fun tr ->
+        Array.iter
+          (fun v -> counts.(v) <- counts.(v) + 1)
+          tr.Packing.vertices)
+      trees;
+    Array.fold_left max 1 counts
+  in
+  let w = 1. /. float_of_int mult in
+  {
+    Packing.graph = g;
+    trees;
+    weights = List.map (fun _ -> w) trees;
+  }
+
+let fractional_size result =
+  let p = of_cds_packing result in
+  Packing.size p
+
+let integral_subpacking (p : Packing.t) =
+  let n = Graph.n p.Packing.graph in
+  let used = Array.make n false in
+  let chosen =
+    List.filter
+      (fun tr ->
+        let free =
+          Array.for_all (fun v -> not used.(v)) tr.Packing.vertices
+        in
+        if free then
+          Array.iter (fun v -> used.(v) <- true) tr.Packing.vertices;
+        free)
+      p.Packing.trees
+  in
+  {
+    Packing.graph = p.Packing.graph;
+    trees = chosen;
+    weights = List.map (fun _ -> 1.) chosen;
+  }

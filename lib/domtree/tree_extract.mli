@@ -1,0 +1,20 @@
+(** CDS → dominating trees (§3.1, last step): strip each valid class to a
+    spanning tree of its induced subgraph and weight the collection into
+    a fractional dominating-tree packing. *)
+
+(** [of_cds_packing result] keeps the classes that are genuine CDSs,
+    spans each with a tree (the paper's 0/1-weight MST step; we span each
+    class with a BFS tree of its induced subgraph, which is also a
+    0-weight-only spanning tree), and assigns every tree the uniform
+    weight 1/μ where μ is the maximum number of classes sharing a
+    vertex. The result is always a valid fractional packing. *)
+val of_cds_packing : Cds_packing.t -> Packing.t
+
+(** [fractional_size result] is the packing size [of_cds_packing] will
+    achieve: (number of valid classes) / μ. *)
+val fractional_size : Cds_packing.t -> float
+
+(** [integral_subpacking p] greedily selects pairwise vertex-disjoint
+    trees from a fractional packing (first-fit) — the simple route to an
+    integral dominating-tree packing used for E12. *)
+val integral_subpacking : Packing.t -> Packing.t

@@ -1,0 +1,70 @@
+module Graph = Graphs.Graph
+
+type result = {
+  estimate : int;
+  accepted_guess : int;
+  attempts : int;
+  packing : Packing.t;
+}
+
+let guesses n =
+  (* n/2, n/4, ..., down to 1 *)
+  let rec go acc g = if g < 1 then List.rev acc else go (g :: acc) (g / 2) in
+  go [] (max 1 (n / 2))
+
+let finish ~attempts ~guess res =
+  let packing = Tree_extract.of_cds_packing res in
+  {
+    estimate = max 1 (Packing.count packing);
+    accepted_guess = guess;
+    attempts;
+    packing;
+  }
+
+let centralized ?(seed = 42) g =
+  if Graph.n g < 2 then invalid_arg "Vc_approx.centralized: trivial graph";
+  let n = Graph.n g in
+  let detection_rounds = Tester.default_detection_rounds ~n in
+  let rec try_guess attempts = function
+    | [] -> assert false (* guess 1 always yields classes = 1 *)
+    | guess :: rest ->
+      let res = Cds_packing.pack ~seed:(seed + attempts) g ~k:guess in
+      let memberships =
+        let per_real = Cds_packing.real_classes res in
+        fun r -> per_real.(r)
+      in
+      let t =
+        Tester.run_centralized ~seed:(seed + attempts) g ~memberships
+          ~classes:res.Cds_packing.classes ~detection_rounds
+      in
+      if t.Tester.pass || rest = [] then finish ~attempts:(attempts + 1) ~guess res
+      else try_guess (attempts + 1) rest
+  in
+  try_guess 0 (guesses n)
+
+let distributed ?(seed = 42) net =
+  let g = Congest.Net.graph net in
+  if Graph.n g < 2 then invalid_arg "Vc_approx.distributed: trivial graph";
+  let n = Graph.n g in
+  let detection_rounds = Tester.default_detection_rounds ~n in
+  let rec try_guess attempts = function
+    | [] -> assert false
+    | guess :: rest ->
+      let res = Dist_packing.pack ~seed:(seed + attempts) net ~k:guess in
+      let memberships =
+        let per_real = Cds_packing.real_classes res in
+        fun r -> per_real.(r)
+      in
+      let t =
+        Tester.run_distributed ~seed:(seed + attempts) net ~memberships
+          ~classes:res.Cds_packing.classes ~detection_rounds
+      in
+      if t.Tester.pass || rest = [] then finish ~attempts:(attempts + 1) ~guess res
+      else try_guess (attempts + 1) rest
+  in
+  try_guess 0 (guesses n)
+
+let approximation_ratio ~truth result =
+  let k = float_of_int (max 1 truth) in
+  let kh = float_of_int (max 1 result.estimate) in
+  Float.max (k /. kh) (kh /. k)

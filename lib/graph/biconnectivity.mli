@@ -1,0 +1,21 @@
+(** Articulation points, bridges and biconnected components (Hopcroft–
+    Tarjan lowpoint DFS) — the companion problems of Thurimella's
+    sublinear certificates paper [49], and useful predicates around
+    small vertex connectivity (k = 1 iff an articulation point exists;
+    λ = 1 iff a bridge exists, on connected graphs). *)
+
+(** [articulation_points g] lists the cut vertices, sorted. *)
+val articulation_points : Graph.t -> int list
+
+(** [bridges g] lists the cut edges as canonical pairs, sorted. *)
+val bridges : Graph.t -> (int * int) list
+
+(** [biconnected_components g] partitions the edges into biconnected
+    components (each an edge list); isolated vertices contribute
+    nothing. *)
+val biconnected_components : Graph.t -> (int * int) list list
+
+(** [is_biconnected g] holds iff [g] is connected, has at least 3
+    vertices, and has no articulation point (equivalently, vertex
+    connectivity >= 2). *)
+val is_biconnected : Graph.t -> bool

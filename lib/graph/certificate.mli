@@ -1,0 +1,31 @@
+(** Sparse connectivity certificates (Nagamochi–Ibaraki / Thurimella
+    [49]): a subgraph with at most k·(n−1) edges preserving all cuts up
+    to value k.
+
+    [forest_decomposition g ~k] computes F₁, …, F_k by scan-first
+    search: F_i is a spanning forest of G \ (F₁ ∪ … ∪ F_{i−1}). Their
+    union is a k-certificate for edge connectivity:
+    - every edge cut of value ≤ k in G keeps its value, so
+      min(λ(G), k) = min(λ(certificate), k);
+    - in particular the certificate stays λ-edge-connected whenever
+      λ(G) ≥ λ and λ ≤ k.
+    (The Nagamochi–Ibaraki scan-first-search ordering would additionally
+    preserve vertex connectivity; the arbitrary-order forests here
+    certify edge cuts only.)
+
+    These certificates are what make the distributed component/MST
+    machinery of [49] sublinear; here they serve as a substrate and as a
+    preprocessing accelerator for the exact connectivity baselines. *)
+
+(** [forest_decomposition g ~k] is the list of the k forests, each a
+    canonical edge list. Forests are edge-disjoint; the i-th is a
+    spanning forest of what the earlier ones left. *)
+val forest_decomposition : Graph.t -> k:int -> (int * int) list list
+
+(** [sparse_certificate g ~k] is the union subgraph (≤ k(n−1) edges). *)
+val sparse_certificate : Graph.t -> k:int -> Graph.t
+
+(** [certifies_edge_connectivity g ~k] checks the defining property on
+    [g] (exact; intended for tests / small graphs): min(λ(G), k) =
+    min(λ(cert), k). *)
+val certifies_edge_connectivity : Graph.t -> k:int -> bool

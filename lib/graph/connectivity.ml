@@ -1,0 +1,208 @@
+(* Stoer–Wagner global minimum cut on the unit-weighted graph. The
+   classic O(n^3) array implementation: repeatedly run maximum-adjacency
+   search, record the cut-of-the-phase, merge the last two vertices. *)
+let stoer_wagner g =
+  let n = Graph.n g in
+  if n < 2 then (max_int, Array.make n true)
+  else begin
+    let w = Array.make_matrix n n 0 in
+    Graph.iter_edges
+      (fun u v ->
+        w.(u).(v) <- 1;
+        w.(v).(u) <- 1)
+      g;
+    (* merged.(v) lists the original vertices currently contracted into v *)
+    let merged = Array.init n (fun v -> [ v ]) in
+    let active = Array.make n true in
+    let best_cut = ref max_int in
+    let best_side = ref [] in
+    let remaining = ref n in
+    while !remaining > 1 do
+      (* maximum adjacency search *)
+      let in_a = Array.make n false in
+      let conn = Array.make n 0 in
+      let prev = ref (-1) in
+      let last = ref (-1) in
+      for _ = 1 to !remaining do
+        let sel = ref (-1) in
+        for v = 0 to n - 1 do
+          if active.(v) && not in_a.(v) && (!sel < 0 || conn.(v) > conn.(!sel))
+          then sel := v
+        done;
+        let s = !sel in
+        in_a.(s) <- true;
+        prev := !last;
+        last := s;
+        for v = 0 to n - 1 do
+          if active.(v) && not in_a.(v) then conn.(v) <- conn.(v) + w.(s).(v)
+        done
+      done;
+      let s = !last and t = !prev in
+      (* cut of the phase: ({s-as-merged}, rest) with weight conn-at-add *)
+      let cut_weight =
+        let total = ref 0 in
+        for v = 0 to n - 1 do
+          if active.(v) && v <> s then total := !total + w.(s).(v)
+        done;
+        !total
+      in
+      if cut_weight < !best_cut then begin
+        best_cut := cut_weight;
+        best_side := merged.(s)
+      end;
+      (* contract s into t *)
+      for v = 0 to n - 1 do
+        if active.(v) && v <> s && v <> t then begin
+          w.(t).(v) <- w.(t).(v) + w.(s).(v);
+          w.(v).(t) <- w.(t).(v)
+        end
+      done;
+      merged.(t) <- merged.(s) @ merged.(t);
+      active.(s) <- false;
+      decr remaining
+    done;
+    let side = Array.make n false in
+    List.iter (fun v -> side.(v) <- true) !best_side;
+    (!best_cut, side)
+  end
+
+let min_edge_cut g =
+  if Graph.n g >= 2 && not (Traversal.is_connected g) then begin
+    (* report a connected component as one shore *)
+    let _, label = Traversal.components g in
+    (0, Array.map (fun l -> l = 0) label)
+  end
+  else stoer_wagner g
+
+let edge_connectivity g = fst (min_edge_cut g)
+
+let edge_connectivity_sparsified g =
+  if Graph.n g < 2 then max_int
+  else begin
+    (* lambda <= min degree, so a (min degree + 1)-certificate preserves
+       the exact value *)
+    let k = min (Graph.n g - 1) (Graph.min_degree g + 1) in
+    edge_connectivity (Certificate.sparse_certificate g ~k:(max 1 k))
+  end
+
+let is_complete g =
+  let n = Graph.n g in
+  Graph.m g = n * (n - 1) / 2
+
+(* Candidate sources for Even's scheme: a minimum-degree vertex and its
+   neighborhood. At least one of these deg+1 vertices avoids any minimum
+   vertex cut (its size is at most the minimum degree), and from a vertex
+   outside the cut some non-adjacent vertex lies across the cut. *)
+let candidate_sources g =
+  let n = Graph.n g in
+  let v0 = ref 0 in
+  for v = 1 to n - 1 do
+    if Graph.degree g v < Graph.degree g !v0 then v0 := v
+  done;
+  !v0 :: Array.to_list (Graph.neighbors g !v0)
+
+let vertex_connectivity_with_witness g =
+  let n = Graph.n g in
+  if n <= 1 then (max 0 (n - 1), None)
+  else if not (Traversal.is_connected g) then (0, None)
+  else if is_complete g then (n - 1, None)
+  else begin
+    let best = ref (n - 1) in
+    let best_pair = ref None in
+    let consider x u =
+      if x <> u && not (Graph.mem_edge g x u) then begin
+        let f = Maxflow.vertex_connectivity_pair g x u in
+        if f < !best then begin
+          best := f;
+          best_pair := Some (x, u)
+        end
+      end
+    in
+    List.iter (fun x -> for u = 0 to n - 1 do consider x u done)
+      (candidate_sources g);
+    match !best_pair with
+    | None ->
+      (* no non-adjacent pair seen from candidates: fall back to scanning
+         all non-adjacent pairs (tiny graphs only) *)
+      for x = 0 to n - 1 do
+        for u = x + 1 to n - 1 do
+          consider x u
+        done
+      done;
+      (!best, !best_pair)
+    | Some _ -> (!best, !best_pair)
+  end
+
+let vertex_connectivity g = fst (vertex_connectivity_with_witness g)
+
+let min_vertex_cut g =
+  match vertex_connectivity_with_witness g with
+  | _, None -> None
+  | _, Some (x, u) ->
+    (* Re-solve the split network and read the vertices whose internal arc
+       crosses the minimum cut. *)
+    let n = Graph.n g in
+    let inf = (Graph.m g * 2) + n + 1 in
+    let net = Maxflow.create (2 * n) in
+    for y = 0 to n - 1 do
+      let cap = if y = x || y = u then inf else 1 in
+      Maxflow.add_edge net (2 * y) ((2 * y) + 1) cap
+    done;
+    Graph.iter_edges
+      (fun a b ->
+        Maxflow.add_edge net ((2 * a) + 1) (2 * b) inf;
+        Maxflow.add_edge net ((2 * b) + 1) (2 * a) inf)
+      g;
+    let _ = Maxflow.max_flow net ~src:((2 * x) + 1) ~sink:(2 * u) in
+    let side = Maxflow.min_cut_side net ~src:((2 * x) + 1) in
+    let cut = ref [] in
+    for y = n - 1 downto 0 do
+      if side.(2 * y) && not side.((2 * y) + 1) then cut := y :: !cut
+    done;
+    Some !cut
+
+let is_k_vertex_connected g k =
+  let n = Graph.n g in
+  if k <= 0 then true
+  else if n <= k then false
+  else if not (Traversal.is_connected g) then false
+  else if is_complete g then n - 1 >= k
+  else begin
+    let ok = ref true in
+    let consider x u =
+      if !ok && x <> u && not (Graph.mem_edge g x u) then
+        if Maxflow.vertex_connectivity_pair g x u < k then ok := false
+    in
+    List.iter (fun x -> for u = 0 to n - 1 do consider x u done)
+      (candidate_sources g);
+    !ok
+  end
+
+let menger_vertex_paths g u v = Maxflow.vertex_disjoint_paths g u v
+
+let all_min_vertex_cuts g =
+  let n = Graph.n g in
+  if n > 26 then invalid_arg "Connectivity.all_min_vertex_cuts: too large";
+  if n <= 1 || (not (Traversal.is_connected g)) || is_complete g then []
+  else begin
+    let k = vertex_connectivity g in
+    (* enumerate k-subsets and keep the separators *)
+    let cuts = ref [] in
+    let subset = Array.make k 0 in
+    let rec choose start depth =
+      if depth = k then begin
+        let member = Array.make n false in
+        Array.iter (fun v -> member.(v) <- true) subset;
+        let sub, _ = Graph.induced g (fun v -> not member.(v)) in
+        if Graph.n sub > 0 && not (Traversal.is_connected sub) then
+          cuts := Array.to_list (Array.copy subset) :: !cuts
+      end
+      else
+        for v = start to n - 1 do
+          subset.(depth) <- v;
+          choose (v + 1) (depth + 1)
+        done
+    in
+    choose 0 0;
+    List.sort compare !cuts
+  end

@@ -1,0 +1,36 @@
+(** Dominating sets, connected dominating sets and related predicates. *)
+
+(** [is_dominating g member] holds iff every vertex of [g] is in the set
+    or has a neighbor in it. *)
+val is_dominating : Graph.t -> (int -> bool) -> bool
+
+(** [is_connected_dominating g member] holds iff the set is dominating
+    and induces a connected non-empty subgraph. *)
+val is_connected_dominating : Graph.t -> (int -> bool) -> bool
+
+(** [is_dominating_tree g vs es] checks that the subgraph [(vs, es)] is a
+    tree, uses only edges of [g] between listed vertices, and [vs]
+    dominates [g]. *)
+val is_dominating_tree : Graph.t -> int list -> (int * int) list -> bool
+
+(** [undominated g member] lists the vertices violating domination. *)
+val undominated : Graph.t -> (int -> bool) -> int list
+
+(** [greedy_cds g] is a (suboptimal, baseline) connected dominating set:
+    greedy max-coverage seeding followed by BFS-path stitching.
+    @raise Invalid_argument on a disconnected graph. *)
+val greedy_cds : Graph.t -> int list
+
+(** [minimum_cds_size g] is the exact minimum CDS size by subset
+    enumeration (exponential; intended for tiny test graphs, n <= ~20).
+    @raise Invalid_argument on disconnected or empty graphs. *)
+val minimum_cds_size : Graph.t -> int
+
+(** [greedy_cds_within g ~allowed] is a connected dominating set of the
+    whole graph [g] whose members are restricted to the [allowed]
+    vertices: the set dominates every vertex of [g] and induces a
+    connected subgraph of [g]. Returns [None] when no such set exists
+    within [allowed] (some vertex has no allowed closed neighbor, or
+    the allowed seeds cannot be stitched inside [allowed]). Used by the
+    random-layering integral dominating-tree packing. *)
+val greedy_cds_within : Graph.t -> allowed:(int -> bool) -> int list option

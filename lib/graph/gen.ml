@@ -1,0 +1,232 @@
+let clique n =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let cycle n =
+  if n < 3 then invalid_arg "Gen.cycle: need n >= 3";
+  Graph.of_edges ~n (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  Graph.of_edges ~n (List.init (max 0 (n - 1)) (fun i -> (i, i + 1)))
+
+let grid rows cols =
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then es := (id r c, id r (c + 1)) :: !es;
+      if r + 1 < rows then es := (id r c, id (r + 1) c) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !es
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Gen.torus: need sides >= 3";
+  let id r c = (r * cols) + c in
+  let es = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      es := (id r c, id r ((c + 1) mod cols)) :: !es;
+      es := (id r c, id ((r + 1) mod rows) c) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(rows * cols) !es
+
+let hypercube d =
+  if d < 0 || d > 20 then invalid_arg "Gen.hypercube: dimension out of range";
+  let n = 1 lsl d in
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for b = 0 to d - 1 do
+      let v = u lxor (1 lsl b) in
+      if u < v then es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let complete_bipartite a b =
+  let es = ref [] in
+  for u = 0 to a - 1 do
+    for v = a to a + b - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n:(a + b) !es
+
+let harary ~k ~n =
+  if k < 1 || k >= n then invalid_arg "Gen.harary: need 1 <= k < n";
+  let es = ref [] in
+  let add u v = if u <> v then es := (u mod n, v mod n) :: !es in
+  let r = k / 2 in
+  for i = 0 to n - 1 do
+    for off = 1 to r do
+      add i (i + off)
+    done
+  done;
+  if k land 1 = 1 then
+    if n land 1 = 0 then
+      for i = 0 to (n / 2) - 1 do
+        add i (i + (n / 2))
+      done
+    else begin
+      (* odd k, odd n: join i to i + (n+1)/2 for i in [0, (n-1)/2] *)
+      for i = 0 to (n - 1) / 2 do
+        add i (i + ((n + 1) / 2))
+      done
+    end;
+  Graph.of_edges ~n !es
+
+let clique_path ~k ~len =
+  if k < 1 || len < 1 then invalid_arg "Gen.clique_path";
+  let n = k * len in
+  let id block j = (block * k) + j in
+  let es = ref [] in
+  for block = 0 to len - 1 do
+    for a = 0 to k - 1 do
+      for b = a + 1 to k - 1 do
+        es := (id block a, id block b) :: !es
+      done;
+      if block + 1 < len then es := (id block a, id (block + 1) a) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let two_cliques_bridged ~size ~bridges =
+  if bridges > size then invalid_arg "Gen.two_cliques_bridged: bridges > size";
+  let es = ref [] in
+  for u = 0 to size - 1 do
+    for v = u + 1 to size - 1 do
+      es := (u, v) :: !es;
+      es := (size + u, size + v) :: !es
+    done
+  done;
+  for b = 0 to bridges - 1 do
+    es := (b, size + b) :: !es
+  done;
+  Graph.of_edges ~n:(2 * size) !es
+
+let star_of_cliques ~k ~extra =
+  if k < 1 then invalid_arg "Gen.star_of_cliques";
+  (* hub = 0, clique = 1..k, leaves = k+1 .. k+extra attached round-robin *)
+  let n = 1 + k + extra in
+  let es = ref [] in
+  for i = 1 to k do
+    es := (0, i) :: !es;
+    for j = i + 1 to k do
+      es := (i, j) :: !es
+    done
+  done;
+  for l = 0 to extra - 1 do
+    es := (1 + (l mod k), k + 1 + l) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+let cds_vs_independent_trees ~t =
+  if t < 4 then invalid_arg "Gen.cds_vs_independent_trees: need t >= 4";
+  let es = ref [] in
+  for u = 0 to t - 1 do
+    for v = u + 1 to t - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  let next = ref t in
+  let triples = ref [] in
+  for a = 0 to t - 1 do
+    for b = a + 1 to t - 1 do
+      for c = b + 1 to t - 1 do
+        triples := (a, b, c) :: !triples
+      done
+    done
+  done;
+  List.iter
+    (fun (a, b, c) ->
+      let v = !next in
+      incr next;
+      es := (v, a) :: (v, b) :: (v, c) :: !es)
+    (List.rev !triples);
+  Graph.of_edges ~n:!next !es
+
+let erdos_renyi rng ~n ~p =
+  let es = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then es := (u, v) :: !es
+    done
+  done;
+  Graph.of_edges ~n !es
+
+let add_random_chords rng g extra =
+  let n = Graph.n g in
+  let es = ref [] in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 100 * (extra + 1) do
+    incr attempts;
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    if u <> v && not (Graph.mem_edge g u v) then begin
+      es := (u, v) :: !es;
+      incr added
+    end
+  done;
+  Graph.union_edges g !es
+
+let random_k_connected rng ~n ~k ~extra =
+  add_random_chords rng (harary ~k ~n) extra
+
+let random_lambda_edge_connected rng ~n ~lambda ~extra =
+  add_random_chords rng (harary ~k:lambda ~n) extra
+
+let random_regular rng ~n ~d =
+  if n * d mod 2 <> 0 then invalid_arg "Gen.random_regular: n*d must be even";
+  if d < 0 || d >= n then invalid_arg "Gen.random_regular: need 0 <= d < n";
+  let stubs = Array.make (n * d) 0 in
+  for v = 0 to n - 1 do
+    for j = 0 to d - 1 do
+      stubs.((v * d) + j) <- v
+    done
+  done;
+  let attempt () =
+    (* Fisher-Yates shuffle of the stubs, then pair consecutive ones *)
+    for i = Array.length stubs - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let tmp = stubs.(i) in
+      stubs.(i) <- stubs.(j);
+      stubs.(j) <- tmp
+    done;
+    let seen = Hashtbl.create (n * d) in
+    let edges = ref [] in
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < Array.length stubs do
+      let u = stubs.(!i) and v = stubs.(!i + 1) in
+      let e = (min u v, max u v) in
+      if u = v || Hashtbl.mem seen e then ok := false
+      else begin
+        Hashtbl.replace seen e ();
+        edges := e :: !edges
+      end;
+      i := !i + 2
+    done;
+    if !ok then Some !edges else None
+  in
+  let rec retry budget =
+    if budget = 0 then
+      failwith "Gen.random_regular: no simple pairing found"
+    else match attempt () with Some es -> es | None -> retry (budget - 1)
+  in
+  Graph.of_edges ~n (retry 2000)
+
+let random_tree rng ~n =
+  let es = ref [] in
+  for v = 1 to n - 1 do
+    es := (v, Random.State.int rng v) :: !es
+  done;
+  Graph.of_edges ~n !es
+
+let random_connected rng ~n ~extra =
+  add_random_chords rng (random_tree rng ~n) extra

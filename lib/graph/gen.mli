@@ -1,0 +1,78 @@
+(** Graph generators: deterministic families and seeded random models.
+
+    These produce the workloads of the experiment suite. Random
+    generators take an explicit [Random.State.t] so every experiment is
+    reproducible. *)
+
+(** {1 Deterministic families} *)
+
+val clique : int -> Graph.t
+val cycle : int -> Graph.t
+val path : int -> Graph.t
+val grid : int -> int -> Graph.t
+val torus : int -> int -> Graph.t
+
+(** [hypercube d] is the d-dimensional hypercube on 2^d vertices
+    (vertex and edge connectivity d). *)
+val hypercube : int -> Graph.t
+
+val complete_bipartite : int -> int -> Graph.t
+
+(** [harary ~k ~n] is the Harary graph H_{k,n}: the minimum-edge graph on
+    [n] vertices with vertex connectivity (and edge connectivity) exactly
+    [k]. Requires [1 <= k < n]. *)
+val harary : k:int -> n:int -> Graph.t
+
+(** [clique_path ~k ~len] chains [len] cliques of size [k], consecutive
+    cliques joined by a perfect matching: vertex connectivity [k] and
+    diameter [Θ(len)] — the "diameter up to n/k" extremal family. *)
+val clique_path : k:int -> len:int -> Graph.t
+
+(** [two_cliques_bridged ~size ~bridges] joins two [size]-cliques by
+    [bridges] vertex-disjoint edges: edge connectivity [min bridges
+    (size-1)]. Requires [bridges <= size]. *)
+val two_cliques_bridged : size:int -> bridges:int -> Graph.t
+
+(** [star_of_cliques ~k ~extra] is the §1.2 remark instance: a hub with
+    [k] neighbors, each neighbor also adjacent to the other neighbors
+    (forming a k-clique) and to [extra] pendant leaves spread evenly, so
+    the hub has k neighbors and roughly [extra] nodes at distance 2. *)
+val star_of_cliques : k:int -> extra:int -> Graph.t
+
+(** [cds_vs_independent_trees ~t] is footnote 3's separating example: a
+    [t]-clique plus one vertex per 3-subset of clique vertices, adjacent
+    exactly to those three. Vertex connectivity 3; no 2 vertex-disjoint
+    CDSs. [t >= 4]. *)
+val cds_vs_independent_trees : t:int -> Graph.t
+
+(** {1 Random models} *)
+
+(** [erdos_renyi rng ~n ~p] samples G(n,p). *)
+val erdos_renyi : Random.State.t -> n:int -> p:float -> Graph.t
+
+(** [random_k_connected rng ~n ~k ~extra] is the Harary graph H_{k,n}
+    with [extra] additional uniformly-random chords: vertex connectivity
+    at least (typically exactly) [k]. *)
+val random_k_connected : Random.State.t -> n:int -> k:int -> extra:int -> Graph.t
+
+(** [random_lambda_edge_connected rng ~n ~lambda ~extra] is a graph with
+    edge connectivity at least [lambda] (Harary base plus chords). *)
+val random_lambda_edge_connected :
+  Random.State.t -> n:int -> lambda:int -> extra:int -> Graph.t
+
+(** [random_regular rng ~n ~d] samples a simple d-regular graph by the
+    configuration model with whole-sample rejection (retry until the
+    pairing has no loops or parallel edges). Requires [n * d] even and
+    [d < n]. Such graphs are d-connected w.h.p. for d >= 3 — the
+    expander-like workloads complementing the circulant families.
+    @raise Failure if no simple pairing is found after many retries. *)
+val random_regular : Random.State.t -> n:int -> d:int -> Graph.t
+
+(** [random_tree rng ~n] is a uniform random labeled tree (Prüfer-free
+    attachment process: each vertex i >= 1 attaches to a uniform earlier
+    vertex). *)
+val random_tree : Random.State.t -> n:int -> Graph.t
+
+(** [random_connected rng ~n ~extra] is [random_tree] plus [extra] random
+    chords. *)
+val random_connected : Random.State.t -> n:int -> extra:int -> Graph.t

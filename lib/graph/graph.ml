@@ -1,0 +1,130 @@
+type t = {
+  n : int;
+  adj : int array array;
+  edges : (int * int) array;
+}
+
+let canonical u v = if u < v then (u, v) else (v, u)
+
+let build ~n pairs =
+  let seen = Hashtbl.create (List.length pairs) in
+  let keep =
+    List.filter
+      (fun (u, v) ->
+        if u = v then invalid_arg "Graph: self-loop";
+        if u < 0 || v < 0 || u >= n || v >= n then
+          invalid_arg "Graph: endpoint out of range";
+        let e = canonical u v in
+        if Hashtbl.mem seen e then false
+        else begin
+          Hashtbl.add seen e ();
+          true
+        end)
+      (List.map (fun (u, v) -> canonical u v) pairs)
+  in
+  let edges = Array.of_list keep in
+  Array.sort compare edges;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1)
+    edges;
+  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  let fill = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      adj.(u).(fill.(u)) <- v;
+      fill.(u) <- fill.(u) + 1;
+      adj.(v).(fill.(v)) <- u;
+      fill.(v) <- fill.(v) + 1)
+    edges;
+  Array.iter (fun a -> Array.sort compare a) adj;
+  { n; adj; edges }
+
+let of_edges ~n edges = build ~n edges
+let of_edge_array ~n edges = build ~n (Array.to_list edges)
+
+let n g = g.n
+let m g = Array.length g.edges
+let neighbors g u = g.adj.(u)
+let degree g u = Array.length g.adj.(u)
+
+let min_degree g =
+  if g.n = 0 then max_int
+  else Array.fold_left (fun acc a -> min acc (Array.length a)) max_int g.adj
+
+let mem_edge g u v =
+  if u = v || u < 0 || v < 0 || u >= g.n || v >= g.n then false
+  else begin
+    let a = g.adj.(u) in
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        if a.(mid) = v then true
+        else if a.(mid) < v then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 (Array.length a)
+  end
+
+let edges g = g.edges
+
+let edge_index g u v =
+  let e = canonical u v in
+  let rec search lo hi =
+    if lo >= hi then raise Not_found
+    else
+      let mid = (lo + hi) / 2 in
+      let c = compare g.edges.(mid) e in
+      if c = 0 then mid else if c < 0 then search (mid + 1) hi else search lo mid
+  in
+  search 0 (Array.length g.edges)
+
+let iter_edges f g = Array.iter (fun (u, v) -> f u v) g.edges
+let fold_edges f acc g = Array.fold_left (fun acc (u, v) -> f acc u v) acc g.edges
+let iter_vertices f g = for u = 0 to g.n - 1 do f u done
+
+let induced g keep =
+  let old_of_new = ref [] in
+  let new_of_old = Array.make g.n (-1) in
+  let count = ref 0 in
+  for u = 0 to g.n - 1 do
+    if keep u then begin
+      new_of_old.(u) <- !count;
+      old_of_new := u :: !old_of_new;
+      incr count
+    end
+  done;
+  let mapping = Array.of_list (List.rev !old_of_new) in
+  let es =
+    fold_edges
+      (fun acc u v ->
+        if keep u && keep v then (new_of_old.(u), new_of_old.(v)) :: acc
+        else acc)
+      [] g
+  in
+  (build ~n:!count es, mapping)
+
+let spanning_subgraph g pred =
+  let es = fold_edges (fun acc u v -> if pred u v then (u, v) :: acc else acc) [] g in
+  build ~n:g.n es
+
+let union_edges g extra =
+  build ~n:g.n (Array.to_list g.edges @ extra)
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);
+  iter_edges (fun u v -> Format.fprintf ppf "%d -- %d@," u v) g;
+  Format.fprintf ppf "@]"
+
+let pp_dot ?(highlight = fun _ -> false) ppf g =
+  Format.fprintf ppf "graph {@.";
+  Format.fprintf ppf "  node [shape=circle];@.";
+  for v = 0 to g.n - 1 do
+    if highlight v then
+      Format.fprintf ppf "  %d [style=filled, fillcolor=lightblue];@." v
+  done;
+  iter_edges (fun u v -> Format.fprintf ppf "  %d -- %d;@." u v) g;
+  Format.fprintf ppf "}@."

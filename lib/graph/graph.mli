@@ -1,0 +1,75 @@
+(** Compact undirected simple graphs on vertices [0 .. n-1].
+
+    The representation is immutable after construction: per-vertex sorted
+    adjacency arrays plus a canonical edge list (each undirected edge
+    appears once, as [(u, v)] with [u < v]). Self-loops are rejected and
+    parallel edges are collapsed at construction. *)
+
+type t
+
+(** {1 Construction} *)
+
+(** [of_edges ~n edges] builds a graph on [n] vertices from an undirected
+    edge list. Duplicate edges (in either orientation) are collapsed.
+    @raise Invalid_argument on self-loops or out-of-range endpoints. *)
+val of_edges : n:int -> (int * int) list -> t
+
+(** [of_edge_array ~n edges] is [of_edges] on an array. *)
+val of_edge_array : n:int -> (int * int) array -> t
+
+(** {1 Accessors} *)
+
+(** Number of vertices. *)
+val n : t -> int
+
+(** Number of undirected edges. *)
+val m : t -> int
+
+(** [neighbors g u] is the sorted array of neighbors of [u]. The returned
+    array is owned by the graph and must not be mutated. *)
+val neighbors : t -> int -> int array
+
+(** [degree g u] is the number of neighbors of [u]. *)
+val degree : t -> int -> int
+
+(** Minimum degree over all vertices ([max_int] on the empty graph). *)
+val min_degree : t -> int
+
+(** [mem_edge g u v] tests edge presence in O(log deg). *)
+val mem_edge : t -> int -> int -> bool
+
+(** [edges g] is the canonical edge array, each edge once as [(u, v)],
+    [u < v], in lexicographic order. Owned by the graph; do not mutate. *)
+val edges : t -> (int * int) array
+
+(** [edge_index g u v] is the index of edge [{u,v}] in [edges g].
+    @raise Not_found if absent. *)
+val edge_index : t -> int -> int -> int
+
+(** {1 Iteration} *)
+
+val iter_edges : (int -> int -> unit) -> t -> unit
+val fold_edges : ('a -> int -> int -> 'a) -> 'a -> t -> 'a
+val iter_vertices : (int -> unit) -> t -> unit
+
+(** {1 Derived graphs} *)
+
+(** [induced g vs] is the subgraph induced by the vertex set [vs]
+    (given as a membership predicate over original ids), together with
+    the mapping [new_id -> old_id]. *)
+val induced : t -> (int -> bool) -> t * int array
+
+(** [spanning_subgraph g keep] keeps vertex set intact and retains the
+    edges [e] with [keep u v = true]. *)
+val spanning_subgraph : t -> (int -> int -> bool) -> t
+
+(** [union_edges g extra] adds the listed edges (duplicates ignored). *)
+val union_edges : t -> (int * int) list -> t
+
+(** {1 Printing} *)
+
+val pp : Format.formatter -> t -> unit
+
+(** [pp_dot ?highlight ppf g] writes Graphviz source; [highlight]
+    (vertex predicate) fills the selected vertices. *)
+val pp_dot : ?highlight:(int -> bool) -> Format.formatter -> t -> unit

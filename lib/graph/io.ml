@@ -1,0 +1,49 @@
+let read_edge_list ic =
+  let edges = ref [] in
+  let max_v = ref (-1) in
+  let declared_n = ref None in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line = "" then ()
+       else if line.[0] = '#' then begin
+         (* optional "# n <count>" header *)
+         try Scanf.sscanf line "# n %d" (fun n -> declared_n := Some n)
+         with Scanf.Scan_failure _ | Failure _ | End_of_file -> ()
+       end
+       else
+         match
+           Scanf.sscanf line "%d %d" (fun u v -> (u, v))
+         with
+         | u, v ->
+           edges := (u, v) :: !edges;
+           max_v := max !max_v (max u v)
+         | exception (Scanf.Scan_failure _ | Failure _) ->
+           failwith (Printf.sprintf "Io.read_edge_list: bad line %S" line)
+     done
+   with End_of_file -> ());
+  let n =
+    match !declared_n with
+    | Some n -> max n (!max_v + 1)
+    | None -> !max_v + 1
+  in
+  Graph.of_edges ~n !edges
+
+let load path =
+  if path = "-" then read_edge_list stdin
+  else begin
+    let ic = open_in path in
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read_edge_list ic)
+  end
+
+let write_edge_list oc g =
+  Printf.fprintf oc "# n %d\n" (Graph.n g);
+  Graph.iter_edges (fun u v -> Printf.fprintf oc "%d %d\n" u v) g
+
+let save path g =
+  if path = "-" then write_edge_list stdout g
+  else begin
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+        write_edge_list oc g)
+  end

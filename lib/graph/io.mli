@@ -1,0 +1,20 @@
+(** Plain-text graph I/O.
+
+    The edge-list format: one [u v] pair per line, 0-based vertex ids;
+    blank lines and [#]-comments ignored. The vertex count is
+    [1 + max id] unless a [# n <count>] header names a larger one
+    (allowing isolated trailing vertices). *)
+
+(** [read_edge_list ic] parses a channel.
+    @raise Failure on malformed lines. *)
+val read_edge_list : in_channel -> Graph.t
+
+(** [load path] reads a file ([-] = stdin). *)
+val load : string -> Graph.t
+
+(** [write_edge_list oc g] writes the canonical edge list with a
+    [# n <count>] header. *)
+val write_edge_list : out_channel -> Graph.t -> unit
+
+(** [save path g] writes a file ([-] = stdout). *)
+val save : string -> Graph.t -> unit

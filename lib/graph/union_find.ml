@@ -1,0 +1,65 @@
+type t = {
+  parent : int array;
+  rank : int array;
+  sizes : int array;
+  mutable count : int;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  {
+    parent = Array.init n (fun i -> i);
+    rank = Array.make n 0;
+    sizes = Array.make n 1;
+    count = n;
+  }
+
+let size uf = Array.length uf.parent
+
+let rec find uf x =
+  let p = uf.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find uf p in
+    uf.parent.(x) <- root;
+    root
+  end
+
+let union uf x y =
+  let rx = find uf x and ry = find uf y in
+  if rx = ry then false
+  else begin
+    let rx, ry =
+      if uf.rank.(rx) < uf.rank.(ry) then ry, rx else rx, ry
+    in
+    uf.parent.(ry) <- rx;
+    uf.sizes.(rx) <- uf.sizes.(rx) + uf.sizes.(ry);
+    if uf.rank.(rx) = uf.rank.(ry) then uf.rank.(rx) <- uf.rank.(rx) + 1;
+    uf.count <- uf.count - 1;
+    true
+  end
+
+let same uf x y = find uf x = find uf y
+
+let count uf = uf.count
+
+let set_size uf x = uf.sizes.(find uf x)
+
+let groups uf =
+  let n = size uf in
+  let tbl = Hashtbl.create 16 in
+  for x = n - 1 downto 0 do
+    let r = find uf x in
+    let members = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (x :: members)
+  done;
+  Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let copy uf =
+  {
+    parent = Array.copy uf.parent;
+    rank = Array.copy uf.rank;
+    sizes = Array.copy uf.sizes;
+    count = uf.count;
+  }

@@ -1,0 +1,35 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Elements are integers [0 .. n-1]. All operations are effectively
+    constant amortized time. *)
+
+type t
+
+(** [create n] is a fresh structure with [n] singleton sets. *)
+val create : int -> t
+
+(** [size uf] is the number of elements (not sets). *)
+val size : t -> int
+
+(** [find uf x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union uf x y] merges the sets of [x] and [y]. Returns [true] if the
+    sets were distinct (a merge happened), [false] otherwise. *)
+val union : t -> int -> int -> bool
+
+(** [same uf x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count uf] is the current number of disjoint sets. *)
+val count : t -> int
+
+(** [set_size uf x] is the number of elements in [x]'s set. *)
+val set_size : t -> int -> int
+
+(** [groups uf] lists the sets as (representative, members) pairs.
+    Members appear in increasing order; O(n) time. *)
+val groups : t -> (int * int list) list
+
+(** [copy uf] is an independent copy. *)
+val copy : t -> t

@@ -1,0 +1,154 @@
+module Graph = Graphs.Graph
+
+type node_role =
+  | Heavy of int * int * int
+  | Hub_a
+  | Hub_b
+  | Sel_x of int
+  | Sel_y of int
+
+type t = {
+  graph : Graph.t;
+  instance : Disjointness.t;
+  ell : int;
+  w : int;
+  roles : node_role array;
+}
+
+let build (inst : Disjointness.t) ~ell ~w =
+  if ell < 1 || w < 1 then invalid_arg "Construction.build: ell, w >= 1";
+  let h = inst.Disjointness.h in
+  let paths = h + 1 in
+  let heavy_total = paths * 2 * ell * w in
+  (* id layout: heavy blocks first, then a, b, then u_x, v_y *)
+  let heavy_base p q = (((p * 2 * ell) + (q - 1)) * w) in
+  let a_id = heavy_total in
+  let b_id = heavy_total + 1 in
+  let xs = Array.of_list inst.Disjointness.x in
+  let ys = Array.of_list inst.Disjointness.y in
+  let ux_id =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i x -> Hashtbl.replace tbl x (heavy_total + 2 + i)) xs;
+    tbl
+  in
+  let vy_id =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri
+      (fun i y -> Hashtbl.replace tbl y (heavy_total + 2 + Array.length xs + i))
+      ys;
+    tbl
+  in
+  let n = heavy_total + 2 + Array.length xs + Array.length ys in
+  let edges = ref [] in
+  let add u v = edges := (u, v) :: !edges in
+  (* heavy node as clique; heavy-heavy edge as complete bipartite *)
+  let clique p q =
+    for i = 0 to w - 1 do
+      for j = i + 1 to w - 1 do
+        add (heavy_base p q + i) (heavy_base p q + j)
+      done
+    done
+  in
+  let join_heavy (p1, q1) (p2, q2) =
+    for i = 0 to w - 1 do
+      for j = 0 to w - 1 do
+        add (heavy_base p1 q1 + i) (heavy_base p2 q2 + j)
+      done
+    done
+  in
+  let join_light_heavy light (p, q) =
+    for i = 0 to w - 1 do
+      add light (heavy_base p q + i)
+    done
+  in
+  for p = 0 to paths - 1 do
+    for q = 1 to 2 * ell do
+      clique p q;
+      if q < 2 * ell then join_heavy (p, q) (p, q + 1)
+    done
+  done;
+  (* left end attachments *)
+  for x = 1 to h do
+    if List.mem x inst.Disjointness.x then begin
+      let u = Hashtbl.find ux_id x in
+      join_light_heavy u (0, 1);
+      join_light_heavy u (x, 1)
+    end
+    else join_heavy (0, 1) (x, 1)
+  done;
+  (* right end attachments *)
+  for y = 1 to h do
+    if List.mem y inst.Disjointness.y then begin
+      let v = Hashtbl.find vy_id y in
+      join_light_heavy v (0, 2 * ell);
+      join_light_heavy v (y, 2 * ell)
+    end
+    else join_heavy (0, 2 * ell) (y, 2 * ell)
+  done;
+  (* hubs *)
+  add a_id b_id;
+  Hashtbl.iter (fun _ u -> add a_id u) ux_id;
+  Hashtbl.iter (fun _ v -> add b_id v) vy_id;
+  for p = 0 to paths - 1 do
+    for q = 1 to 2 * ell do
+      let hub = if q <= ell then a_id else b_id in
+      join_light_heavy hub (p, q)
+    done
+  done;
+  let roles = Array.make n Hub_a in
+  for p = 0 to paths - 1 do
+    for q = 1 to 2 * ell do
+      for i = 0 to w - 1 do
+        roles.(heavy_base p q + i) <- Heavy (p, q, i)
+      done
+    done
+  done;
+  roles.(a_id) <- Hub_a;
+  roles.(b_id) <- Hub_b;
+  Hashtbl.iter (fun x id -> roles.(id) <- Sel_x x) ux_id;
+  Hashtbl.iter (fun y id -> roles.(id) <- Sel_y y) vy_id;
+  {
+    graph = Graph.of_edges ~n !edges;
+    instance = inst;
+    ell;
+    w;
+    roles;
+  }
+
+(* V'_A(r): a, the u_x, and heavy nodes with q < 2ℓ - r;
+   V'_B(r): b, the v_y, and heavy nodes with q > r + 1. *)
+let alice_side t r node =
+  match t.roles.(node) with
+  | Hub_a | Sel_x _ -> true
+  | Heavy (_, q, _) -> q < (2 * t.ell) - r
+  | Hub_b | Sel_y _ -> false
+
+let bob_side t r node =
+  match t.roles.(node) with
+  | Hub_b | Sel_y _ -> true
+  | Heavy (_, q, _) -> q > r + 1
+  | Hub_a | Sel_x _ -> false
+
+let midline t node =
+  match t.roles.(node) with
+  | Hub_a | Sel_x _ -> true
+  | Heavy (_, q, _) -> q <= t.ell
+  | Hub_b | Sel_y _ -> false
+
+let cut_dichotomy t =
+  let k = Graphs.Connectivity.vertex_connectivity t.graph in
+  match Disjointness.intersection t.instance with
+  | [ z ] ->
+    let ids = ref [] in
+    Array.iteri
+      (fun id role ->
+        match role with
+        | Hub_a | Hub_b -> ids := id :: !ids
+        | Sel_x x when x = z -> ids := id :: !ids
+        | Sel_y y when y = z -> ids := id :: !ids
+        | _ -> ())
+      t.roles;
+    (k, Some (List.sort compare !ids))
+  | _ -> (k, None)
+
+let diameter_ok t = Graphs.Traversal.diameter t.graph <= 3

@@ -1,0 +1,49 @@
+(** The Appendix G lower-bound graph family (Fig. 3).
+
+    The weighted graph H(X,Y) has h+1 paths of 2ℓ heavy (weight-w)
+    nodes; the left/right ends of path 0 are connected to the ends of
+    path x directly when x ∉ X (resp. y ∉ Y) and through a light node
+    u_x (resp. v_y) when x ∈ X (resp. y ∈ Y); two hub nodes a, b give
+    diameter 3. The unweighted G(X,Y) replaces heavy nodes by
+    w-cliques and edges by complete bipartite graphs.
+
+    Lemma G.4 (realized by {!cut_dichotomy}): if X ∩ Y = ∅ every vertex
+    cut has size >= w; if X ∩ Y = \{z\} the minimum cut is exactly
+    \{a, b, u_z, v_z\} of size 4. *)
+
+type node_role =
+  | Heavy of int * int * int  (** (path p, position q, clique index) *)
+  | Hub_a
+  | Hub_b
+  | Sel_x of int  (** u_x *)
+  | Sel_y of int  (** v_y *)
+
+type t = {
+  graph : Graphs.Graph.t;
+  instance : Disjointness.t;
+  ell : int;  (** half path length ℓ *)
+  w : int;  (** heavy-node weight / clique size *)
+  roles : node_role array;  (** node id -> role *)
+}
+
+(** [build inst ~ell ~w] constructs G(X,Y). *)
+val build : Disjointness.t -> ell:int -> w:int -> t
+
+(** [alice_side t r] / [bob_side t r]: the V'_A(r) / V'_B(r) node sets of
+    Lemma G.6 as membership predicates (meaningful for 0 <= r <= ℓ). *)
+val alice_side : t -> int -> int -> bool
+
+val bob_side : t -> int -> int -> bool
+
+(** The node partition used for boundary accounting: Alice's half
+    (V'_A(0)), everything else Bob's. *)
+val midline : t -> int -> bool
+
+(** Structural checks of Lemmas G.3/G.4 (exact, so small instances only):
+    returns [(vertex_connectivity, expected_small_cut)] where
+    [expected_small_cut] = [Some [a;b;u_z;v_z]] on intersecting
+    instances. *)
+val cut_dichotomy : t -> int * int list option
+
+(** Diameter <= 3 (Lemma G.4 last part). *)
+val diameter_ok : t -> bool

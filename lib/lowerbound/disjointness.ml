@@ -1,0 +1,35 @@
+type t = {
+  h : int;
+  x : int list;
+  y : int list;
+}
+
+let is_valid t =
+  let ok_range l = List.for_all (fun e -> e >= 1 && e <= t.h) l in
+  let inter = List.filter (fun e -> List.mem e t.y) t.x in
+  ok_range t.x && ok_range t.y
+  && List.length inter <= 1
+  && t.x = List.sort_uniq compare t.x
+  && t.y = List.sort_uniq compare t.y
+
+let intersection t = List.filter (fun e -> List.mem e t.y) t.x
+
+let random_disjoint rng ~h ~density =
+  let x = ref [] and y = ref [] in
+  for e = h downto 1 do
+    let r = Random.State.float rng 1.0 in
+    if r < density /. 2. then x := e :: !x
+    else if r < density then y := e :: !y
+  done;
+  { h; x = !x; y = !y }
+
+let random_intersecting rng ~h ~density =
+  (* the base sets are disjoint, so planting one common element z yields
+     an intersection of exactly {z} *)
+  let base = random_disjoint rng ~h ~density in
+  let z = 1 + Random.State.int rng h in
+  {
+    base with
+    x = List.sort_uniq compare (z :: base.x);
+    y = List.sort_uniq compare (z :: base.y);
+  }

@@ -1,0 +1,22 @@
+(** Two-party set-disjointness instances over the universe [1..h] with
+    the promise |X ∩ Y| <= 1 (the problem whose Ω(h) randomized
+    communication lower bound [Razborov '92] drives Theorem G.2). *)
+
+type t = {
+  h : int;
+  x : int list;  (** Alice's set, sorted *)
+  y : int list;  (** Bob's set, sorted *)
+}
+
+(** The promise holds and elements are in range. *)
+val is_valid : t -> bool
+
+val intersection : t -> int list
+
+(** [random_disjoint rng ~h ~density] samples disjoint X, Y: each
+    element goes to X, to Y, or to neither. *)
+val random_disjoint : Random.State.t -> h:int -> density:float -> t
+
+(** [random_intersecting rng ~h ~density] additionally plants exactly
+    one common element. *)
+val random_intersecting : Random.State.t -> h:int -> density:float -> t

@@ -1,0 +1,350 @@
+module Graph = Graphs.Graph
+module Net = Congest.Net
+
+type result = {
+  rounds : int;
+  messages : int;
+  throughput : float;
+  max_vertex_congestion : int;
+  max_edge_congestion : int;
+}
+
+let expand_sources sources =
+  (* (origin, count) list -> per-message origins, message ids 0.. *)
+  let acc = ref [] in
+  let id = ref 0 in
+  List.iter
+    (fun (origin, count) ->
+      for _ = 1 to count do
+        acc := (!id, origin) :: !acc;
+        incr id
+      done)
+    sources;
+  (List.rev !acc, !id)
+
+let finish net start ~messages ~relays ~edge_crossings =
+  let rounds = max 1 (Net.rounds_since net start) in
+  {
+    rounds;
+    messages;
+    throughput = float_of_int messages /. float_of_int rounds;
+    max_vertex_congestion = Array.fold_left max 0 relays;
+    max_edge_congestion = Array.fold_left max 0 edge_crossings;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* V-CONGEST: dominating-tree packing *)
+
+let via_dominating_trees ?(seed = 42) ?(schedule = `Round_robin) net
+    (packing : Domtree.Packing.t) ~sources =
+  let trees = Array.of_list packing.Domtree.Packing.trees in
+  let tcount = Array.length trees in
+  if tcount = 0 then
+    invalid_arg "Broadcast.via_dominating_trees: empty packing";
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed; n; tcount |] in
+  let weights = Array.of_list packing.Domtree.Packing.weights in
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  (* time-sharing: under `Weighted, a node serves tree i with probability
+     proportional to x_i — the literal fractional-packing semantics of
+     §1.1; `Round_robin is the uniform-weight special case *)
+  let pick_weighted () =
+    let x = Random.State.float rng wsum in
+    let acc = ref 0. in
+    let chosen = ref (tcount - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if !acc >= x then begin
+             chosen := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !chosen
+  in
+  let msgs, total = expand_sources sources in
+  (* assignment: message -> random tree *)
+  let tree_of_msg = Array.init total (fun _ -> Random.State.int rng tcount) in
+  (* membership and tree adjacency *)
+  let member = Array.make_matrix tcount n false in
+  let tree_edge = Hashtbl.create 256 in
+  Array.iteri
+    (fun i tr ->
+      Array.iter (fun v -> member.(i).(v) <- true) tr.Domtree.Packing.vertices;
+      List.iter
+        (fun (u, v) -> Hashtbl.replace tree_edge (i, min u v, max u v) ())
+        tr.Domtree.Packing.edges)
+    trees;
+  let is_tree_edge i u v = Hashtbl.mem tree_edge (i, min u v, max u v) in
+  (* per-node state *)
+  let heard = Array.init n (fun _ -> Hashtbl.create 16) in
+  let heard_count = Array.make n 0 in
+  let hear v msg =
+    if not (Hashtbl.mem heard.(v) msg) then begin
+      Hashtbl.replace heard.(v) msg ();
+      heard_count.(v) <- heard_count.(v) + 1
+    end
+  in
+  (* relay queues: per node, per tree, fifo of message ids to rebroadcast *)
+  let queues = Array.init n (fun _ -> Array.init tcount (fun _ -> Queue.create ())) in
+  let relayed = Array.init n (fun _ -> Hashtbl.create 16) in
+  let adopt v i msg =
+    (* member v will relay msg of tree i exactly once *)
+    if member.(i).(v) && not (Hashtbl.mem relayed.(v) (i, msg)) then begin
+      Hashtbl.replace relayed.(v) (i, msg) ();
+      Queue.add msg queues.(v).(i)
+    end
+  in
+  (* injection queues at origins *)
+  let inject = Array.init n (fun _ -> Queue.create ()) in
+  List.iter
+    (fun (id, origin) ->
+      hear origin id;
+      let i = tree_of_msg.(id) in
+      if member.(i).(origin) then adopt origin i id
+      else Queue.add id inject.(origin))
+    msgs;
+  let rr = Array.make n 0 in
+  let relays = Array.make n 0 in
+  let edge_crossings = Array.make (Graph.m g) 0 in
+  let start = Net.checkpoint net in
+  let all_heard () = Array.for_all (fun c -> c = total) heard_count in
+  let guard = ref 0 in
+  while (not (all_heard ())) && !guard < 100 * (total + n) do
+    incr guard;
+    let choice =
+      Array.init n (fun v ->
+          if not (Queue.is_empty inject.(v)) then begin
+            let id = Queue.pop inject.(v) in
+            Some (tree_of_msg.(id), id)
+          end
+          else begin
+            match schedule with
+            | `Round_robin ->
+              (* round-robin over trees with pending relays *)
+              let found = ref None in
+              let tried = ref 0 in
+              while !found = None && !tried < tcount do
+                let i = (rr.(v) + !tried) mod tcount in
+                if not (Queue.is_empty queues.(v).(i)) then begin
+                  found := Some (i, Queue.pop queues.(v).(i));
+                  rr.(v) <- (i + 1) mod tcount
+                end;
+                incr tried
+              done;
+              !found
+            | `Weighted ->
+              (* sample a tree by weight; fall back to the next pending
+                 one so no round is wasted while work remains *)
+              let start = pick_weighted () in
+              let found = ref None in
+              let tried = ref 0 in
+              while !found = None && !tried < tcount do
+                let i = (start + !tried) mod tcount in
+                if not (Queue.is_empty queues.(v).(i)) then
+                  found := Some (i, Queue.pop queues.(v).(i));
+                incr tried
+              done;
+              !found
+          end)
+    in
+    let inboxes =
+      Net.broadcast_round net (fun v ->
+          match choice.(v) with
+          | Some (i, id) -> Some [| i; id |]
+          | None -> None)
+    in
+    for v = 0 to n - 1 do
+      (match choice.(v) with
+      | Some _ ->
+        relays.(v) <- relays.(v) + 1;
+        Array.iter
+          (fun u ->
+            let ei = Graph.edge_index g v u in
+            edge_crossings.(ei) <- edge_crossings.(ei) + 1)
+          (Graph.neighbors g v)
+      | None -> ());
+      List.iter
+        (fun (sender, m) ->
+          let i = m.(0) and id = m.(1) in
+          hear v id;
+          (* adopt for relaying if the tree edge (sender, v) exists, or if
+             v is a member hearing it from a non-member injector *)
+          if member.(i).(v) && (is_tree_edge i sender v || not (member.(i).(sender)))
+          then adopt v i id)
+        inboxes.(v)
+    done
+  done;
+  if not (all_heard ()) then
+    failwith "Broadcast.via_dominating_trees: did not converge (bad packing?)";
+  finish net start ~messages:total ~relays ~edge_crossings
+
+(* ------------------------------------------------------------------ *)
+(* E-CONGEST: spanning-tree packing *)
+
+let via_spanning_trees ?(seed = 42) net (packing : Spantree.Spacking.t)
+    ~sources =
+  let trees = Array.of_list packing.Spantree.Spacking.trees in
+  let tcount = Array.length trees in
+  if tcount = 0 then invalid_arg "Broadcast.via_spanning_trees: empty packing";
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed; n; tcount; 3 |] in
+  let msgs, total = expand_sources sources in
+  (* weighted random tree per message *)
+  let weights = Array.map (fun tr -> tr.Spantree.Spacking.weight) trees in
+  let wsum = Array.fold_left ( +. ) 0. weights in
+  let pick_tree () =
+    let x = Random.State.float rng wsum in
+    let acc = ref 0. in
+    let chosen = ref (tcount - 1) in
+    (try
+       Array.iteri
+         (fun i w ->
+           acc := !acc +. w;
+           if !acc >= x then begin
+             chosen := i;
+             raise Exit
+           end)
+         weights
+     with Exit -> ());
+    !chosen
+  in
+  let tree_of_msg = Array.init total (fun _ -> pick_tree ()) in
+  (* per tree: adjacency lists *)
+  let tree_adj =
+    Array.map
+      (fun tr ->
+        let adj = Array.make n [] in
+        List.iter
+          (fun (u, v) ->
+            adj.(u) <- v :: adj.(u);
+            adj.(v) <- u :: adj.(v))
+          tr.Spantree.Spacking.edges;
+        adj)
+      trees
+  in
+  (* per directed edge (v, u): fifo of (tree, msg) to forward *)
+  let out_queues = Array.init n (fun _ -> Hashtbl.create 8) in
+  let queue_of v u =
+    match Hashtbl.find_opt out_queues.(v) u with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.replace out_queues.(v) u q;
+      q
+  in
+  let heard = Array.init n (fun _ -> Hashtbl.create 16) in
+  let heard_count = Array.make n 0 in
+  let learn v i id ~from =
+    if not (Hashtbl.mem heard.(v) id) then begin
+      Hashtbl.replace heard.(v) id ();
+      heard_count.(v) <- heard_count.(v) + 1;
+      (* schedule forwarding along the tree, away from the source *)
+      List.iter
+        (fun u -> if u <> from then Queue.add (i, id) (queue_of v u))
+        tree_adj.(i).(v)
+    end
+  in
+  List.iter
+    (fun (id, origin) -> learn origin tree_of_msg.(id) id ~from:(-1))
+    msgs;
+  let relays = Array.make n 0 in
+  let edge_crossings = Array.make (Graph.m g) 0 in
+  let start = Net.checkpoint net in
+  let all_heard () = Array.for_all (fun c -> c = total) heard_count in
+  let guard = ref 0 in
+  while (not (all_heard ())) && !guard < 100 * (total + n) do
+    incr guard;
+    let outgoing =
+      Array.init n (fun v ->
+          Hashtbl.fold
+            (fun u q acc ->
+              if Queue.is_empty q then acc
+              else begin
+                let i, id = Queue.pop q in
+                (u, [| i; id |]) :: acc
+              end)
+            out_queues.(v) [])
+    in
+    let inboxes = Net.edge_round net (fun v -> outgoing.(v)) in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (u, (_ : Net.msg)) ->
+          relays.(v) <- relays.(v) + 1;
+          let ei = Graph.edge_index g v u in
+          edge_crossings.(ei) <- edge_crossings.(ei) + 1)
+        outgoing.(v);
+      List.iter
+        (fun (sender, m) -> learn v m.(0) m.(1) ~from:sender)
+        inboxes.(v)
+    done
+  done;
+  if not (all_heard ()) then
+    failwith "Broadcast.via_spanning_trees: did not converge (bad packing?)";
+  finish net start ~messages:total ~relays ~edge_crossings
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: single BFS tree *)
+
+let naive_single_tree net ~sources =
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let msgs, total = expand_sources sources in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 && p <> v then begin
+        adj.(v) <- p :: adj.(v);
+        adj.(p) <- v :: adj.(p)
+      end)
+    tree.Congest.Primitives.parent;
+  let heard = Array.init n (fun _ -> Hashtbl.create 16) in
+  let heard_count = Array.make n 0 in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let learn v id =
+    if not (Hashtbl.mem heard.(v) id) then begin
+      Hashtbl.replace heard.(v) id ();
+      heard_count.(v) <- heard_count.(v) + 1;
+      Queue.add id queues.(v)
+    end
+  in
+  List.iter (fun (id, origin) -> learn origin id) msgs;
+  let relays = Array.make n 0 in
+  let edge_crossings = Array.make (Graph.m g) 0 in
+  let start = Net.checkpoint net in
+  let all_heard () = Array.for_all (fun c -> c = total) heard_count in
+  let guard = ref 0 in
+  while (not (all_heard ())) && !guard < 100 * (total + n) do
+    incr guard;
+    let choice =
+      Array.init n (fun v ->
+          if Queue.is_empty queues.(v) then None else Some (Queue.pop queues.(v)))
+    in
+    let inboxes =
+      Net.broadcast_round net (fun v ->
+          match choice.(v) with Some id -> Some [| id |] | None -> None)
+    in
+    for v = 0 to n - 1 do
+      (match choice.(v) with
+      | Some _ ->
+        relays.(v) <- relays.(v) + 1;
+        (* V-CONGEST broadcast physically crosses every incident edge *)
+        Array.iter
+          (fun u ->
+            let ei = Graph.edge_index g v u in
+            edge_crossings.(ei) <- edge_crossings.(ei) + 1)
+          (Graph.neighbors g v)
+      | None -> ());
+      List.iter
+        (fun (sender, m) -> if List.mem sender adj.(v) then learn v m.(0))
+        inboxes.(v)
+    done
+  done;
+  if not (all_heard ()) then
+    failwith "Broadcast.naive_single_tree: did not converge";
+  finish net start ~messages:total ~relays ~edge_crossings

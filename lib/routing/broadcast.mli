@@ -1,0 +1,48 @@
+(** Tree-parallel broadcast (Corollaries 1.4, 1.5; Appendix A): route
+    each message along a random tree of a connectivity decomposition,
+    store-and-forward, and measure the achieved throughput and the
+    congestion. All simulations run over the CONGEST runtime, so rounds
+    and loads are the model's.
+
+    Delivery semantics: a node has {e received} a message once it has
+    heard it from any neighbor (or originated it); members of a tree
+    additionally relay it along the tree. Because every tree of a
+    dominating-tree packing dominates the graph, flooding inside each
+    tree delivers to everyone. *)
+
+type result = {
+  rounds : int;  (** rounds until every node received every message *)
+  messages : int;  (** number of distinct broadcast messages N *)
+  throughput : float;  (** N / rounds *)
+  max_vertex_congestion : int;
+      (** max number of transmissions performed by a single node *)
+  max_edge_congestion : int;
+      (** max number of messages that crossed a single edge *)
+}
+
+(** [via_dominating_trees ?seed net packing ~sources] broadcasts, in the
+    V-CONGEST model, the given messages ([sources] lists (origin, how
+    many)); each message is assigned to a uniformly random tree.
+    Members time-share across their trees: [`Round_robin] (default)
+    serves pending trees cyclically; [`Weighted] serves tree τ with
+    probability proportional to its weight x_τ — the literal
+    fractional-packing semantics of §1.1.
+    @raise Invalid_argument if the packing is empty. *)
+val via_dominating_trees :
+  ?seed:int ->
+  ?schedule:[ `Round_robin | `Weighted ] ->
+  Congest.Net.t -> Domtree.Packing.t -> sources:(int * int) list ->
+  result
+
+(** [via_spanning_trees ?seed net packing ~sources] is the E-CONGEST
+    counterpart over a fractional spanning-tree packing: per round, one
+    message can cross each edge direction; each directed tree edge
+    forwards its trees' pending messages round-robin. *)
+val via_spanning_trees :
+  ?seed:int -> Congest.Net.t -> Spantree.Spacking.t -> sources:(int * int) list ->
+  result
+
+(** [naive_single_tree net ~sources] is the baseline everyone had before
+    this paper: pipeline everything over one global BFS tree (throughput
+    ≤ 1 message/round regardless of connectivity). *)
+val naive_single_tree : Congest.Net.t -> sources:(int * int) list -> result

@@ -1,0 +1,29 @@
+(** Gossiping / all-to-all broadcast (Appendix A): every node starts with
+    one message (or [eta] messages); everyone must receive everything.
+    Corollary A.1 bounds the time by O~(η + (N + n)/k) using the
+    dominating-tree decomposition — vs the trivial O(n) single-tree
+    solution that ignores connectivity. *)
+
+type report = {
+  result : Broadcast.result;
+  bound : float;  (** the Corollary A.1 reference value η + (N + n)/k *)
+}
+
+(** [all_to_all ?seed ?per_node net packing ~k] gossips [per_node]
+    (default 1) messages from every node via the packing; [k] is the
+    connectivity used for the reference bound. *)
+val all_to_all :
+  ?seed:int -> ?per_node:int -> Congest.Net.t -> Domtree.Packing.t -> k:int ->
+  report
+
+(** [all_to_all_naive net ~per_node] is the single-BFS-tree baseline. *)
+val all_to_all_naive : ?per_node:int -> Congest.Net.t -> Broadcast.result
+
+(** [scattered ?seed rng_messages net packing ~k ~total ~max_per_node] is
+    Corollary A.1 in full generality: [total] messages placed at random
+    nodes with at most [max_per_node] at any single node; the reference
+    bound is eta + (N + n)/k with eta = the realized maximum per-node
+    count. *)
+val scattered :
+  ?seed:int -> Congest.Net.t -> Domtree.Packing.t -> k:int -> total:int ->
+  max_per_node:int -> report

@@ -1,0 +1,26 @@
+type report = {
+  measured_congestion : int;
+  optimum_lower_bound : float;
+  competitiveness : float;
+}
+
+let total_messages sources =
+  List.fold_left (fun acc (_, c) -> acc + c) 0 sources
+
+let make ~measured ~total ~connectivity =
+  let opt = float_of_int total /. float_of_int (max 1 connectivity) in
+  {
+    measured_congestion = measured;
+    optimum_lower_bound = opt;
+    competitiveness = float_of_int measured /. Float.max 1. opt;
+  }
+
+let vertex_competitiveness ?seed net packing ~k ~sources =
+  let r = Broadcast.via_dominating_trees ?seed net packing ~sources in
+  make ~measured:r.Broadcast.max_vertex_congestion
+    ~total:(total_messages sources) ~connectivity:k
+
+let edge_competitiveness ?seed net packing ~lambda ~sources =
+  let r = Broadcast.via_spanning_trees ?seed net packing ~sources in
+  make ~measured:r.Broadcast.max_edge_congestion
+    ~total:(total_messages sources) ~connectivity:lambda

@@ -1,0 +1,27 @@
+(** Oblivious-routing congestion competitiveness (Corollary 1.6).
+
+    Routing each message along an independently random tree is oblivious:
+    the route distribution never depends on the load. The information-
+    theoretic optimum for N broadcasts is N/k relays at some vertex
+    (every size-k vertex cut passes all messages) resp. N/λ crossings at
+    some edge, so the competitive ratios below are upper bounds on the
+    true competitiveness (the offline optimum can only be worse than the
+    cut bound). Corollary 1.6: O(log n) for vertices, O(1) for edges. *)
+
+type report = {
+  measured_congestion : int;
+  optimum_lower_bound : float;  (** N / connectivity *)
+  competitiveness : float;  (** measured / optimum *)
+}
+
+(** [vertex_competitiveness net packing ~k ~sources] runs the
+    dominating-tree broadcast and reports the vertex-congestion ratio. *)
+val vertex_competitiveness :
+  ?seed:int -> Congest.Net.t -> Domtree.Packing.t -> k:int ->
+  sources:(int * int) list -> report
+
+(** [edge_competitiveness net packing ~lambda ~sources] runs the
+    spanning-tree broadcast and reports the edge-congestion ratio. *)
+val edge_competitiveness :
+  ?seed:int -> Congest.Net.t -> Spantree.Spacking.t -> lambda:int ->
+  sources:(int * int) list -> report

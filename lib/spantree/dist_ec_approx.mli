@@ -1,0 +1,25 @@
+(** Distributed edge-connectivity estimation by sampling — the stand-in
+    for the Ghaffari–Kuhn min-cut 3-approximation [21] that §5.2 invokes
+    to pick η.
+
+    Karger's theorem: sampling each edge with probability p keeps the
+    graph connected w.h.p. when p·λ ≳ log n, and disconnects it w.h.p.
+    when p·λ ≪ log n. So a doubling search over guesses λ̃, testing per
+    guess whether a few p = Θ(log n/λ̃)-samples stay connected
+    (distributed component identification), brackets λ within an O(1)
+    factor w.h.p. — entirely with CONGEST-implementable steps.
+
+    Edge sampling uses a deterministic hash of (edge, seed, trial), the
+    shared-randomness idiom: both endpoints evaluate the same coin
+    locally, no message needed. *)
+
+type result = {
+  estimate : int;  (** λ̃ *)
+  guesses_tried : int;
+  rounds : int;  (** rounds consumed on the runtime *)
+}
+
+(** [run ?seed ?trials net] estimates λ of the (connected) network.
+    [trials] (default 3) samples per guess; all must stay connected to
+    accept a guess. *)
+val run : ?seed:int -> ?trials:int -> Congest.Net.t -> result

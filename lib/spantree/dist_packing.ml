@@ -1,0 +1,196 @@
+module Graph = Graphs.Graph
+module Net = Congest.Net
+
+type result = {
+  packing : Spacking.t;
+  iterations : int;
+  measured_rounds : int;
+  parallel_rounds : int;
+  eta : int;
+}
+
+(* One §5.1 loop over the marked subgraph. Returns the weighted trees and
+   the per-iteration round costs (for the Lemma 5.1 pipelining account).
+   The continuation decision is the leader's: we charge one convergecast
+   and one broadcast over the BFS tree per iteration. *)
+let run_single ?(mst = `Flooding) net tree0 ~edge_in ~lambda ~eps
+    ~max_iterations =
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let m = Graph.m g in
+  let tgt = float_of_int (Lagrangian.target ~lambda) in
+  let alpha = Float.max 2. (log (float_of_int (max 2 n))) in
+  let beta = 1. /. (alpha *. Float.max 2. (log (float_of_int (max 2 n)))) in
+  let coordination = (2 * tree0.Congest.Primitives.height) + 2 in
+  let loads = Array.make m 0. in
+  let trees = ref [] in
+  let add_tree edges weight =
+    trees := List.map (fun (es, w) -> (es, w *. (1. -. weight))) !trees;
+    Array.iteri (fun i x -> loads.(i) <- x *. (1. -. weight)) loads;
+    List.iter
+      (fun (u, v) ->
+        let i = Graph.edge_index g u v in
+        loads.(i) <- loads.(i) +. weight)
+      edges;
+    trees := (edges, weight) :: !trees
+  in
+  (* initial tree: distributed MST with unit weights on the subgraph *)
+  let per_iteration_rounds = ref [] in
+  let cp = ref (Net.checkpoint net) in
+  let note_iteration () =
+    per_iteration_rounds :=
+      (Net.rounds_since net !cp + coordination) :: !per_iteration_rounds;
+    Net.silent_rounds net coordination;
+    cp := Net.checkpoint net
+  in
+  let solve_mst weight =
+    match mst with
+    | `Flooding ->
+      Congest.Dist_mst.minimum_spanning_forest_on net
+        ~active:(fun _ -> true) ~edge_active:edge_in ~weight
+    | `Pipelined ->
+      (* the Kutten-Peleg variant works on the full graph; restrict by
+         pricing excluded edges out of every tree *)
+      let big = Congest.Model.max_word ~n / 2 in
+      let w u v = if edge_in u v then weight u v else big in
+      Congest.Dist_mst.minimum_spanning_forest_hybrid net ~weight:w
+      |> List.filter (fun (u, v) -> edge_in u v)
+  in
+  let initial = solve_mst (fun _ _ -> 1) in
+  note_iteration ();
+  if List.length initial <> n - 1 then (* disconnected subgraph: no packing *)
+    ([], List.rev !per_iteration_rounds)
+  else begin
+    add_tree initial 1.;
+    let z_of i = loads.(i) *. tgt in
+    let stopped = ref false in
+    let iterations = ref 0 in
+    while (not !stopped) && !iterations < max_iterations do
+      incr iterations;
+      (* z rounded to multiples of 1/n, sent as integers (footnote 6) *)
+      let zmax =
+        let best = ref 0. in
+        for i = 0 to m - 1 do
+          if z_of i > !best then best := z_of i
+        done;
+        !best
+      in
+      let int_weight u v =
+        int_of_float (Float.round (z_of (Graph.edge_index g u v) *. float_of_int n))
+      in
+      let mst = solve_mst int_weight in
+      (* leader decision (convergecast + broadcast, charged above) *)
+      let cost i = exp (alpha *. (z_of i -. zmax)) in
+      let mst_cost =
+        List.fold_left
+          (fun acc (u, v) -> acc +. cost (Graph.edge_index g u v))
+          0. mst
+      in
+      let sum_cx =
+        let acc = ref 0. in
+        for i = 0 to m - 1 do
+          acc := !acc +. (cost i *. loads.(i))
+        done;
+        !acc
+      in
+      note_iteration ();
+      if mst_cost > (1. -. eps) *. sum_cx then stopped := true
+      else add_tree mst beta
+    done;
+    let wtrees =
+      List.rev_map (fun (es, w) -> { Spacking.edges = es; weight = w }) !trees
+    in
+    (wtrees, List.rev !per_iteration_rounds)
+  end
+
+let finish g parts_results eta =
+  let all_rounds = List.map snd parts_results in
+  let all_trees = List.concat_map fst parts_results in
+  let iterations =
+    List.fold_left (fun acc rs -> acc + List.length rs) 0 all_rounds
+  in
+  (* pipelined estimate: iterate in lockstep, paying the max over parts *)
+  let parallel_rounds =
+    let rec lockstep lists acc =
+      let heads = List.filter_map (function [] -> None | h :: _ -> Some h) lists in
+      if heads = [] then acc
+      else
+        lockstep
+          (List.map (function [] -> [] | _ :: t -> t) lists)
+          (acc + List.fold_left max 0 heads)
+    in
+    lockstep all_rounds 0
+  in
+  (all_trees, iterations, parallel_rounds, eta, g)
+
+let run ?(eps = 0.15) ?max_iterations ?mst net ~lambda =
+  let g = Net.graph net in
+  let max_iterations =
+    match max_iterations with
+    | Some i -> i
+    | None -> Lagrangian.default_iterations ~n:(Graph.n g)
+  in
+  let tree0 = Congest.Primitives.bfs_tree net ~root:0 in
+  let start = Net.checkpoint net in
+  let r =
+    run_single ?mst net tree0 ~edge_in:(fun _ _ -> true) ~lambda ~eps
+      ~max_iterations
+  in
+  let all_trees, iterations, parallel_rounds, eta, g = finish g [ r ] 1 in
+  let collection = { Spacking.graph = g; trees = all_trees } in
+  let scaled = Spacking.scale collection (float_of_int (Lagrangian.target ~lambda)) in
+  {
+    packing = Spacking.normalize_to_unit_load scaled;
+    iterations;
+    measured_rounds = Net.rounds_since net start;
+    parallel_rounds;
+    eta;
+  }
+
+let run_sampled ?(seed = 42) ?(eps = 0.15) net ~lambda =
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let eta = Graphs.Sampling.suggested_eta ~lambda ~n ~eps in
+  if eta <= 1 then run ~eps net ~lambda
+  else begin
+    let rng = Random.State.make [| seed; n; lambda; 9 |] in
+    let parts = Graphs.Sampling.edge_partition rng g ~eta in
+    let tree0 = Congest.Primitives.bfs_tree net ~root:0 in
+    let start = Net.checkpoint net in
+    let max_iterations = Lagrangian.default_iterations ~n in
+    let results =
+      Array.to_list parts
+      |> List.map (fun part ->
+             let edge_in u v = Graph.mem_edge part u v in
+             let lam_part =
+               if Graphs.Traversal.is_connected part then
+                 max 1 (Graphs.Connectivity.edge_connectivity part)
+               else 1
+             in
+             let trees, rounds =
+               run_single net tree0 ~edge_in ~lambda:lam_part ~eps
+                 ~max_iterations
+             in
+             (* scale each part's collection by its own target and
+                normalize within the part (parts are edge-disjoint) *)
+             let collection = { Spacking.graph = g; trees } in
+             let scaled =
+               Spacking.scale collection
+                 (float_of_int (Lagrangian.target ~lambda:lam_part))
+             in
+             let normalized = Spacking.normalize_to_unit_load scaled in
+             (normalized.Spacking.trees, rounds))
+    in
+    let all_trees, iterations, parallel_rounds, eta, g = finish g results eta in
+    {
+      packing = { Spacking.graph = g; trees = all_trees };
+      iterations;
+      measured_rounds = Net.rounds_since net start;
+      parallel_rounds;
+      eta;
+    }
+  end
+
+let run_auto ?(seed = 42) ?eps net =
+  let lambda = (Dist_ec_approx.run ~seed net).Dist_ec_approx.estimate in
+  run_sampled ~seed ?eps net ~lambda

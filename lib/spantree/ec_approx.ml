@@ -1,0 +1,13 @@
+type result = {
+  estimate : int;
+  packing_size : float;
+  truth : int;
+}
+
+let estimate_of_size s = int_of_float (Float.round ((2. *. s) +. 1.))
+
+let centralized ?seed g =
+  let truth = Graphs.Connectivity.edge_connectivity g in
+  let r = Sampling_pack.run ?seed g ~lambda:(max 1 truth) in
+  let s = Spacking.size r.Sampling_pack.packing in
+  { estimate = estimate_of_size s; packing_size = s; truth }

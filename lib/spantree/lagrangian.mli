@@ -1,0 +1,42 @@
+(** The §5.1 fractional spanning-tree packing for λ = O(log n): the
+    Lagrangian-relaxation / multiplicative-weights iteration.
+
+    A collection of weighted trees with total weight 1 is maintained.
+    Per iteration: edge loads x_e, normalized loads z_e = x_e·⌈(λ-1)/2⌉,
+    costs c_e = exp(α z_e) with α = Θ(log n); the MST under c is either
+    the certificate to stop (Cost(MST) > (1-ε)·Σ c_e x_e, Lemma F.1:
+    max z_e ≤ 1+6ε) or is blended in with weight β = Θ(1/(α log n)).
+    Lemma F.2 caps the iterations at Θ(log³ n).
+
+    The final collection, scaled by ⌈(λ-1)/2⌉ and normalized to unit
+    edge load, is a fractional spanning-tree packing of size
+    ⌈(λ-1)/2⌉·(1-O(ε)) — Theorem 1.3's guarantee. *)
+
+type trace = {
+  iterations : int;
+  stopped_by_rule : bool;  (** the Lemma F.1 certificate fired *)
+  max_z_history : float list;  (** max_e z_e after each iteration *)
+}
+
+type result = {
+  packing : Spacking.t;  (** normalized: unit max edge load *)
+  collection : Spacking.t;  (** the raw weight-1 collection *)
+  trace : trace;
+}
+
+(** [run ?eps ?max_iterations ?capacity g ~lambda] packs connected [g]
+    whose edge connectivity (or a lower-bound estimate of it) is
+    [lambda >= 1]. [eps] defaults to 0.15; iterations default to
+    Θ(log³ n). [capacity] (default all-1) generalizes to capacitated
+    edges — the Barahona-style weighted packing: per-edge load must stay
+    within [capacity u v], and the normalized load z_e divides by it. *)
+val run :
+  ?eps:float -> ?max_iterations:int -> ?capacity:(int -> int -> float) ->
+  Graphs.Graph.t -> lambda:int -> result
+
+(** The paper's target ⌈(λ-1)/2⌉ (at least 1 so a single spanning tree
+    is always achievable on a connected graph). *)
+val target : lambda:int -> int
+
+(** Default iteration cap Θ(log³ n). *)
+val default_iterations : n:int -> int

@@ -1,0 +1,50 @@
+(** Fractional spanning-tree packings (§2): weighted spanning trees with
+    per-edge total weight at most 1, plus the validity checker. *)
+
+type wtree = {
+  edges : (int * int) list;  (** tree edges, (u,v), u < v *)
+  weight : float;
+}
+
+type t = {
+  graph : Graphs.Graph.t;
+  trees : wtree list;
+}
+
+(** Packing size Σ w_τ. *)
+val size : t -> float
+
+val count : t -> int
+
+(** [edge_load p u v] is the summed weight of trees using edge [{u,v}]. *)
+val edge_load : t -> int -> int -> float
+
+(** Maximum edge load over all graph edges. *)
+val max_edge_load : t -> float
+
+(** [max_edge_multiplicity p] is the maximum number of distinct trees
+    sharing one edge (Theorem 1.3's O(log³ n) bound). *)
+val max_edge_multiplicity : t -> int
+
+type violation =
+  | Not_spanning of int  (** tree index *)
+  | Edge_outside_graph of int
+  | Overloaded_edge of (int * int) * float
+  | Bad_weight of int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [verify ?tolerance p] lists violations; [tolerance] (default 1e-9)
+    loosens the load-1 cap for floating-point slack. *)
+val verify : ?tolerance:float -> t -> violation list
+
+val is_valid : ?tolerance:float -> t -> bool
+
+(** [scale p factor] multiplies every weight. *)
+val scale : t -> float -> t
+
+(** [normalize_to_unit_load p] rescales so the maximum edge load is
+    exactly 1 (no-op for an empty or load-free packing) — the final step
+    turning the §5.1 collection into a packing of size
+    ⌈(λ-1)/2⌉(1-O(ε)). *)
+val normalize_to_unit_load : t -> t

@@ -1,0 +1,546 @@
+(* Tests for the CONGEST simulator: runtime accounting and bandwidth
+   enforcement, BFS/aggregation primitives, component identification,
+   distributed MST. *)
+
+open Graphs
+
+let rng () = Random.State.make [| 0xBEEF |]
+
+let vnet g = Congest.Net.create Congest.Model.V_congest g
+let enet g = Congest.Net.create Congest.Model.E_congest g
+
+(* ------------------------------------------------------------------ *)
+(* Runtime *)
+
+let test_broadcast_round () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  let inboxes = Congest.Net.broadcast_round net (fun u -> Some [| u * 10 |]) in
+  Alcotest.(check int) "one round" 1 (Congest.Net.rounds net);
+  (* middle node hears both ends *)
+  Alcotest.(check int) "inbox size" 2 (List.length inboxes.(1));
+  let senders = List.map fst inboxes.(1) in
+  Alcotest.(check (list int)) "senders sorted" [ 0; 2 ] senders;
+  Alcotest.(check int) "messages" 4 (Congest.Net.messages_sent net)
+
+let test_bandwidth_enforced () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  Alcotest.check_raises "oversized message rejected"
+    (Invalid_argument "Congest: message of 9 words exceeds budget 8")
+    (fun () ->
+      ignore (Congest.Net.broadcast_round net (fun _ -> Some (Array.make 9 0))))
+
+let test_word_width_enforced () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  let huge = max_int in
+  try
+    ignore (Congest.Net.broadcast_round net (fun _ -> Some [| huge |]));
+    Alcotest.fail "expected rejection of an overly wide word"
+  with Invalid_argument _ -> ()
+
+let test_edge_round_illegal_in_vcongest () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  Alcotest.check_raises "edge_round rejected"
+    (Invalid_argument "Congest.edge_round: per-edge messages illegal in V-CONGEST")
+    (fun () -> ignore (Congest.Net.edge_round net (fun _ -> [])))
+
+let test_edge_round_in_econgest () =
+  let g = Gen.path 3 in
+  let net = enet g in
+  let inboxes =
+    Congest.Net.edge_round net (fun u ->
+        if u = 1 then [ (0, [| 7 |]); (2, [| 8 |]) ] else [])
+  in
+  Alcotest.(check int) "end 0 got 7" 7 (snd (List.hd inboxes.(0))).(0);
+  Alcotest.(check int) "end 2 got 8" 8 (snd (List.hd inboxes.(2))).(0);
+  Alcotest.check_raises "duplicate direction rejected"
+    (Invalid_argument "Congest.edge_round: two messages on one edge direction")
+    (fun () ->
+      ignore
+        (Congest.Net.edge_round net (fun u ->
+             if u = 1 then [ (0, [| 1 |]); (0, [| 2 |]) ] else [])))
+
+let test_congestion_accounting () =
+  let g = Gen.clique 4 in
+  let net = vnet g in
+  ignore (Congest.Net.broadcast_round net (fun _ -> Some [| 1; 2 |]));
+  (* every node receives 3 messages x 2 words = 6 words *)
+  Alcotest.(check int) "node load" 6 (Congest.Net.max_node_load net);
+  (* each edge carries 2 words in each direction = 4 *)
+  Alcotest.(check int) "edge load" 4 (Congest.Net.max_edge_load net)
+
+let test_reset_and_checkpoint () =
+  let g = Gen.path 4 in
+  let net = vnet g in
+  ignore (Congest.Net.broadcast_round net (fun _ -> Some [| 0 |]));
+  let cp = Congest.Net.checkpoint net in
+  ignore (Congest.Net.broadcast_round net (fun _ -> Some [| 0 |]));
+  Congest.Net.silent_rounds net 3;
+  Alcotest.(check int) "rounds since" 4 (Congest.Net.rounds_since net cp);
+  Congest.Net.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Congest.Net.rounds net)
+
+let test_boundary_accounting () =
+  let g = Gen.path 4 in
+  let net = vnet g in
+  Congest.Net.set_boundary net (fun v -> v < 2);
+  (* node 1 broadcasts a 3-word message: neighbors 0 (same side) and 2
+     (across) -> 3 words cross; node 3 broadcasts 1 word to 2: same side *)
+  ignore
+    (Congest.Net.broadcast_round net (fun v ->
+         if v = 1 then Some [| 1; 2; 3 |]
+         else if v = 3 then Some [| 9 |]
+         else None));
+  Alcotest.(check int) "crossing words" 3 (Congest.Net.boundary_words net);
+  Congest.Net.clear_boundary net;
+  ignore (Congest.Net.broadcast_round net (fun _ -> Some [| 1 |]));
+  Alcotest.(check int) "no boundary, no counting" 3
+    (Congest.Net.boundary_words net);
+  Congest.Net.reset_stats net;
+  Alcotest.(check int) "reset" 0 (Congest.Net.boundary_words net)
+
+(* ------------------------------------------------------------------ *)
+(* Primitives *)
+
+let test_bfs_tree_rounds () =
+  let g = Gen.path 8 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  Alcotest.(check int) "height" 7 tree.Congest.Primitives.height;
+  Alcotest.(check int) "parent chain" 3 tree.Congest.Primitives.parent.(4);
+  (* BFS from an end of a path takes ecc + 1 = 8 rounds *)
+  Alcotest.(check int) "rounds" 8 (Congest.Net.rounds net)
+
+let test_flood_min () =
+  let g = Gen.cycle 7 in
+  let net = vnet g in
+  let mins =
+    Congest.Primitives.flood_min net ~value:(fun u -> 100 - u) ~rounds:4
+  in
+  (* after >= diameter(3)+ rounds everyone has the global min 100-6 = 94 *)
+  Array.iter (fun v -> Alcotest.(check int) "global min" 94 v) mins
+
+let test_preprocess () =
+  let g = Gen.grid 3 5 in
+  let net = vnet g in
+  let tree, count, d_bound = Congest.Primitives.preprocess net in
+  Alcotest.(check int) "n learned" 15 count;
+  Alcotest.(check int) "leader is min id" 0 tree.Congest.Primitives.root;
+  let d = Traversal.diameter g in
+  Alcotest.(check bool) "d_bound in [D, 2D]" true (d <= d_bound && d_bound <= 2 * d)
+
+let test_converge_sum_min () =
+  let g = Gen.random_connected (rng ()) ~n:20 ~extra:10 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let total = Congest.Primitives.converge_sum net tree (fun u -> u) in
+  Alcotest.(check int) "sum of ids" (20 * 19 / 2) total;
+  let m = Congest.Primitives.converge_min net tree (fun u -> 50 - u) in
+  Alcotest.(check int) "min" 31 m
+
+let test_broadcast_int () =
+  let g = Gen.path 6 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let got = Congest.Primitives.broadcast_int net tree 42 in
+  Array.iter (fun v -> Alcotest.(check int) "everyone got 42" 42 v) got
+
+let test_pipelined_upcast_filter () =
+  (* star with center 0: leaves each hold one item; the filter keeps only
+     even-valued items *)
+  let g = Gen.complete_bipartite 1 5 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let items u = if u > 0 then [ [| u |] ] else [] in
+  let filter _ m = m.(0) mod 2 = 0 in
+  let received = Congest.Primitives.pipelined_upcast net tree ~items ~filter in
+  let values = List.map (fun m -> m.(0)) received |> List.sort compare in
+  Alcotest.(check (list int)) "only evens arrive" [ 2; 4 ] values
+
+let test_pipelined_upcast_forest_filter () =
+  (* Kutten-Peleg style: upcast fragment-graph edges keeping a spanning
+     forest only. Path 0-1-2-3; node 3 holds redundant edges. *)
+  let g = Gen.path 4 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let items u =
+    if u = 3 then [ [| 10; 11 |]; [| 11; 12 |]; [| 10; 12 |]; [| 10; 11 |] ]
+    else []
+  in
+  (* per-node union-find filter over fragment ids 10..12 *)
+  let ufs = Array.init 4 (fun _ -> Union_find.create 3) in
+  let filter v m = Union_find.union ufs.(v) (m.(0) - 10) (m.(1) - 10) in
+  let received = Congest.Primitives.pipelined_upcast net tree ~items ~filter in
+  Alcotest.(check int) "root sees spanning forest only" 2
+    (List.length received)
+
+let test_pipelined_downcast_rounds () =
+  let g = Gen.path 5 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let cp = Congest.Net.checkpoint net in
+  Congest.Primitives.pipelined_downcast net tree [ [| 1 |]; [| 2 |]; [| 3 |] ];
+  Alcotest.(check int) "rounds = items + height" (3 + 4)
+    (Congest.Net.rounds_since net cp)
+
+(* ------------------------------------------------------------------ *)
+(* Component identification *)
+
+let test_identify_subgraph () =
+  let g = Gen.path 6 in
+  let net = vnet g in
+  (* deactivate the middle edge (2,3): two components *)
+  let labels =
+    Congest.Components.identify net
+      ~active:(fun _ -> true)
+      ~edge_active:(fun u v -> not ((u = 2 && v = 3) || (u = 3 && v = 2)))
+  in
+  Alcotest.(check (array int)) "labels" [| 0; 0; 0; 3; 3; 3 |] labels
+
+let test_identify_inactive_nodes () =
+  let g = Gen.cycle 6 in
+  let net = vnet g in
+  let labels =
+    Congest.Components.identify net
+      ~active:(fun v -> v <> 0 && v <> 3)
+      ~edge_active:(fun _ _ -> true)
+  in
+  Alcotest.(check int) "inactive" (-1) labels.(0);
+  Alcotest.(check int) "side a" 1 labels.(1);
+  Alcotest.(check int) "side a" 1 labels.(2);
+  Alcotest.(check int) "side b" 4 labels.(4);
+  Alcotest.(check int) "side b" 4 labels.(5)
+
+let test_identify_min_value () =
+  let g = Gen.path 5 in
+  let net = vnet g in
+  let values, ids =
+    Congest.Components.identify_min_value net
+      ~active:(fun _ -> true)
+      ~edge_active:(fun _ _ -> true)
+      ~value:(fun u -> 10 - u)
+  in
+  Array.iter (fun v -> Alcotest.(check int) "min value" 6 v) values;
+  Array.iter (fun i -> Alcotest.(check int) "argmin id" 4 i) ids
+
+let prop_identify_matches_centralized =
+  QCheck.Test.make
+    ~name:"distributed component id = centralized components" ~count:25
+    QCheck.(pair (int_range 4 20) (int_range 0 20))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra in
+      (* drop a pseudo-random half of the edges *)
+      let keep u v = (u + (3 * v)) mod 3 <> 0 in
+      let sym u v = keep (min u v) (max u v) in
+      let net = vnet g in
+      let labels =
+        Congest.Components.identify net ~active:(fun _ -> true) ~edge_active:sym
+      in
+      let sub = Graph.spanning_subgraph g sym in
+      let _, central = Traversal.components sub in
+      (* same partition: labels agree iff centralized labels agree *)
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if labels.(u) = labels.(v) && central.(u) <> central.(v) then
+            ok := false;
+          if central.(u) = central.(v) && labels.(u) <> labels.(v) then
+            ok := false
+        done
+      done;
+      !ok)
+
+let same_partition a b =
+  let n = Array.length a in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if (a.(u) = a.(v)) <> (b.(u) = b.(v)) then ok := false;
+      if (a.(u) < 0) <> (b.(u) < 0) then ok := false
+    done
+  done;
+  !ok
+
+let test_identify_hybrid_matches () =
+  let g = Gen.random_connected (rng ()) ~n:40 ~extra:30 in
+  let keep u v = (u + (2 * v)) mod 3 <> 0 in
+  let sym u v = keep (min u v) (max u v) in
+  let net1 = vnet g in
+  let flood =
+    Congest.Components.identify net1 ~active:(fun _ -> true) ~edge_active:sym
+  in
+  let net2 = vnet g in
+  let hybrid =
+    Congest.Components.identify_hybrid net2 ~active:(fun _ -> true)
+      ~edge_active:sym
+  in
+  Alcotest.(check bool) "hybrid partition = flooding partition" true
+    (same_partition flood hybrid)
+
+let test_identify_hybrid_beats_flooding_on_paths () =
+  (* a long path: flooding needs ~n rounds, the hybrid ~sqrt n + D...
+     on a path D = n so we embed the path in a star-augmented graph to
+     keep D small: path + hub connected to every 8th node *)
+  let n = 256 in
+  let path_edges = List.init (n - 1) (fun i -> (i, i + 1)) in
+  let hub_edges = List.init (n / 8) (fun j -> (n, 8 * j)) in
+  let g = Graph.of_edges ~n:(n + 1) (path_edges @ hub_edges) in
+  (* subgraph = the path only (hub inactive) *)
+  let active v = v < n in
+  let edge_active u v = u < n && v < n in
+  let net1 = vnet g in
+  let _ = Congest.Components.identify net1 ~active ~edge_active in
+  let flood_rounds = Congest.Net.rounds net1 in
+  let net2 = vnet g in
+  let labels = Congest.Components.identify_hybrid net2 ~active ~edge_active in
+  let hybrid_rounds = Congest.Net.rounds net2 in
+  (* the path is one component: all labels equal, hub inactive *)
+  for v = 1 to n - 1 do
+    Alcotest.(check int) "single component" labels.(0) labels.(v)
+  done;
+  Alcotest.(check int) "hub inactive" (-1) labels.(n);
+  Alcotest.(check bool)
+    (Printf.sprintf "hybrid %d < flooding %d rounds" hybrid_rounds flood_rounds)
+    true
+    (hybrid_rounds < flood_rounds)
+
+let test_identify_hybrid_isolated_fragments () =
+  (* disconnected subgraph with singleton and small components *)
+  let g = Gen.cycle 9 in
+  let net = vnet g in
+  let labels =
+    Congest.Components.identify_hybrid net
+      ~active:(fun v -> v <> 2 && v <> 5 && v <> 8)
+      ~edge_active:(fun _ _ -> true)
+  in
+  Alcotest.(check int) "inactive" (-1) labels.(2);
+  Alcotest.(check bool) "arc {0,1}" true (labels.(0) = labels.(1));
+  Alcotest.(check bool) "arc {3,4}" true (labels.(3) = labels.(4));
+  Alcotest.(check bool) "arcs distinct" true (labels.(0) <> labels.(3))
+
+let prop_hybrid_matches_flooding =
+  QCheck.Test.make
+    ~name:"hybrid component id = flooding component id" ~count:20
+    QCheck.(pair (int_range 5 30) (int_range 0 25))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra in
+      let keep u v = (u * v) mod 4 <> 1 in
+      let sym u v = keep (min u v) (max u v) in
+      let net1 = vnet g in
+      let a =
+        Congest.Components.identify net1 ~active:(fun _ -> true) ~edge_active:sym
+      in
+      let net2 = vnet g in
+      let b =
+        Congest.Components.identify_hybrid ~cap:3 net2 ~active:(fun _ -> true)
+          ~edge_active:sym
+      in
+      same_partition a b)
+
+(* ------------------------------------------------------------------ *)
+(* Distributed MST *)
+
+let test_dist_mst_is_mst () =
+  let g = Gen.random_connected (rng ()) ~n:25 ~extra:30 in
+  let weight u v =
+    let u, v = (min u v, max u v) in
+    ((u * 131) + (v * 37)) mod 1000
+  in
+  let net = vnet g in
+  let forest = Congest.Dist_mst.minimum_spanning_forest net ~weight in
+  Alcotest.(check bool) "spanning tree" true
+    (Mst.is_spanning_tree ~n:25 forest);
+  let wt =
+    List.fold_left (fun acc (u, v) -> acc +. float_of_int (weight u v)) 0. forest
+  in
+  let central =
+    Mst.minimum_spanning_tree g ~weight:(fun u v -> float_of_int (weight u v))
+  in
+  let cw =
+    List.fold_left (fun acc (u, v) -> acc +. float_of_int (weight u v)) 0.
+      central
+  in
+  Alcotest.(check (float 1e-6)) "same weight as centralized MST" cw wt
+
+let test_dist_mst_on_subgraph () =
+  let g = Gen.clique 8 in
+  let net = vnet g in
+  (* restrict to even vertices, forming a 4-clique *)
+  let active v = v mod 2 = 0 in
+  let forest =
+    Congest.Dist_mst.minimum_spanning_forest_on net ~active
+      ~edge_active:(fun u v -> active u && active v)
+      ~weight:(fun u v -> u + v)
+  in
+  Alcotest.(check int) "three edges" 3 (List.length forest);
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "even endpoints" true (active u && active v))
+    forest
+
+let test_pipelined_converge () =
+  let g = Gen.path 6 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  (* keys 0/1, payload = one word; minimum per key expected at root *)
+  let values u = [ (u mod 2, [| 100 - u |]) ] in
+  let better (a : Congest.Net.msg) b = a.(0) < b.(0) in
+  let result = Congest.Primitives.pipelined_converge net tree ~values ~better in
+  (match result with
+  | [ (0, p0); (1, p1) ] ->
+    Alcotest.(check int) "min even payload" (100 - 4) p0.(0);
+    Alcotest.(check int) "min odd payload" (100 - 5) p1.(0)
+  | _ -> Alcotest.fail "expected two keys");
+  ignore tree
+
+let test_pipelined_converge_rounds () =
+  (* many keys: rounds should scale like height + #keys, far below
+     height * #keys *)
+  let g = Gen.path 16 in
+  let net = vnet g in
+  let tree = Congest.Primitives.bfs_tree net ~root:0 in
+  let keys = 8 in
+  let values u = [ (u mod keys, [| u |]) ] in
+  let better (a : Congest.Net.msg) b = a.(0) < b.(0) in
+  let cp = Congest.Net.checkpoint net in
+  let result = Congest.Primitives.pipelined_converge net tree ~values ~better in
+  Alcotest.(check int) "all keys arrive" keys (List.length result);
+  let rounds = Congest.Net.rounds_since net cp in
+  Alcotest.(check bool)
+    (Printf.sprintf "pipelined: %d rounds <= 3*(height+keys)" rounds)
+    true
+    (rounds <= 3 * (tree.Congest.Primitives.height + keys + 2))
+
+let test_hybrid_mst_matches () =
+  let g = Gen.random_connected (rng ()) ~n:30 ~extra:40 in
+  let weight u v =
+    let u, v = (min u v, max u v) in
+    ((u * 101) + (v * 53)) mod 997
+  in
+  let net1 = vnet g in
+  let a = Congest.Dist_mst.minimum_spanning_forest net1 ~weight in
+  let net2 = vnet g in
+  let b = Congest.Dist_mst.minimum_spanning_forest_hybrid net2 ~weight in
+  Alcotest.(check (list (pair int int))) "same forest" a b
+
+let prop_hybrid_mst_matches =
+  QCheck.Test.make ~name:"hybrid MST = flooding MST" ~count:12
+    QCheck.(pair (int_range 5 20) (int_range 0 25))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra in
+      let weight u v =
+        let u, v = (min u v, max u v) in
+        ((u * 7) + (v * 13)) mod 61
+      in
+      let net1 = vnet g in
+      let a = Congest.Dist_mst.minimum_spanning_forest net1 ~weight in
+      let net2 = vnet g in
+      let b = Congest.Dist_mst.minimum_spanning_forest_hybrid net2 ~weight in
+      a = b)
+
+let prop_dist_mst_weight =
+  QCheck.Test.make ~name:"distributed MST weight matches centralized"
+    ~count:15
+    QCheck.(pair (int_range 5 18) (int_range 0 25))
+    (fun (n, extra) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra in
+      let weight u v =
+        let u, v = (min u v, max u v) in
+        ((u * 7) + (v * 13)) mod 50
+      in
+      let net = vnet g in
+      let forest = Congest.Dist_mst.minimum_spanning_forest net ~weight in
+      let dw =
+        List.fold_left (fun a (u, v) -> a + weight u v) 0 forest
+      in
+      let central =
+        Mst.minimum_spanning_tree g ~weight:(fun u v -> float_of_int (weight u v))
+      in
+      let cw = List.fold_left (fun a (u, v) -> a + weight u v) 0 central in
+      Mst.is_spanning_tree ~n forest && dw = cw)
+
+(* ------------------------------------------------------------------ *)
+
+let prop_words_accounting =
+  QCheck.Test.make ~name:"words_sent equals the sum of message lengths"
+    ~count:30
+    QCheck.(pair (int_range 3 12) (int_range 1 8))
+    (fun (n, len) ->
+      let g = Gen.clique n in
+      let net = vnet g in
+      ignore
+        (Congest.Net.broadcast_round net (fun u ->
+             if u mod 2 = 0 then Some (Array.make len 1) else None));
+      let senders = (n + 1) / 2 in
+      Congest.Net.words_sent net = senders * (n - 1) * len
+      && Congest.Net.messages_sent net = senders * (n - 1))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "congest"
+    [
+      ( "runtime",
+        [
+          Alcotest.test_case "broadcast round" `Quick test_broadcast_round;
+          Alcotest.test_case "bandwidth" `Quick test_bandwidth_enforced;
+          Alcotest.test_case "word width" `Quick test_word_width_enforced;
+          Alcotest.test_case "edge_round illegal in V" `Quick
+            test_edge_round_illegal_in_vcongest;
+          Alcotest.test_case "edge_round in E" `Quick test_edge_round_in_econgest;
+          Alcotest.test_case "congestion accounting" `Quick
+            test_congestion_accounting;
+          Alcotest.test_case "reset/checkpoint" `Quick test_reset_and_checkpoint;
+          Alcotest.test_case "boundary accounting" `Quick
+            test_boundary_accounting;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "bfs tree + rounds" `Quick test_bfs_tree_rounds;
+          Alcotest.test_case "flood min" `Quick test_flood_min;
+          Alcotest.test_case "preprocess" `Quick test_preprocess;
+          Alcotest.test_case "converge" `Quick test_converge_sum_min;
+          Alcotest.test_case "broadcast int" `Quick test_broadcast_int;
+          Alcotest.test_case "pipelined upcast filter" `Quick
+            test_pipelined_upcast_filter;
+          Alcotest.test_case "upcast forest filter" `Quick
+            test_pipelined_upcast_forest_filter;
+          Alcotest.test_case "downcast rounds" `Quick
+            test_pipelined_downcast_rounds;
+        ] );
+      ( "components",
+        [
+          Alcotest.test_case "subgraph split" `Quick test_identify_subgraph;
+          Alcotest.test_case "inactive nodes" `Quick test_identify_inactive_nodes;
+          Alcotest.test_case "min value" `Quick test_identify_min_value;
+        ] );
+      ( "components.hybrid",
+        [
+          Alcotest.test_case "matches flooding" `Quick
+            test_identify_hybrid_matches;
+          Alcotest.test_case "faster on paths" `Quick
+            test_identify_hybrid_beats_flooding_on_paths;
+          Alcotest.test_case "isolated fragments" `Quick
+            test_identify_hybrid_isolated_fragments;
+        ] );
+      qsuite "runtime.props" [ prop_words_accounting ];
+      qsuite "components.props"
+        [ prop_identify_matches_centralized; prop_hybrid_matches_flooding ];
+      ( "dist_mst",
+        [
+          Alcotest.test_case "matches centralized" `Quick test_dist_mst_is_mst;
+          Alcotest.test_case "subgraph" `Quick test_dist_mst_on_subgraph;
+        ] );
+      ( "dist_mst.hybrid",
+        [
+          Alcotest.test_case "pipelined converge" `Quick test_pipelined_converge;
+          Alcotest.test_case "converge rounds" `Quick
+            test_pipelined_converge_rounds;
+          Alcotest.test_case "matches flooding MST" `Quick
+            test_hybrid_mst_matches;
+        ] );
+      qsuite "dist_mst.props" [ prop_dist_mst_weight; prop_hybrid_mst_matches ];
+    ]

@@ -1,0 +1,971 @@
+(* Tests for the dominating-tree packing: virtual graph indexing, the
+   centralized and distributed packing algorithms, packing verification,
+   tree extraction, connector paths, the Appendix E tester, and the
+   vertex-connectivity approximation. *)
+
+open Graphs
+open Domtree
+module Union_find = Graphs.Union_find
+
+let vnet g = Congest.Net.create Congest.Model.V_congest g
+
+(* ------------------------------------------------------------------ *)
+(* Virtual graph *)
+
+let test_vg_indexing () =
+  let g = Gen.cycle 5 in
+  let vg = Virtual_graph.create g ~layers:6 in
+  Alcotest.(check int) "count" (5 * 18) (Virtual_graph.count vg);
+  (* round-trip all coordinates *)
+  for real = 0 to 4 do
+    for layer = 1 to 6 do
+      for vtype = 1 to 3 do
+        let id = Virtual_graph.vid vg ~real ~layer ~vtype in
+        Alcotest.(check int) "real" real (Virtual_graph.real_of vg id);
+        Alcotest.(check int) "layer" layer (Virtual_graph.layer_of vg id);
+        Alcotest.(check int) "type" vtype (Virtual_graph.type_of vg id)
+      done
+    done
+  done
+
+let test_vg_ids_distinct () =
+  let g = Gen.path 4 in
+  let vg = Virtual_graph.create g ~layers:4 in
+  let seen = Hashtbl.create 64 in
+  for real = 0 to 3 do
+    for layer = 1 to 4 do
+      for vtype = 1 to 3 do
+        let id = Virtual_graph.vid vg ~real ~layer ~vtype in
+        Alcotest.(check bool) "fresh id" false (Hashtbl.mem seen id);
+        Hashtbl.replace seen id ();
+        Alcotest.(check bool) "in range" true (id >= 0 && id < Virtual_graph.count vg)
+      done
+    done
+  done
+
+let test_vg_adjacency () =
+  let g = Gen.path 3 in
+  let vg = Virtual_graph.create g ~layers:2 in
+  let a = Virtual_graph.vid vg ~real:0 ~layer:1 ~vtype:1 in
+  let a' = Virtual_graph.vid vg ~real:0 ~layer:2 ~vtype:3 in
+  let b = Virtual_graph.vid vg ~real:1 ~layer:1 ~vtype:2 in
+  let c = Virtual_graph.vid vg ~real:2 ~layer:1 ~vtype:1 in
+  Alcotest.(check bool) "same real adjacent" true (Virtual_graph.adjacent vg a a');
+  Alcotest.(check bool) "not self adjacent" false (Virtual_graph.adjacent vg a a);
+  Alcotest.(check bool) "adjacent reals" true (Virtual_graph.adjacent vg a b);
+  Alcotest.(check bool) "non-adjacent reals" false (Virtual_graph.adjacent vg a c);
+  Alcotest.(check bool) "rejects odd layers" true
+    (try
+       ignore (Virtual_graph.create g ~layers:3);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Centralized packing *)
+
+let check_packing_result g res =
+  (* every virtual node got a class *)
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "class assigned" true
+        (c >= 0 && c < res.Cds_packing.classes))
+    res.Cds_packing.class_of;
+  (* members consistent with class_of *)
+  let n = Graph.n g in
+  let per_real = Cds_packing.real_classes res in
+  Array.iteri
+    (fun i members ->
+      Array.iter
+        (fun r ->
+          Alcotest.(check bool) "member listed in real_classes" true
+            (List.mem i per_real.(r)))
+        members;
+      ignore i)
+    res.Cds_packing.members;
+  (* per-node load is at most 3 * layers *)
+  let layers = Virtual_graph.layers res.Cds_packing.vg in
+  for r = 0 to n - 1 do
+    Alcotest.(check bool) "load O(log n)" true
+      (List.length per_real.(r) <= 3 * layers)
+  done
+
+let test_pack_valid_on_harary () =
+  let g = Gen.harary ~k:12 ~n:72 in
+  let res = Cds_packing.pack ~seed:1 g ~k:12 in
+  check_packing_result g res;
+  let valid = Cds_packing.valid_classes res in
+  Alcotest.(check int) "all classes valid" res.Cds_packing.classes
+    (List.length valid);
+  (* verified flags match direct predicates *)
+  List.iter
+    (fun i ->
+      let members = res.Cds_packing.members.(i) in
+      let in_set v = Array.exists (fun x -> x = v) members in
+      Alcotest.(check bool) "dominating flag correct" true
+        (Domination.is_dominating g in_set))
+    valid
+
+let test_pack_merges_components () =
+  (* sparse jump-start on the clique path forces merging work *)
+  let g = Gen.clique_path ~k:8 ~len:24 in
+  let res = Cds_packing.run ~seed:3 ~jumpstart:1 g ~classes:10 ~layers:14 in
+  let excess = res.Cds_packing.stats.Cds_packing.excess_after_layer in
+  (match excess with
+  | (_, m0) :: _ ->
+    Alcotest.(check bool) "jump-start leaves work" true (m0 > 0)
+  | [] -> Alcotest.fail "no stats");
+  let _, last = List.nth excess (List.length excess - 1) in
+  Alcotest.(check int) "all classes connected at the end" 0 last;
+  Alcotest.(check int) "all valid" 10
+    (List.length (Cds_packing.valid_classes res))
+
+let test_excess_monotone () =
+  let g = Gen.clique_path ~k:8 ~len:16 in
+  let res = Cds_packing.run ~seed:5 ~jumpstart:1 g ~classes:8 ~layers:12 in
+  let ms = List.map snd res.Cds_packing.stats.Cds_packing.excess_after_layer in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a >= b && monotone rest
+    | _ -> true
+  in
+  (* Lemma 4.4 first part: M never increases *)
+  Alcotest.(check bool) "M non-increasing" true (monotone ms)
+
+(* Lemma 4.6: each class holds O(n log n / t) real vertices *)
+let test_class_size_bound () =
+  let n = 128 and k = 16 in
+  let g = Gen.harary ~k ~n in
+  let res = Cds_packing.pack ~seed:44 g ~k in
+  let t = res.Cds_packing.classes in
+  let bound =
+    8. *. float_of_int n *. log (float_of_int n) /. float_of_int t
+  in
+  Array.iter
+    (fun members ->
+      Alcotest.(check bool)
+        (Printf.sprintf "class size %d <= O(n log n / t) = %.0f"
+           (Array.length members) bound)
+        true
+        (float_of_int (Array.length members) <= bound))
+    res.Cds_packing.members
+
+(* Theorem B.1 regression: the distributed run stays within the
+   O~(D + sqrt n) budget on a standard instance *)
+let test_dist_rounds_budget () =
+  let n = 64 and k = 8 in
+  let g = Gen.harary ~k ~n in
+  let d = Traversal.diameter g in
+  let net = vnet g in
+  let _ = Dist_packing.pack ~seed:45 net ~k in
+  let lg = log (float_of_int n) /. log 2. in
+  let budget = (float_of_int d +. sqrt (float_of_int n)) *. (lg ** 3.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %d <= budget %.0f" (Congest.Net.rounds net) budget)
+    true
+    (float_of_int (Congest.Net.rounds net) <= budget)
+
+let prop_pack_classes_cover_all_vnodes =
+  QCheck.Test.make ~name:"every virtual node is assigned exactly one class"
+    ~count:10
+    QCheck.(pair (int_range 12 40) (int_range 2 4))
+    (fun (n, k) ->
+      let g = Gen.harary ~k ~n in
+      let res = Cds_packing.pack g ~k in
+      Array.for_all (fun c -> c >= 0) res.Cds_packing.class_of)
+
+(* ------------------------------------------------------------------ *)
+(* Packing verification + tree extraction *)
+
+let test_extract_valid_packing () =
+  let g = Gen.harary ~k:10 ~n:60 in
+  let res = Cds_packing.pack ~seed:2 g ~k:10 in
+  let p = Tree_extract.of_cds_packing res in
+  Alcotest.(check (list string)) "no violations" []
+    (List.map (Format.asprintf "%a" Packing.pp_violation) (Packing.verify p));
+  Alcotest.(check bool) "size positive" true (Packing.size p > 0.);
+  Alcotest.(check bool) "load <= 1" true (Packing.max_node_load p <= 1. +. 1e-9)
+
+let test_verify_rejects_bad_tree () =
+  let g = Gen.cycle 6 in
+  (* a "tree" with a cycle *)
+  let bad =
+    {
+      Packing.graph = g;
+      trees =
+        [
+          {
+            Packing.cls = 0;
+            vertices = [| 0; 1; 2; 3; 4; 5 |];
+            edges = [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (0, 5) ];
+          };
+        ];
+      weights = [ 1. ];
+    }
+  in
+  Alcotest.(check bool) "cycle rejected" false (Packing.is_valid bad)
+
+let test_verify_rejects_non_dominating () =
+  let g = Gen.path 9 in
+  let bad =
+    {
+      Packing.graph = g;
+      trees =
+        [ { Packing.cls = 0; vertices = [| 0; 1 |]; edges = [ (0, 1) ] } ];
+      weights = [ 1. ];
+    }
+  in
+  let violations = Packing.verify bad in
+  Alcotest.(check bool) "non-dominating rejected" true
+    (List.exists (function Packing.Not_dominating _ -> true | _ -> false)
+       violations)
+
+let test_verify_rejects_overload () =
+  let g = Gen.clique 4 in
+  let tree =
+    { Packing.cls = 0; vertices = [| 0; 1; 2; 3 |];
+      edges = [ (0, 1); (1, 2); (2, 3) ] }
+  in
+  let bad = { Packing.graph = g; trees = [ tree; tree ]; weights = [ 0.7; 0.7 ] } in
+  let violations = Packing.verify bad in
+  Alcotest.(check bool) "overload rejected" true
+    (List.exists (function Packing.Overloaded_vertex _ -> true | _ -> false)
+       violations)
+
+let test_integral_subpacking_disjoint () =
+  let g = Gen.harary ~k:12 ~n:72 in
+  let res = Cds_packing.pack ~seed:4 g ~k:12 in
+  let p = Tree_extract.of_cds_packing res in
+  let q = Tree_extract.integral_subpacking p in
+  (* chosen trees pairwise vertex-disjoint *)
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun tr ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "vertex used once" false (Hashtbl.mem seen v);
+          Hashtbl.replace seen v ())
+        tr.Packing.vertices)
+    q.Packing.trees;
+  Alcotest.(check bool) "at least one tree" true (Packing.count q >= 1)
+
+let test_tree_diameter_bound () =
+  (* clique-path: diameter of each dominating tree should be O~(n/k) *)
+  let k = 6 and len = 12 in
+  let g = Gen.clique_path ~k ~len in
+  let res = Cds_packing.pack ~seed:6 g ~k in
+  let p = Tree_extract.of_cds_packing res in
+  let nk = Graph.n g / k in
+  Alcotest.(check bool) "diameter O~(n/k)" true
+    (Packing.max_tree_diameter p <= 8 * nk)
+
+(* failure injection: every mutation of a valid packing must be caught *)
+let prop_verifier_catches_mutations =
+  QCheck.Test.make ~name:"verifier rejects every mutation of a valid packing"
+    ~count:20
+    QCheck.(pair (int_range 0 3) small_int)
+    (fun (mutation, seed) ->
+      let g = Gen.harary ~k:8 ~n:40 in
+      let res = Cds_packing.pack ~seed:(seed + 1) g ~k:8 in
+      let p = Tree_extract.of_cds_packing res in
+      QCheck.assume (Packing.count p >= 1);
+      let mutate (tr : Packing.tree) =
+        match mutation with
+        | 0 ->
+          (* drop a tree edge: disconnects the tree *)
+          (match tr.Packing.edges with
+          | _ :: rest -> { tr with Packing.edges = rest }
+          | [] -> tr)
+        | 1 ->
+          (* drop a vertex but keep its edges: edge outside the set *)
+          let vs = tr.Packing.vertices in
+          if Array.length vs > 1 then
+            { tr with Packing.vertices = Array.sub vs 1 (Array.length vs - 1) }
+          else tr
+        | 2 ->
+          (* add a fake edge, creating a cycle *)
+          let vs = tr.Packing.vertices in
+          if Array.length vs >= 3 then
+            let u = vs.(0) and v = vs.(Array.length vs - 1) in
+            if Graph.mem_edge g u v
+               && not (List.mem (min u v, max u v) tr.Packing.edges)
+            then
+              { tr with Packing.edges = (min u v, max u v) :: tr.Packing.edges }
+            else tr
+          else tr
+        | _ -> tr
+      in
+      match (p.Packing.trees, mutation) with
+      | tr :: rest, m when m <= 2 ->
+        let tr' = mutate tr in
+        if tr' = tr then true (* mutation not applicable: vacuous *)
+        else
+          let bad = { p with Packing.trees = tr' :: rest } in
+          not (Packing.is_valid bad)
+      | _, _ ->
+        (* mutation 3: overload by doubling every weight above 1 *)
+        let bad =
+          { p with Packing.weights = List.map (fun _ -> 0.9) p.Packing.weights }
+        in
+        if Packing.max_multiplicity p < 2 then true
+        else not (Packing.is_valid bad))
+
+let test_integral_layering () =
+  let g = Gen.harary ~k:48 ~n:96 in
+  let r = Integral_layering.run ~seed:21 g ~layers:8 in
+  Alcotest.(check bool) "most layers succeed" true
+    (r.Integral_layering.successes >= 4);
+  let p = r.Integral_layering.packing in
+  Alcotest.(check (list string)) "valid integral packing" []
+    (List.map (Format.asprintf "%a" Packing.pp_violation) (Packing.verify p));
+  (* vertex-disjointness: multiplicity exactly 1 *)
+  Alcotest.(check int) "vertex-disjoint" 1 (Packing.max_multiplicity p)
+
+let test_integral_layering_sparse_fails_gracefully () =
+  (* a path cannot host CDSs inside thin random layers *)
+  let g = Gen.path 20 in
+  let r = Integral_layering.run ~seed:22 g ~layers:4 in
+  Alcotest.(check bool) "no invalid trees" true
+    (Packing.verify r.Integral_layering.packing = [])
+
+let test_packing_serialization_roundtrip () =
+  let g = Gen.harary ~k:8 ~n:40 in
+  let res = Cds_packing.pack ~seed:33 g ~k:8 in
+  let p = Tree_extract.of_cds_packing res in
+  let path = Filename.temp_file "packing" ".txt" in
+  Packing.save path p;
+  let q = Packing.load path ~graph:g in
+  Sys.remove path;
+  Alcotest.(check int) "tree count" (Packing.count p) (Packing.count q);
+  Alcotest.(check (float 1e-9)) "size" (Packing.size p) (Packing.size q);
+  Alcotest.(check bool) "still valid" true (Packing.is_valid q)
+
+(* ------------------------------------------------------------------ *)
+(* Connector paths *)
+
+let test_connector_validity () =
+  let g = Gen.cycle 6 in
+  (* class = {0, 3}: dominating, two singleton components at distance 3;
+     the two arcs give two long connector paths *)
+  let in_class v = v = 0 || v = 3 in
+  let in_component v = v = 0 in
+  let paths = Connector.enumerate g ~in_class ~in_component in
+  Alcotest.(check bool) "found some" true (List.length paths >= 1);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "valid connector path" true
+        (Connector.is_connector_path g ~in_class ~in_component p))
+    paths
+
+let test_connector_max_disjoint_cycle () =
+  let g = Gen.cycle 6 in
+  let in_class v = v = 0 || v = 3 in
+  let in_component v = v = 0 in
+  (* two disjoint routes around the cycle, each with two internals *)
+  Alcotest.(check int) "two disjoint connectors" 2
+    (Connector.max_disjoint g ~in_class ~in_component);
+  (* beyond distance 3 no connector path can exist (condition (B)) *)
+  let g8 = Gen.cycle 8 in
+  Alcotest.(check int) "distance 4: none" 0
+    (Connector.max_disjoint g8
+       ~in_class:(fun v -> v = 0 || v = 4)
+       ~in_component:(fun v -> v = 0))
+
+let test_connector_short_path_rule () =
+  (* star-like: class {1, 2} non-adjacent, sharing neighbor 0 *)
+  let g = Graph.of_edges ~n:3 [ (0, 1); (0, 2) ] in
+  let in_class v = v = 1 || v = 2 in
+  let in_component v = v = 1 in
+  let paths = Connector.enumerate g ~in_class ~in_component in
+  Alcotest.(check int) "one short connector" 1 (List.length paths);
+  Alcotest.(check bool) "it is short" true (Connector.is_short (List.hd paths))
+
+let test_connector_condition_c () =
+  (* u adjacent to both sides must not be the first internal of a long
+     path: on a path 1-0-2, vertex 0 sees both; a long path through it
+     would violate minimality *)
+  let g = Graph.of_edges ~n:4 [ (1, 0); (0, 2); (0, 3); (3, 2) ] in
+  let in_class v = v = 1 || v = 2 in
+  let in_component v = v = 1 in
+  let bad =
+    { Connector.endpoint_in = 1; internals = [ 0; 3 ]; endpoint_out = 2 }
+  in
+  Alcotest.(check bool) "condition (C) rejects" false
+    (Connector.is_connector_path g ~in_class ~in_component bad)
+
+let test_connector_realization () =
+  let g = Gen.cycle 6 in
+  let vg = Virtual_graph.create g ~layers:4 in
+  let in_class v = v = 0 || v = 3 in
+  let in_component v = v = 0 in
+  let paths = Connector.enumerate g ~in_class ~in_component in
+  List.iter
+    (fun p ->
+      let vs = Connector.realize vg ~layer:3 p in
+      match (p.Connector.internals, vs) with
+      | [ x ], [ (id, 1) ] ->
+        Alcotest.(check int) "short: type-1 on the internal" x
+          (Virtual_graph.real_of vg id)
+      | [ u; w ], [ (id2, 2); (id3, 3) ] ->
+        Alcotest.(check int) "long: type-2 on the C side" u
+          (Virtual_graph.real_of vg id2);
+        Alcotest.(check int) "long: type-3 on the far side" w
+          (Virtual_graph.real_of vg id3);
+        Alcotest.(check int) "layer stamped" 3 (Virtual_graph.layer_of vg id2)
+      | _ -> Alcotest.fail "unexpected realization shape")
+    paths
+
+(* Proposition 4.2: within one class, a type-2 internal vertex (the first
+   internal of a long connector) serves at most one component. *)
+let test_proposition_4_2 () =
+  let g = Gen.clique_path ~k:6 ~len:10 in
+  let n = Graph.n g in
+  let rng = Random.State.make [| 42 |] in
+  (* random sparse class *)
+  for _trial = 1 to 5 do
+    let member = Array.init n (fun _ -> Random.State.float rng 1. < 0.3) in
+    let in_class v = member.(v) in
+    if Domination.is_dominating g in_class then begin
+      let sub =
+        Graph.spanning_subgraph g (fun u v -> in_class u && in_class v)
+      in
+      let _, labels = Traversal.components sub in
+      let roots = Hashtbl.create 8 in
+      for v = 0 to n - 1 do
+        if in_class v then Hashtbl.replace roots labels.(v) ()
+      done;
+      if Hashtbl.length roots >= 2 then begin
+        (* first-internal (type-2) vertices per component *)
+        let owner = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun root () ->
+            let in_component v = in_class v && labels.(v) = root in
+            List.iter
+              (fun p ->
+                match p.Connector.internals with
+                | [ u; _ ] -> (
+                  match Hashtbl.find_opt owner u with
+                  | Some other ->
+                    Alcotest.(check int)
+                      "type-2 vertex serves one component" other root
+                  | None -> Hashtbl.replace owner u root)
+                | _ -> ())
+              (Connector.enumerate g ~in_class ~in_component))
+          roots
+      end
+    end
+  done
+
+let test_connector_abundance () =
+  (* Lemma 4.3 on the hypercube: k = 4 *)
+  let g = Gen.hypercube 4 in
+  let audit =
+    Connector.audit_jumpstart ~seed:3 g ~classes:4 ~layers:4 ~k:4
+  in
+  Alcotest.(check bool) "every component has >= k disjoint connectors" true
+    audit.Connector.all_above_k
+
+(* ------------------------------------------------------------------ *)
+(* The bridging graph (Fig. 1), standalone *)
+
+(* Fig. 1-style scenario on a path of cliques: class 0 has two
+   components (blocks 0 and 2); block 1 vertices are unassigned old
+   nodes; type-3 witnesses on block 1 enable type-2 edges. *)
+let bridging_scenario () =
+  let k = 3 in
+  let g = Gen.clique_path ~k ~len:3 in
+  let members i v = i = 0 && (v < k || v >= 2 * k) in
+  (* type-1 nodes pick class 1 (absent from the scenario): no
+     deactivation; type-3 nodes on the middle block pick class 0 *)
+  let class1 = Array.make (Graph.n g) 1 in
+  let class3 =
+    Array.init (Graph.n g) (fun v -> if v = 4 then 0 else 1)
+  in
+  (g, members, class1, class3)
+
+let test_bridging_rules () =
+  let g, members, class1, class3 = bridging_scenario () in
+  let b = Bridging.build g ~classes:2 ~members ~class1 ~class3 in
+  (* two components of class 0 *)
+  Alcotest.(check int) "two components" 2 (List.length b.Bridging.components);
+  List.iter
+    (fun c -> Alcotest.(check bool) "active" true c.Bridging.active)
+    b.Bridging.components;
+  (* vertex 4 (middle block, position 1) is a type-3 witness of class 0:
+     it sees both components, so adjacent type-2 middle vertices get
+     bridging edges *)
+  Alcotest.(check bool) "bridging edges exist" true (b.Bridging.edges <> []);
+  List.iter
+    (fun (r, (i, _)) ->
+      ignore r;
+      (* note: members may carry type-2 edges too — the virtual graph's
+         same-real adjacency makes a node its own old nodes' neighbor *)
+      Alcotest.(check int) "edges are for class 0" 0 i)
+    b.Bridging.edges;
+  (* a maximal matching merges at least one pair *)
+  Alcotest.(check bool) "matching nonempty" true
+    (Bridging.greedy_matching b <> [])
+
+let test_bridging_deactivation () =
+  let g, members, _class1, class3 = bridging_scenario () in
+  (* now a type-1 node in the middle block joins class 0 and sees both
+     components: both deactivate, killing all bridging edges *)
+  let class1 = Array.init (Graph.n g) (fun v -> if v = 4 then 0 else 1) in
+  let b = Bridging.build g ~classes:2 ~members ~class1 ~class3 in
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "deactivated" false c.Bridging.active)
+    b.Bridging.components;
+  Alcotest.(check (list (pair int (pair int int)))) "no edges" []
+    b.Bridging.edges
+
+let test_bridging_no_witness_no_edge () =
+  let g, members, class1, _class3 = bridging_scenario () in
+  (* no type-3 node of class 0 anywhere: condition (c) fails *)
+  let class3 = Array.make (Graph.n g) 1 in
+  let b = Bridging.build g ~classes:2 ~members ~class1 ~class3 in
+  Alcotest.(check (list (pair int (pair int int)))) "no edges" []
+    b.Bridging.edges
+
+(* first-principles check: every reported bridging edge satisfies the
+   §3.1 conditions (a)-(c), and the deactivated components carry none *)
+let prop_bridging_rules_sound =
+  QCheck.Test.make ~name:"bridging edges satisfy conditions (a)-(c)" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 99 |] in
+      let g = Gen.clique_path ~k:5 ~len:6 in
+      let n = Graph.n g in
+      let classes = 3 in
+      let member = Array.make_matrix classes n false in
+      for v = 0 to n - 1 do
+        (* sparse random memberships *)
+        if Random.State.float rng 1.0 < 0.4 then
+          member.(Random.State.int rng classes).(v) <- true
+      done;
+      let members i v = member.(i).(v) in
+      let class1 = Array.init n (fun _ -> Random.State.int rng classes) in
+      let class3 = Array.init n (fun _ -> Random.State.int rng classes) in
+      let b = Bridging.build g ~classes ~members ~class1 ~class3 in
+      (* recompute component ids for the check *)
+      let uf = Array.init classes (fun _ -> Union_find.create n) in
+      Graph.iter_edges
+        (fun u v ->
+          for i = 0 to classes - 1 do
+            if members i u && members i v then ignore (Union_find.union uf.(i) u v)
+          done)
+        g;
+      let closed r = r :: Array.to_list (Graph.neighbors g r) in
+      let comp_min i v =
+        (* canonical id = min member of the component *)
+        let root = Union_find.find uf.(i) v in
+        let best = ref max_int in
+        for u = 0 to n - 1 do
+          if members i u && Union_find.find uf.(i) u = root then
+            if u < !best then best := u
+        done;
+        !best
+      in
+      List.for_all
+        (fun (r, (i, c)) ->
+          (* (a) r's closed neighborhood touches component c of class i *)
+          let touches =
+            List.exists
+              (fun u -> members i u && comp_min i u = c)
+              (closed r)
+          in
+          (* (c) some type-3 neighbor of class i witnesses another
+             component *)
+          let witnessed =
+            List.exists
+              (fun w ->
+                class3.(w) = i
+                && List.exists
+                     (fun u -> members i u && comp_min i u <> c)
+                     (closed w)
+                && List.exists (fun u -> members i u) (closed w))
+              (closed r)
+          in
+          (* (b) the component is listed active *)
+          let active =
+            List.exists
+              (fun comp ->
+                comp.Bridging.cls = i && comp.Bridging.id = c
+                && comp.Bridging.active)
+              b.Bridging.components
+          in
+          touches && witnessed && active)
+        b.Bridging.edges)
+
+(* ------------------------------------------------------------------ *)
+(* The [CGK SODA'14] explicit-connector baseline *)
+
+let test_cgk_baseline_valid () =
+  let g = Gen.harary ~k:9 ~n:54 in
+  let res = Cgk_baseline.pack ~seed:17 g ~k:9 in
+  Alcotest.(check int) "all classes valid" res.Cds_packing.classes
+    (List.length (Cds_packing.valid_classes res));
+  let p = Tree_extract.of_cds_packing res in
+  Alcotest.(check (list string)) "extracted packing verifies" []
+    (List.map (Format.asprintf "%a" Packing.pp_violation) (Packing.verify p))
+
+let test_cgk_baseline_merges () =
+  let g = Gen.clique_path ~k:8 ~len:16 in
+  let res = Cgk_baseline.run ~seed:18 ~jumpstart:1 g ~classes:10 ~layers:12 in
+  let excess = res.Cds_packing.stats.Cds_packing.excess_after_layer in
+  (match excess with
+  | (_, m0) :: _ -> Alcotest.(check bool) "initial components" true (m0 > 0)
+  | [] -> Alcotest.fail "no stats");
+  Alcotest.(check int) "all merged by explicit connectors" 10
+    (List.length (Cds_packing.valid_classes res))
+
+(* ------------------------------------------------------------------ *)
+(* Multiflood (the virtual-graph meta-round simulation) *)
+
+let test_multiflood_component_ids () =
+  (* cycle of 6; class 0 = {0,1,2}, class 1 = {3,4,5}, both intervals:
+     each class is one component, min ids 0 and 3 *)
+  let g = Gen.cycle 6 in
+  let net = vnet g in
+  let memberships v = if v < 3 then [ 0 ] else [ 1 ] in
+  let table =
+    Multiflood.flood_min net ~memberships ~init:(fun r _ -> (r, r))
+  in
+  for v = 0 to 2 do
+    Alcotest.(check (pair int int)) "class 0 cid" (0, 0)
+      (Hashtbl.find table (v, 0))
+  done;
+  for v = 3 to 5 do
+    Alcotest.(check (pair int int)) "class 1 cid" (3, 3)
+      (Hashtbl.find table (v, 1))
+  done
+
+let test_multiflood_split_class () =
+  (* class 0 = {0, 3} on a cycle of 6: two separated singletons keep
+     their own ids *)
+  let g = Gen.cycle 6 in
+  let net = vnet g in
+  let memberships v = if v = 0 || v = 3 then [ 0 ] else [ 1 ] in
+  let table =
+    Multiflood.flood_min net ~memberships ~init:(fun r _ -> (r, r))
+  in
+  Alcotest.(check (pair int int)) "cid of 0" (0, 0) (Hashtbl.find table (0, 0));
+  Alcotest.(check (pair int int)) "cid of 3" (3, 3) (Hashtbl.find table (3, 0))
+
+let test_multiflood_overlapping_memberships () =
+  (* every node in class 0; odd nodes also in class 1; rounds cost
+     reflects two slots *)
+  let g = Gen.path 5 in
+  let net = vnet g in
+  let memberships v = if v mod 2 = 1 then [ 0; 1 ] else [ 0 ] in
+  let table =
+    Multiflood.flood_min net ~memberships ~init:(fun r _ -> (r, r))
+  in
+  Alcotest.(check (pair int int)) "class 0 connects everyone" (0, 0)
+    (Hashtbl.find table (4, 0));
+  (* class 1 = {1, 3}: nodes 1 and 3 are not adjacent -> separate *)
+  Alcotest.(check (pair int int)) "class 1 of node 3" (3, 3)
+    (Hashtbl.find table (3, 1));
+  Alcotest.(check bool) "rounds > 0" true (Congest.Net.rounds net > 0)
+
+let test_membership_sweep_payload () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  let memberships v = [ v mod 2 ] in
+  let received =
+    Multiflood.membership_sweep net ~memberships ~payload:(fun r i ->
+        [ (10 * r) + i ])
+  in
+  (* middle node hears both neighbors *)
+  let mid = List.sort compare received.(1) in
+  Alcotest.(check int) "two messages" 2 (List.length mid);
+  (match mid with
+  | [ (s1, c1, p1); (s2, c2, p2) ] ->
+    Alcotest.(check int) "sender 0" 0 s1;
+    Alcotest.(check int) "class of 0" 0 c1;
+    Alcotest.(check (list int)) "payload of 0" [ 0 ] p1;
+    Alcotest.(check int) "sender 2" 2 s2;
+    Alcotest.(check int) "class of 2" 0 c2;
+    Alcotest.(check (list int)) "payload of 2" [ 20 ] p2
+  | _ -> Alcotest.fail "expected two entries")
+
+(* ------------------------------------------------------------------ *)
+(* Tester (Appendix E) *)
+
+(* a hand-built disconnected-but-dominating class: blocks 0 and 2 of a
+   3-block clique path in class 0, the rest in class 1 *)
+let split_class_instance () =
+  let k = 6 in
+  let g = Gen.clique_path ~k ~len:3 in
+  let memberships v =
+    let block = v / k in
+    if block = 1 then [ 1 ] else [ 0; 1 ]
+  in
+  (g, memberships)
+
+let test_tester_passes_valid () =
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let outcome =
+    Tester.run_centralized g
+      ~memberships:(fun r -> per_real.(r))
+      ~classes:res.Cds_packing.classes ~detection_rounds:24
+  in
+  Alcotest.(check bool) "valid packing passes" true outcome.Tester.pass
+
+let test_tester_detects_disconnected_centralized () =
+  let g, memberships = split_class_instance () in
+  let outcome =
+    Tester.run_centralized g ~memberships ~classes:2 ~detection_rounds:24
+  in
+  Alcotest.(check bool) "domination fine" true outcome.Tester.domination_ok;
+  Alcotest.(check bool) "disconnect detected" false outcome.Tester.pass
+
+let test_tester_detects_disconnected_distributed () =
+  let g, memberships = split_class_instance () in
+  let net = vnet g in
+  let outcome =
+    Tester.run_distributed net ~memberships ~classes:2 ~detection_rounds:24
+  in
+  Alcotest.(check bool) "disconnect detected (dist)" false outcome.Tester.pass;
+  Alcotest.(check bool) "rounds charged" true (Congest.Net.rounds net > 0)
+
+let test_tester_detects_non_domination () =
+  let g = Gen.path 8 in
+  (* class 1 = {0}: does not dominate the far end *)
+  let memberships v = if v = 0 then [ 0; 1 ] else [ 0 ] in
+  let outcome =
+    Tester.run_centralized g ~memberships ~classes:2 ~detection_rounds:8
+  in
+  Alcotest.(check bool) "domination failure" false outcome.Tester.domination_ok;
+  Alcotest.(check bool) "fails" false outcome.Tester.pass
+
+let test_tester_distance3_detection () =
+  (* components of class 0 at distance 3: needs the random rounds *)
+  let k = 5 in
+  let g = Gen.clique_path ~k ~len:4 in
+  let memberships v =
+    let block = v / k in
+    if block = 0 || block = 3 then [ 0; 1 ] else [ 1 ]
+  in
+  let outcome =
+    Tester.run_centralized ~seed:13 g ~memberships ~classes:2
+      ~detection_rounds:40
+  in
+  Alcotest.(check bool) "distance-3 disconnect detected" false
+    outcome.Tester.pass
+
+(* ------------------------------------------------------------------ *)
+(* Distributed packing *)
+
+let test_dist_pack_valid () =
+  let g = Gen.harary ~k:9 ~n:54 in
+  let net = vnet g in
+  let res = Dist_packing.pack ~seed:8 net ~k:9 in
+  check_packing_result g res;
+  Alcotest.(check int) "all classes valid"
+    res.Cds_packing.classes
+    (List.length (Cds_packing.valid_classes res));
+  Alcotest.(check bool) "rounds consumed" true (Congest.Net.rounds net > 0)
+
+let test_dist_pack_merges () =
+  let g = Gen.clique_path ~k:8 ~len:12 in
+  let net = vnet g in
+  let res = Dist_packing.run ~seed:9 ~jumpstart:1 net ~classes:8 ~layers:12 in
+  let excess = res.Cds_packing.stats.Cds_packing.excess_after_layer in
+  (match excess with
+  | (_, m0) :: _ -> Alcotest.(check bool) "work to do" true (m0 > 0)
+  | [] -> Alcotest.fail "no stats");
+  Alcotest.(check int) "valid at the end" 8
+    (List.length (Cds_packing.valid_classes res));
+  (* the matching really is a matching: per layer, the number of matched
+     type-2 nodes cannot exceed the number of matchable components
+     (excess entering the layer plus one per class) *)
+  List.iter
+    (fun (layer, matched) ->
+      let entering =
+        try List.assoc (layer - 1) excess with Not_found -> max_int
+      in
+      if entering <> max_int then
+        Alcotest.(check bool)
+          (Printf.sprintf "layer %d: matched %d <= components %d" layer
+             matched (entering + 8))
+          true
+          (matched <= entering + 8))
+    res.Cds_packing.stats.Cds_packing.matched_per_layer
+
+let test_dist_extract_trees () =
+  let g = Gen.harary ~k:8 ~n:40 in
+  let net = vnet g in
+  let res = Dist_packing.pack ~seed:19 net ~k:8 in
+  let before = Congest.Net.rounds net in
+  let p = Dist_packing.extract_trees net res in
+  Alcotest.(check bool) "extraction charges rounds" true
+    (Congest.Net.rounds net > before);
+  Alcotest.(check (list string)) "distributed extraction verifies" []
+    (List.map (Format.asprintf "%a" Packing.pp_violation) (Packing.verify p));
+  (* same trees as the centralized extractor would produce, class-wise *)
+  let q = Tree_extract.of_cds_packing res in
+  Alcotest.(check int) "same tree count" (Packing.count q) (Packing.count p)
+
+let test_dist_pack_respects_bandwidth () =
+  (* the Net would raise on any oversized message; also check the load
+     counters are consistent with V-CONGEST: per-round node load is at
+     most (budget words) x (max degree) *)
+  let g = Gen.harary ~k:6 ~n:36 in
+  let net = vnet g in
+  let _ = Dist_packing.pack ~seed:10 net ~k:6 in
+  let max_deg =
+    let best = ref 0 in
+    Graph.iter_vertices (fun v -> best := max !best (Graph.degree g v)) g;
+    !best
+  in
+  Alcotest.(check bool) "node load bounded" true
+    (Congest.Net.max_node_load net <= 8 * max_deg)
+
+(* ------------------------------------------------------------------ *)
+(* Vertex-connectivity approximation *)
+
+let test_vc_approx_families () =
+  List.iter
+    (fun (g, k) ->
+      let r = Vc_approx.centralized ~seed:11 g in
+      let ratio = Vc_approx.approximation_ratio ~truth:k r in
+      let lg = log (float_of_int (Graph.n g)) /. log 2. in
+      Alcotest.(check bool)
+        (Printf.sprintf "ratio %.2f within O(log n) for k=%d" ratio k)
+        true
+        (ratio <= 4. *. lg))
+    [
+      (Gen.harary ~k:4 ~n:40, 4);
+      (Gen.harary ~k:8 ~n:48, 8);
+      (Gen.hypercube 5, 5);
+      (Gen.clique_path ~k:6 ~len:8, 6);
+    ]
+
+let test_vc_approx_distributed () =
+  let g = Gen.harary ~k:6 ~n:36 in
+  let net = vnet g in
+  let r = Vc_approx.distributed ~seed:12 net in
+  let ratio = Vc_approx.approximation_ratio ~truth:6 r in
+  Alcotest.(check bool) "distributed ratio within O(log n)" true (ratio <= 12.);
+  Alcotest.(check bool) "rounds accumulated" true (Congest.Net.rounds net > 0)
+
+(* ------------------------------------------------------------------ *)
+
+let prop_vc_dist_close_to_central =
+  QCheck.Test.make
+    ~name:"distributed and centralized vc estimates agree within 4x" ~count:5
+    QCheck.(int_range 3 6)
+    (fun k2 ->
+      let k = 2 * k2 in
+      let g = Gen.harary ~k ~n:(5 * k) in
+      let c = Vc_approx.centralized ~seed:k g in
+      let net = vnet g in
+      let d = Vc_approx.distributed ~seed:k net in
+      let hi = float_of_int (max c.Vc_approx.estimate d.Vc_approx.estimate) in
+      let lo = float_of_int (min c.Vc_approx.estimate d.Vc_approx.estimate) in
+      hi /. Float.max 1. lo <= 4.)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "domtree"
+    [
+      ( "virtual_graph",
+        [
+          Alcotest.test_case "indexing" `Quick test_vg_indexing;
+          Alcotest.test_case "ids distinct" `Quick test_vg_ids_distinct;
+          Alcotest.test_case "adjacency" `Quick test_vg_adjacency;
+        ] );
+      ( "cds_packing",
+        [
+          Alcotest.test_case "valid on harary" `Quick test_pack_valid_on_harary;
+          Alcotest.test_case "merges components" `Quick
+            test_pack_merges_components;
+          Alcotest.test_case "excess monotone" `Quick test_excess_monotone;
+          Alcotest.test_case "class sizes (Lemma 4.6)" `Quick
+            test_class_size_bound;
+          Alcotest.test_case "round budget (Thm B.1)" `Quick
+            test_dist_rounds_budget;
+        ] );
+      qsuite "cds_packing.props" [ prop_pack_classes_cover_all_vnodes ];
+      qsuite "packing.fuzz" [ prop_verifier_catches_mutations ];
+      qsuite "bridging.props" [ prop_bridging_rules_sound ];
+      ( "packing",
+        [
+          Alcotest.test_case "extraction valid" `Quick test_extract_valid_packing;
+          Alcotest.test_case "rejects cycles" `Quick test_verify_rejects_bad_tree;
+          Alcotest.test_case "rejects non-dominating" `Quick
+            test_verify_rejects_non_dominating;
+          Alcotest.test_case "rejects overload" `Quick test_verify_rejects_overload;
+          Alcotest.test_case "integral subpacking" `Quick
+            test_integral_subpacking_disjoint;
+          Alcotest.test_case "integral layering" `Quick test_integral_layering;
+          Alcotest.test_case "layering on sparse" `Quick
+            test_integral_layering_sparse_fails_gracefully;
+          Alcotest.test_case "tree diameter" `Quick test_tree_diameter_bound;
+          Alcotest.test_case "serialization" `Quick
+            test_packing_serialization_roundtrip;
+        ] );
+      ( "connector",
+        [
+          Alcotest.test_case "validity" `Quick test_connector_validity;
+          Alcotest.test_case "max disjoint on cycle" `Quick
+            test_connector_max_disjoint_cycle;
+          Alcotest.test_case "short path" `Quick test_connector_short_path_rule;
+          Alcotest.test_case "condition (C)" `Quick test_connector_condition_c;
+          Alcotest.test_case "realization (rules D/E)" `Quick
+            test_connector_realization;
+          Alcotest.test_case "Proposition 4.2" `Quick test_proposition_4_2;
+          Alcotest.test_case "abundance (Lemma 4.3)" `Quick
+            test_connector_abundance;
+        ] );
+      ( "bridging",
+        [
+          Alcotest.test_case "rules (a)(c)" `Quick test_bridging_rules;
+          Alcotest.test_case "rule (b) deactivation" `Quick
+            test_bridging_deactivation;
+          Alcotest.test_case "no witness, no edge" `Quick
+            test_bridging_no_witness_no_edge;
+        ] );
+      ( "cgk_baseline",
+        [
+          Alcotest.test_case "valid" `Quick test_cgk_baseline_valid;
+          Alcotest.test_case "merges" `Quick test_cgk_baseline_merges;
+        ] );
+      ( "multiflood",
+        [
+          Alcotest.test_case "component ids" `Quick test_multiflood_component_ids;
+          Alcotest.test_case "split class" `Quick test_multiflood_split_class;
+          Alcotest.test_case "overlapping memberships" `Quick
+            test_multiflood_overlapping_memberships;
+          Alcotest.test_case "sweep payload" `Quick test_membership_sweep_payload;
+        ] );
+      ( "tester",
+        [
+          Alcotest.test_case "passes valid" `Quick test_tester_passes_valid;
+          Alcotest.test_case "detects disconnect (centralized)" `Quick
+            test_tester_detects_disconnected_centralized;
+          Alcotest.test_case "detects disconnect (distributed)" `Quick
+            test_tester_detects_disconnected_distributed;
+          Alcotest.test_case "detects non-domination" `Quick
+            test_tester_detects_non_domination;
+          Alcotest.test_case "distance-3 detection" `Quick
+            test_tester_distance3_detection;
+        ] );
+      ( "dist_packing",
+        [
+          Alcotest.test_case "valid" `Quick test_dist_pack_valid;
+          Alcotest.test_case "merges" `Quick test_dist_pack_merges;
+          Alcotest.test_case "distributed tree extraction" `Quick
+            test_dist_extract_trees;
+          Alcotest.test_case "bandwidth respected" `Quick
+            test_dist_pack_respects_bandwidth;
+        ] );
+      ( "vc_approx",
+        [
+          Alcotest.test_case "families" `Quick test_vc_approx_families;
+          Alcotest.test_case "distributed" `Quick test_vc_approx_distributed;
+        ] );
+      qsuite "vc_approx.props" [ prop_vc_dist_close_to_central ];
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the Appendix G lower-bound machinery: disjointness
+   instances, the G(X,Y) family and its cut dichotomy (Lemma G.4), the
+   Alice/Bob side structure, and the reduction arithmetic. *)
+
+open Lowerbound
+
+let rng () = Random.State.make [| 0xFACE |]
+
+(* ------------------------------------------------------------------ *)
+
+let test_disjoint_instances () =
+  for seed = 1 to 10 do
+    let r = Random.State.make [| seed |] in
+    let inst = Disjointness.random_disjoint r ~h:12 ~density:0.7 in
+    Alcotest.(check bool) "valid" true (Disjointness.is_valid inst);
+    Alcotest.(check (list int)) "empty intersection" []
+      (Disjointness.intersection inst)
+  done
+
+let test_intersecting_instances () =
+  for seed = 1 to 10 do
+    let r = Random.State.make [| seed |] in
+    let inst = Disjointness.random_intersecting r ~h:12 ~density:0.7 in
+    Alcotest.(check bool) "valid" true (Disjointness.is_valid inst);
+    Alcotest.(check int) "single intersection" 1
+      (List.length (Disjointness.intersection inst))
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let build_pair ?(h = 5) ?(ell = 2) ?(w = 6) () =
+  let r = rng () in
+  let d = Disjointness.random_disjoint r ~h ~density:0.6 in
+  let i = Disjointness.random_intersecting r ~h ~density:0.6 in
+  (Construction.build d ~ell ~w, Construction.build i ~ell ~w)
+
+let test_construction_sizes () =
+  let cd, ci = build_pair () in
+  let n_heavy = 6 * 2 * 2 * 6 in
+  (* (h+1) paths x 2 ell positions x w *)
+  let nd = Graphs.Graph.n cd.Construction.graph in
+  let ni = Graphs.Graph.n ci.Construction.graph in
+  Alcotest.(check bool) "heavy block dominates size" true
+    (nd >= n_heavy + 2 && ni >= n_heavy + 2)
+
+let test_cut_dichotomy_disjoint () =
+  let cd, _ = build_pair () in
+  let k, cut = Construction.cut_dichotomy cd in
+  Alcotest.(check bool) "k >= w on disjoint" true (k >= cd.Construction.w);
+  Alcotest.(check bool) "no small cut" true (cut = None)
+
+let test_cut_dichotomy_intersecting () =
+  let _, ci = build_pair () in
+  let k, cut = Construction.cut_dichotomy ci in
+  Alcotest.(check int) "k = 4" 4 k;
+  match cut with
+  | None -> Alcotest.fail "expected the {a,b,u_z,v_z} cut"
+  | Some ids ->
+    Alcotest.(check int) "four nodes" 4 (List.length ids);
+    (* removing them disconnects *)
+    let g = ci.Construction.graph in
+    let sub, _ =
+      Graphs.Graph.induced g (fun v -> not (List.mem v ids))
+    in
+    Alcotest.(check bool) "removal disconnects" false
+      (Graphs.Traversal.is_connected sub)
+
+let test_diameter_three () =
+  let cd, ci = build_pair () in
+  Alcotest.(check bool) "disjoint diam <= 3" true (Construction.diameter_ok cd);
+  Alcotest.(check bool) "intersecting diam <= 3" true
+    (Construction.diameter_ok ci)
+
+let test_sides_cover_and_shrink () =
+  let cd, _ = build_pair ~ell:3 () in
+  let n = Graphs.Graph.n cd.Construction.graph in
+  (* at r = 0, every node is on at least one side; the overlap is the
+     middle band of heavy nodes *)
+  for v = 0 to n - 1 do
+    Alcotest.(check bool) "covered at r=0" true
+      (Construction.alice_side cd 0 v || Construction.bob_side cd 0 v)
+  done;
+  (* Alice's side shrinks with r *)
+  let count r =
+    let c = ref 0 in
+    for v = 0 to n - 1 do
+      if Construction.alice_side cd r v then incr c
+    done;
+    !c
+  in
+  Alcotest.(check bool) "monotone shrink" true (count 1 <= count 0)
+
+let test_midline_separates_hubs () =
+  let cd, _ = build_pair () in
+  let g = cd.Construction.graph in
+  let n = Graphs.Graph.n g in
+  let a = ref (-1) and b = ref (-1) in
+  Array.iteri
+    (fun v role ->
+      match role with
+      | Construction.Hub_a -> a := v
+      | Construction.Hub_b -> b := v
+      | _ -> ())
+    cd.Construction.roles;
+  Alcotest.(check bool) "a on Alice side" true (Construction.midline cd !a);
+  Alcotest.(check bool) "b on Bob side" false (Construction.midline cd !b);
+  ignore n
+
+(* ------------------------------------------------------------------ *)
+
+let test_reduction_arithmetic () =
+  let b = Simulation.bits_per_message ~n:1000 in
+  Alcotest.(check bool) "B = O(log n) bits" true (b >= 10 && b <= 1000);
+  Alcotest.(check int) "2BT cost" (2 * b * 7)
+    (Simulation.two_party_cost ~rounds:7 ~n:1000);
+  let lb_small = Simulation.implied_round_lower_bound ~h:100 ~n:1000 in
+  let lb_large = Simulation.implied_round_lower_bound ~h:1000 ~n:1000 in
+  Alcotest.(check bool) "bound grows linearly in h" true
+    (lb_large > 9. *. lb_small)
+
+let test_distinguisher_runs () =
+  (* small instance: the distributed vc-approx must terminate, produce an
+     estimate, and show cross-boundary traffic *)
+  let r = rng () in
+  let inst = Disjointness.random_intersecting r ~h:3 ~density:0.7 in
+  let c = Construction.build inst ~ell:1 ~w:4 in
+  let rep = Simulation.distinguish_via_packing ~seed:3 c in
+  Alcotest.(check bool) "rounds measured" true (rep.Simulation.measured_rounds > 0);
+  Alcotest.(check bool) "boundary bits measured" true
+    (rep.Simulation.boundary_bits > 0);
+  Alcotest.(check bool) "truth recorded" true rep.Simulation.truth_small_cut;
+  Alcotest.(check bool) "rounds respect the implied bound" true
+    (float_of_int rep.Simulation.measured_rounds
+    >= rep.Simulation.implied_round_lower_bound)
+
+(* Lemma G.5, literally: the split Alice/Bob simulation reproduces the
+   global run for every T <= ell, exchanging at most 2BT bits. *)
+let test_two_party_replay_exact () =
+  let r = rng () in
+  let inst = Disjointness.random_intersecting r ~h:4 ~density:0.5 in
+  let c = Construction.build inst ~ell:3 ~w:4 in
+  for rounds = 1 to 3 do
+    let rep =
+      Simulation.two_party_replay c Simulation.flood_min_protocol ~rounds
+        ~equal:( = )
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "split run matches global run (T=%d)" rounds)
+      true rep.Simulation.states_match;
+    Alcotest.(check bool) "exchange within 2BT" true
+      (rep.Simulation.bits_exchanged <= rep.Simulation.lemma_bound_bits)
+  done
+
+let test_two_party_replay_rejects_long () =
+  let r = rng () in
+  let inst = Disjointness.random_disjoint r ~h:3 ~density:0.5 in
+  let c = Construction.build inst ~ell:2 ~w:3 in
+  Alcotest.check_raises "T > ell rejected"
+    (Invalid_argument "Simulation.two_party_replay: rounds must be <= ell")
+    (fun () ->
+      ignore
+        (Simulation.two_party_replay c Simulation.flood_min_protocol
+           ~rounds:3 ~equal:( = )))
+
+let prop_two_party_replay =
+  QCheck.Test.make
+    ~name:"Lemma G.5 holds across random instances and horizons" ~count:10
+    QCheck.(pair (int_range 3 6) (int_range 1 3))
+    (fun (h, rounds) ->
+      let r = rng () in
+      let inst = Disjointness.random_intersecting r ~h ~density:0.5 in
+      let c = Construction.build inst ~ell:3 ~w:4 in
+      let rep =
+        Simulation.two_party_replay c Simulation.flood_min_protocol ~rounds
+          ~equal:( = )
+      in
+      rep.Simulation.states_match
+      && rep.Simulation.bits_exchanged <= rep.Simulation.lemma_bound_bits)
+
+let prop_dichotomy =
+  QCheck.Test.make
+    ~name:"cut dichotomy holds across random instances (Lemma G.4)" ~count:6
+    QCheck.(int_range 3 6)
+    (fun h ->
+      let r = rng () in
+      let d = Disjointness.random_disjoint r ~h ~density:0.5 in
+      let i = Disjointness.random_intersecting r ~h ~density:0.5 in
+      let cd = Construction.build d ~ell:1 ~w:5 in
+      let ci = Construction.build i ~ell:1 ~w:5 in
+      let kd, _ = Construction.cut_dichotomy cd in
+      let ki, cut = Construction.cut_dichotomy ci in
+      kd >= 5 && ki = 4 && cut <> None)
+
+let () =
+  Alcotest.run "lowerbound"
+    [
+      ( "disjointness",
+        [
+          Alcotest.test_case "disjoint" `Quick test_disjoint_instances;
+          Alcotest.test_case "intersecting" `Quick test_intersecting_instances;
+        ] );
+      ( "construction",
+        [
+          Alcotest.test_case "sizes" `Quick test_construction_sizes;
+          Alcotest.test_case "dichotomy disjoint" `Quick
+            test_cut_dichotomy_disjoint;
+          Alcotest.test_case "dichotomy intersecting" `Quick
+            test_cut_dichotomy_intersecting;
+          Alcotest.test_case "diameter 3" `Quick test_diameter_three;
+          Alcotest.test_case "sides" `Quick test_sides_cover_and_shrink;
+          Alcotest.test_case "midline" `Quick test_midline_separates_hubs;
+        ] );
+      ( "construction.props",
+        List.map QCheck_alcotest.to_alcotest [ prop_dichotomy ] );
+      ( "simulation",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_reduction_arithmetic;
+          Alcotest.test_case "distinguisher" `Quick test_distinguisher_runs;
+          Alcotest.test_case "Lemma G.5 replay" `Quick
+            test_two_party_replay_exact;
+          Alcotest.test_case "replay horizon" `Quick
+            test_two_party_replay_rejects_long;
+        ] );
+      ( "simulation.props",
+        List.map QCheck_alcotest.to_alcotest [ prop_two_party_replay ] );
+    ]

@@ -1,0 +1,235 @@
+(* Tests for the information-dissemination applications: tree-parallel
+   broadcast, gossiping, oblivious-routing congestion. *)
+
+open Graphs
+
+let vnet g = Congest.Net.create Congest.Model.V_congest g
+let enet g = Congest.Net.create Congest.Model.E_congest g
+
+let dom_packing ?(seed = 1) g ~k =
+  Domtree.Tree_extract.of_cds_packing (Domtree.Cds_packing.pack ~seed g ~k)
+
+(* a high-rate packing: many classes, few layers (the k >> log n regime
+   where the k/log n throughput shows) *)
+let fast_packing ?(seed = 1) g ~classes =
+  Domtree.Tree_extract.of_cds_packing
+    (Domtree.Cds_packing.run ~seed g ~classes ~layers:2)
+
+let span_packing ?(seed = 1) g ~lambda =
+  (Spantree.Sampling_pack.run ~seed g ~lambda).Spantree.Sampling_pack.packing
+
+(* ------------------------------------------------------------------ *)
+
+let test_broadcast_delivers () =
+  let g = Gen.harary ~k:8 ~n:40 in
+  let p = dom_packing g ~k:8 in
+  let net = vnet g in
+  let r =
+    Routing.Broadcast.via_dominating_trees net p ~sources:[ (0, 5); (17, 3) ]
+  in
+  Alcotest.(check int) "all messages counted" 8 r.Routing.Broadcast.messages;
+  Alcotest.(check bool) "positive throughput" true
+    (r.Routing.Broadcast.throughput > 0.)
+
+let test_broadcast_beats_naive () =
+  (* strong-connectivity regime: k = 30 on n = 60; messages ~ 4k *)
+  let g = Gen.harary ~k:30 ~n:60 in
+  let p = fast_packing g ~classes:24 in
+  Alcotest.(check bool) "packing has many trees" true
+    (Domtree.Packing.count p >= 16);
+  let sources = List.init 60 (fun v -> (v, 2)) in
+  let net = vnet g in
+  let r = Routing.Broadcast.via_dominating_trees net p ~sources in
+  let net2 = vnet g in
+  let naive = Routing.Broadcast.naive_single_tree net2 ~sources in
+  Alcotest.(check bool)
+    (Printf.sprintf "tree-parallel %.2f > 1.5x naive %.2f"
+       r.Routing.Broadcast.throughput naive.Routing.Broadcast.throughput)
+    true
+    (r.Routing.Broadcast.throughput
+    > 1.5 *. naive.Routing.Broadcast.throughput);
+  Alcotest.(check bool) "naive is ~1 msg/round" true
+    (naive.Routing.Broadcast.throughput <= 1.05)
+
+let test_spanning_broadcast_delivers () =
+  let g = Gen.harary ~k:8 ~n:32 in
+  let p = span_packing g ~lambda:8 in
+  let net = enet g in
+  let r =
+    Routing.Broadcast.via_spanning_trees net p ~sources:[ (0, 40) ]
+  in
+  Alcotest.(check int) "messages" 40 r.Routing.Broadcast.messages;
+  Alcotest.(check bool) "throughput > 1 (beats one tree)" true
+    (r.Routing.Broadcast.throughput > 1.)
+
+let test_gossip_bound_shape () =
+  let g = Gen.harary ~k:24 ~n:48 in
+  let p = fast_packing g ~classes:8 in
+  let net = vnet g in
+  let rep = Routing.Gossip.all_to_all net p ~k:24 in
+  (* rounds within a polylog factor of the Corollary A.1 reference *)
+  let rounds = float_of_int rep.Routing.Gossip.result.Routing.Broadcast.rounds in
+  Alcotest.(check bool)
+    (Printf.sprintf "rounds %.0f <= 20x bound %.1f" rounds
+       rep.Routing.Gossip.bound)
+    true
+    (rounds <= 20. *. rep.Routing.Gossip.bound)
+
+let test_oblivious_vertex_competitiveness () =
+  let g = Gen.harary ~k:24 ~n:48 in
+  let p = fast_packing g ~classes:8 in
+  let net = vnet g in
+  let sources = List.init 48 (fun v -> (v, 2)) in
+  let rep =
+    Routing.Oblivious.vertex_competitiveness net p ~k:24 ~sources
+  in
+  let lg = log (float_of_int 48) /. log 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "vertex competitiveness %.2f = O(log n)"
+       rep.Routing.Oblivious.competitiveness)
+    true
+    (rep.Routing.Oblivious.competitiveness <= 8. *. lg)
+
+let test_oblivious_edge_competitiveness () =
+  let g = Gen.harary ~k:8 ~n:32 in
+  let p = span_packing g ~lambda:8 in
+  let net = enet g in
+  let rep =
+    Routing.Oblivious.edge_competitiveness net p ~lambda:8
+      ~sources:[ (0, 40); (16, 40) ]
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "edge competitiveness %.2f = O(1)-ish"
+       rep.Routing.Oblivious.competitiveness)
+    true
+    (rep.Routing.Oblivious.competitiveness <= 16.)
+
+let test_weighted_schedule_delivers () =
+  let g = Gen.harary ~k:12 ~n:36 in
+  let p = dom_packing g ~k:12 in
+  let net = vnet g in
+  let r =
+    Routing.Broadcast.via_dominating_trees ~schedule:`Weighted net p
+      ~sources:[ (0, 6); (9, 6) ]
+  in
+  Alcotest.(check int) "all delivered" 12 r.Routing.Broadcast.messages
+
+let test_scattered_gossip () =
+  let g = Gen.harary ~k:24 ~n:48 in
+  let p = fast_packing g ~classes:8 in
+  let net = vnet g in
+  let rep = Routing.Gossip.scattered net p ~k:24 ~total:60 ~max_per_node:3 in
+  Alcotest.(check int) "all messages" 60
+    rep.Routing.Gossip.result.Routing.Broadcast.messages;
+  Alcotest.(check bool) "bound sane" true (rep.Routing.Gossip.bound > 0.);
+  (* rounds within a generous polylog factor of the A.1 reference *)
+  Alcotest.(check bool) "rounds near bound" true
+    (float_of_int rep.Routing.Gossip.result.Routing.Broadcast.rounds
+    <= 20. *. rep.Routing.Gossip.bound)
+
+let test_empty_packing_rejected () =
+  let g = Gen.path 4 in
+  let p = { Domtree.Packing.graph = g; trees = []; weights = [] } in
+  let net = vnet g in
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Broadcast.via_dominating_trees: empty packing")
+    (fun () ->
+      ignore
+        (Routing.Broadcast.via_dominating_trees net p ~sources:[ (0, 1) ]))
+
+let test_rlnc_decodes () =
+  let g = Gen.harary ~k:8 ~n:16 in
+  let net = vnet g in
+  let r =
+    Routing.Coding.rlnc_broadcast ~seed:3 net ~sources:[ (0, 10); (7, 6) ]
+  in
+  Alcotest.(check bool) "decoded everywhere" true r.Routing.Coding.decoded_all;
+  Alcotest.(check int) "message count" 16 r.Routing.Coding.messages;
+  Alcotest.(check bool) "rounds > 0" true (r.Routing.Coding.rounds > 0)
+
+let test_rlnc_overhead_grows () =
+  (* chunking: more messages -> more rounds per packet -> decaying
+     throughput per message *)
+  let g = Gen.harary ~k:8 ~n:16 in
+  let run total =
+    let net = vnet g in
+    let sources = List.init 16 (fun v -> (v, total / 16)) in
+    (Routing.Coding.rlnc_broadcast ~seed:4 ~coeff_words_per_round:1 net
+       ~sources)
+      .Routing.Coding.throughput
+  in
+  let t32 = run 32 and t128 = run 128 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput decays: %.2f (N=32) > %.2f (N=128)" t32 t128)
+    true (t32 > t128)
+
+let prop_rlnc_always_decodes =
+  QCheck.Test.make ~name:"RLNC reaches full rank on connected graphs"
+    ~count:8
+    QCheck.(pair (int_range 2 4) (int_range 1 3))
+    (fun (k2, per) ->
+      let k = 2 * k2 in
+      let g = Gen.harary ~k ~n:(4 * k) in
+      let net = vnet g in
+      let sources = List.init (4 * k) (fun v -> (v, per)) in
+      let r = Routing.Coding.rlnc_broadcast ~seed:(k + per) net ~sources in
+      r.Routing.Coding.decoded_all)
+
+let test_coefficient_words () =
+  Alcotest.(check int) "one limb" 1
+    (Routing.Coding.coefficient_words ~n:100 ~messages:16);
+  Alcotest.(check int) "two limbs" 2
+    (Routing.Coding.coefficient_words ~n:100 ~messages:17)
+
+let prop_broadcast_always_delivers =
+  QCheck.Test.make ~name:"tree-parallel broadcast always delivers everything"
+    ~count:8
+    QCheck.(pair (int_range 3 6) (int_range 1 5))
+    (fun (k2, msgs) ->
+      let k = 2 * k2 in
+      let g = Gen.harary ~k ~n:(6 * k) in
+      let p = dom_packing g ~k in
+      let net = vnet g in
+      let r =
+        Routing.Broadcast.via_dominating_trees net p
+          ~sources:[ (0, msgs); (1, msgs) ]
+      in
+      r.Routing.Broadcast.messages = 2 * msgs)
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "broadcast",
+        [
+          Alcotest.test_case "delivers" `Quick test_broadcast_delivers;
+          Alcotest.test_case "beats naive" `Quick test_broadcast_beats_naive;
+          Alcotest.test_case "spanning delivers" `Quick
+            test_spanning_broadcast_delivers;
+          Alcotest.test_case "weighted schedule" `Quick
+            test_weighted_schedule_delivers;
+          Alcotest.test_case "empty packing" `Quick test_empty_packing_rejected;
+        ] );
+      ( "broadcast.props",
+        List.map QCheck_alcotest.to_alcotest [ prop_broadcast_always_delivers ]
+      );
+      ( "gossip",
+        [
+          Alcotest.test_case "bound shape" `Quick test_gossip_bound_shape;
+          Alcotest.test_case "scattered (Cor A.1)" `Quick test_scattered_gossip;
+        ] );
+      ( "coding",
+        [
+          Alcotest.test_case "rlnc decodes" `Quick test_rlnc_decodes;
+          Alcotest.test_case "overhead grows" `Quick test_rlnc_overhead_grows;
+          Alcotest.test_case "coefficient words" `Quick test_coefficient_words;
+        ] );
+      ( "coding.props",
+        List.map QCheck_alcotest.to_alcotest [ prop_rlnc_always_decodes ] );
+      ( "oblivious",
+        [
+          Alcotest.test_case "vertex competitiveness" `Quick
+            test_oblivious_vertex_competitiveness;
+          Alcotest.test_case "edge competitiveness" `Quick
+            test_oblivious_edge_competitiveness;
+        ] );
+    ]
