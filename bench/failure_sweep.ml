@@ -1,0 +1,100 @@
+(* F1 — the robustness experiment behind Theorem 1.1's redundancy story:
+   sweep the failure intensity and compare sustained gossip throughput
+   of the CDS packing (reroutes around dead classes) against the
+   single-BFS-tree baseline (collapses once its one tree is hit).
+
+   Deterministic for a fixed seed: all randomness flows through
+   explicitly seeded Random.State values. *)
+
+module Graph = Graphs.Graph
+module Faults = Congest.Faults
+
+let header title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+let run_pair ~seed ~per_node ~g ~packing specs =
+  let run variant =
+    let net = Congest.Net.create Congest.Model.V_congest g in
+    let faults = Faults.create ~seed specs in
+    let r =
+      match variant with
+      | `Packing -> Routing.Gossip.all_to_all_ft ~seed ~per_node net faults packing
+      | `Naive -> Routing.Gossip.all_to_all_naive_ft ~per_node net faults
+    in
+    (r, faults)
+  in
+  (run `Packing, run `Naive)
+
+let pp_row label (r : Routing.Broadcast.ft_result) (faults : Faults.t) =
+  Format.printf
+    "%-24s | %7d %9.3f %9.3f | %5d %5d %5d | %9d %5b@." label r.ft_rounds
+    r.ft_throughput r.ft_coverage r.ft_survivors r.ft_dead_trees
+    (Faults.edges_killed faults)
+    (Faults.drops faults) r.ft_converged
+
+let sweep ?(n = 96) ?(k = 24) ?(seed = 7) ?(per_node = 1) () =
+  header
+    (Printf.sprintf
+       "F1  gossip under faults: CDS packing vs single BFS tree (n=%d k=%d \
+        seed=%d)"
+       n k seed);
+  let g = Graphs.Gen.harary ~k ~n in
+  let res =
+    Domtree.Cds_packing.run ~seed g ~classes:(max 1 (2 * k / 3)) ~layers:2
+  in
+  let packing = Domtree.Tree_extract.of_cds_packing res in
+  Format.printf "packing: %d dominating trees over %d classes@."
+    (Domtree.Packing.count packing) res.Domtree.Cds_packing.classes;
+  Format.printf "%-24s | %7s %9s %9s | %5s %5s %5s | %9s %5s@." "scenario"
+    "rounds" "msgs/rnd" "coverage" "alive" "deadT" "killE" "drops" "conv";
+  (* 1. Bernoulli message-drop sweep *)
+  List.iter
+    (fun p ->
+      let (rp, fp), (rn, fn) =
+        run_pair ~seed ~per_node ~g ~packing
+          (if p = 0. then [] else [ Faults.Drop_bernoulli p ])
+      in
+      pp_row (Printf.sprintf "packing  p=%.2f" p) rp fp;
+      pp_row (Printf.sprintf "1-tree   p=%.2f" p) rn fn)
+    [ 0.; 0.01; 0.03; 0.05; 0.10 ];
+  (* 2. fail-stop crashes: hit nodes early, with light drops on top.
+     Node 1 is an internal BFS-tree node on virtually every graph, so
+     the baseline's single tree is severed. *)
+  let crash_specs =
+    [ Faults.Crash_at [ (5, 1); (9, n / 2) ]; Faults.Drop_bernoulli 0.02 ]
+  in
+  let (rp, fp), (rn, fn) = run_pair ~seed ~per_node ~g ~packing crash_specs in
+  pp_row "packing  2 crashes" rp fp;
+  pp_row "1-tree   2 crashes" rn fn;
+  (* 3. adaptive edge killer under budget *)
+  let kill_specs =
+    [ Faults.Greedy_edge_kill { budget = k / 2; period = 4; from_round = 6 } ]
+  in
+  let (rp2, fp2), (rn2, fn2) = run_pair ~seed ~per_node ~g ~packing kill_specs in
+  pp_row (Printf.sprintf "packing  %d edge kills" (k / 2)) rp2 fp2;
+  pp_row (Printf.sprintf "1-tree   %d edge kills" (k / 2)) rn2 fn2;
+  Format.printf
+    "(shape: packing throughput degrades smoothly with p and survives \
+     crashes/kills;@. the single tree collapses — coverage < 1, throughput \
+     ~0 — once an internal@. node or tree edge is hit)@.";
+  (* 4. verify-and-retry pipeline cost *)
+  header "F2  verify-and-retry decomposition pipeline (Lemma E.1 guard)";
+  Format.printf "%6s %7s | %8s %8s %8s@." "n" "flaky" "attempts" "verified"
+    "rounds";
+  List.iter
+    (fun (n, classes, layers) ->
+      let g = Graphs.Gen.harary ~k:8 ~n in
+      let net = Congest.Net.create Congest.Model.V_congest g in
+      let r =
+        Domtree.Reliable.run_verified_distributed ~seed net ~classes ~layers
+      in
+      Format.printf "%6d %7s | %8d %8b %8d@." n
+        (if layers <= 2 then "yes" else "no")
+        (List.length r.Domtree.Reliable.attempts)
+        r.Domtree.Reliable.verified r.Domtree.Reliable.rounds_charged)
+    [ (32, 5, 8); (48, 5, 8); (64, 6, 10); (48, 10, 2) ];
+  Format.printf "(valid decompositions verify on the first attempt; the \
+                 tester's rounds and any@. backoff are charged to the CONGEST \
+                 clock)@."
+
+let all ?n ?k ?seed () = sweep ?n ?k ?seed ()

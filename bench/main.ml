@@ -89,7 +89,14 @@ let run_micro () =
 let () =
   let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   if mode = "csv" then Csv_export.all ()
+  else if mode = "failures" then begin
+    (* optional small-n override for CI smoke: `-- failures 48 12` *)
+    let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 96 in
+    let k = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 24 in
+    Failure_sweep.all ~n ~k ()
+  end
   else begin
     if mode = "tables" || mode = "all" then Experiments.all ();
-    if mode = "micro" || mode = "all" then run_micro ()
+    if mode = "micro" || mode = "all" then run_micro ();
+    if mode = "all" then Failure_sweep.all ()
   end

@@ -200,8 +200,29 @@ let approx_vc_cmd =
        ~doc:"O(log n)-approximate vertex connectivity (Corollary 1.7)")
     Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg)
 
+let parse_crash spec =
+  (* "round:node" *)
+  match String.split_on_char ':' spec with
+  | [ r; v ] -> (int_of_string (String.trim r), int_of_string (String.trim v))
+  | _ -> failwith ("bad --crash spec (want ROUND:NODE): " ^ spec)
+
+let fault_specs ~fail_p ~crashes ~kill_budget =
+  List.concat
+    [
+      (if fail_p > 0. then [ Congest.Faults.Drop_bernoulli fail_p ] else []);
+      (match crashes with
+      | [] -> []
+      | l -> [ Congest.Faults.Crash_at (List.map parse_crash l) ]);
+      (if kill_budget > 0 then
+         [
+           Congest.Faults.Greedy_edge_kill
+             { budget = kill_budget; period = 4; from_round = 6 };
+         ]
+       else []);
+    ]
+
 let gossip_cmd =
-  let run gen file seed per_node =
+  let run gen file seed per_node fail_p crashes kill_budget =
     let g = load ~gen ~file in
     let k = Graphs.Connectivity.vertex_connectivity g in
     let res =
@@ -210,24 +231,108 @@ let gossip_cmd =
         ~layers:2
     in
     let p = Domtree.Tree_extract.of_cds_packing res in
-    let net = Congest.Net.create Congest.Model.V_congest g in
-    let rep = Routing.Gossip.all_to_all ~seed ~per_node net p ~k in
-    let r = rep.Routing.Gossip.result in
-    Format.printf
-      "gossip: %d messages in %d rounds (%.2f/round); reference bound %.1f@."
-      r.Routing.Broadcast.messages r.Routing.Broadcast.rounds
-      r.Routing.Broadcast.throughput rep.Routing.Gossip.bound;
-    let net2 = Congest.Net.create Congest.Model.V_congest g in
-    let naive = Routing.Gossip.all_to_all_naive ~per_node net2 in
-    Format.printf "single-tree baseline: %d rounds (%.2f/round)@."
-      naive.Routing.Broadcast.rounds naive.Routing.Broadcast.throughput
+    let specs = fault_specs ~fail_p ~crashes ~kill_budget in
+    if specs = [] then begin
+      let net = Congest.Net.create Congest.Model.V_congest g in
+      let rep = Routing.Gossip.all_to_all ~seed ~per_node net p ~k in
+      let r = rep.Routing.Gossip.result in
+      Format.printf
+        "gossip: %d messages in %d rounds (%.2f/round); reference bound %.1f@."
+        r.Routing.Broadcast.messages r.Routing.Broadcast.rounds
+        r.Routing.Broadcast.throughput rep.Routing.Gossip.bound;
+      let net2 = Congest.Net.create Congest.Model.V_congest g in
+      let naive = Routing.Gossip.all_to_all_naive ~per_node net2 in
+      Format.printf "single-tree baseline: %d rounds (%.2f/round)@."
+        naive.Routing.Broadcast.rounds naive.Routing.Broadcast.throughput
+    end
+    else begin
+      let pp label (r : Routing.Broadcast.ft_result) faults =
+        Format.printf
+          "%s: %d/%d messages delivered in %d rounds (%.3f/round), coverage \
+           %.3f, %d survivors, %d dead trees@.  %a@."
+          label r.Routing.Broadcast.ft_delivered
+          r.Routing.Broadcast.ft_messages r.Routing.Broadcast.ft_rounds
+          r.Routing.Broadcast.ft_throughput r.Routing.Broadcast.ft_coverage
+          r.Routing.Broadcast.ft_survivors r.Routing.Broadcast.ft_dead_trees
+          Congest.Faults.pp_summary faults
+      in
+      let net = Congest.Net.create Congest.Model.V_congest g in
+      let faults = Congest.Faults.create ~seed specs in
+      let r = Routing.Gossip.all_to_all_ft ~seed ~per_node net faults p in
+      pp "gossip under faults (packing)" r faults;
+      let net2 = Congest.Net.create Congest.Model.V_congest g in
+      let faults2 = Congest.Faults.create ~seed specs in
+      let rn = Routing.Gossip.all_to_all_naive_ft ~per_node net2 faults2 in
+      pp "single-tree baseline" rn faults2
+    end
   in
   let per_node_arg =
     Arg.(value & opt int 1 & info [ "per-node" ] ~doc:"Messages per node.")
   in
+  let fail_p_arg =
+    Arg.(value & opt float 0. & info [ "fail-p" ] ~docv:"P"
+           ~doc:"Per-message Bernoulli drop probability.")
+  in
+  let crash_arg =
+    Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"ROUND:NODE"
+           ~doc:"Fail-stop crash of NODE at ROUND (repeatable).")
+  in
+  let kill_arg =
+    Arg.(value & opt int 0 & info [ "kill-budget" ] ~docv:"B"
+           ~doc:"Adaptive adversary kills the B most-loaded edges.")
+  in
   Cmd.v
     (Cmd.info "gossip" ~doc:"All-to-all broadcast via the decomposition (App. A)")
-    Term.(const run $ gen_arg $ file_arg $ seed_arg $ per_node_arg)
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ per_node_arg $ fail_p_arg
+          $ crash_arg $ kill_arg)
+
+let verified_cmd =
+  let run gen file seed distributed max_retries =
+    let g = load ~gen ~file in
+    let k = max 1 (Graphs.Connectivity.vertex_connectivity g) in
+    let r =
+      if distributed then begin
+        let net = Congest.Net.create Congest.Model.V_congest g in
+        let r =
+          Domtree.Reliable.pack_verified_distributed ~seed ~max_retries net ~k
+        in
+        Format.printf "rounds charged (packing + tester + backoff): %d@."
+          r.Domtree.Reliable.rounds_charged;
+        r
+      end
+      else Domtree.Reliable.pack_verified ~seed ~max_retries g ~k
+    in
+    List.iteri
+      (fun i (a : Domtree.Reliable.attempt) ->
+        Format.printf "attempt %d (seed %d): pass=%b domination=%b \
+                       connectivity=%b@."
+          i a.Domtree.Reliable.attempt_seed a.outcome.Domtree.Tester.pass
+          a.outcome.Domtree.Tester.domination_ok
+          a.outcome.Domtree.Tester.connectivity_ok)
+      r.Domtree.Reliable.attempts;
+    if not r.Domtree.Reliable.verified then begin
+      Format.printf "FAILED: no verified decomposition in %d attempts@."
+        (List.length r.Domtree.Reliable.attempts);
+      exit 1
+    end;
+    let p = Domtree.Tree_extract.of_cds_packing r.Domtree.Reliable.packing in
+    Format.printf
+      "verified decomposition after %d retries: %d trees, size %.3f@."
+      r.Domtree.Reliable.retries (Domtree.Packing.count p)
+      (Domtree.Packing.size p)
+  in
+  let dist_arg =
+    Arg.(value & flag & info [ "distributed" ]
+           ~doc:"Run packing and tester on the V-CONGEST runtime.")
+  in
+  let retries_arg =
+    Arg.(value & opt int Domtree.Reliable.default_max_retries
+         & info [ "max-retries" ] ~doc:"Retry budget after the first attempt.")
+  in
+  Cmd.v
+    (Cmd.info "verified"
+       ~doc:"Decompose under the verify-and-retry pipeline (Appendix E guard)")
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ retries_arg)
 
 let test_packing_cmd =
   let run gen file seed =
@@ -283,10 +388,25 @@ let exact_cmd =
 let () =
   let doc = "distributed connectivity decomposition (PODC'14), executable" in
   let info = Cmd.info "decompose" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            vertex_cmd; edge_cmd; approx_vc_cmd; gossip_cmd; test_packing_cmd;
-            exact_cmd;
-          ]))
+  let status =
+    (* ~catch:false so model-level failures reach our handlers below
+       instead of cmdliner's generic "internal error" report *)
+    try
+      Cmd.eval ~catch:false
+        (Cmd.group info
+           [
+             vertex_cmd; edge_cmd; approx_vc_cmd; gossip_cmd; verified_cmd;
+             test_packing_cmd; exact_cmd;
+           ])
+    with
+    | Congest.Net.Protocol_violation v ->
+      (* a CONGEST-model violation is an algorithm bug, not a crash:
+         report the offending round/node/edge instead of a backtrace *)
+      Format.eprintf "decompose: protocol violation: %a@."
+        Congest.Net.pp_violation v;
+      2
+    | Failure msg | Invalid_argument msg ->
+      Format.eprintf "decompose: %s@." msg;
+      2
+  in
+  exit status

@@ -1,0 +1,86 @@
+(** Deterministic, seeded fault adversary for the CONGEST runtime.
+
+    The paper's decomposition is a redundancy guarantee — Ω(k/log n)
+    vertex-disjoint connected dominating sets survive node and edge
+    failures (Theorem 1.1, Corollary A.1). This module makes failure a
+    first-class, reproducible input: an adversary composes failure
+    {!spec}s and installs as a {!Congest.Net.fault_hook}, so every
+    algorithm in the repository runs {e unmodified} under faults.
+
+    Semantics (all deterministic for a fixed seed):
+
+    - {b fail-stop crashes}: a node scheduled to crash at round [r] is
+      silenced from round [r] onward (0-based round index, as reported
+      to [on_round_start]) — it sends nothing and its inbox receives
+      nothing, forever;
+    - {b Bernoulli drops}: each delivered message is independently
+      destroyed with probability [p] (several [Drop_bernoulli] specs
+      compose as independent layers);
+    - {b scheduled edge kills}: an edge killed at round [r] destroys
+      every message crossing it (both directions) from round [r] on;
+    - {b greedy edge kills}: an adaptive adversary with a kill budget
+      that, every [period] rounds, kills the edge over which it has
+      observed the most cumulative words — the worst-case-flavored
+      adversary of the Daga et al. / expander-routing line of work.
+
+    Telemetry records every fault as an {!event} (which round, which
+    node/edge, words lost), plus running counters. *)
+
+type event =
+  | Crash of { round : int; node : int }
+  | Drop of { round : int; src : int; dst : int; words : int }
+  | Edge_kill of { round : int; u : int; v : int }
+
+val pp_event : Format.formatter -> event -> unit
+
+type spec =
+  | Crash_at of (int * int) list  (** [(round, node)] fail-stop schedule *)
+  | Drop_bernoulli of float  (** per-message drop probability *)
+  | Kill_edges_at of (int * (int * int)) list  (** [(round, (u,v))] *)
+  | Greedy_edge_kill of { budget : int; period : int; from_round : int }
+      (** adaptively kill the most-loaded observed edge, every [period]
+          rounds starting at [from_round], at most [budget] times *)
+
+type t
+
+(** [create ?seed specs] builds the composed adversary.
+    @raise Invalid_argument on a drop probability outside [0,1]. *)
+val create : ?seed:int -> spec list -> t
+
+(** The null adversary: no faults; installing it leaves every execution
+    bit-identical to the fault-free runtime. *)
+val none : unit -> t
+
+val is_null : t -> bool
+
+(** [install net t] attaches the adversary to [net]; [uninstall net]
+    detaches whatever hook is installed. An adversary keeps its state
+    (crashed nodes, killed edges, telemetry) across installs. *)
+val install : Net.t -> t -> unit
+
+val uninstall : Net.t -> unit
+
+(** The raw hook, for callers managing installation themselves. *)
+val hook : t -> Net.fault_hook
+
+(** {1 Queries} *)
+
+val alive : t -> int -> bool
+val crashed : t -> int -> bool
+val crashed_nodes : t -> int list
+val killed_edges : t -> (int * int) list
+val edge_killed : t -> int * int -> bool
+val drop_probability : t -> float
+
+(** {1 Telemetry} *)
+
+(** Chronological fault log. Messages destroyed because their receiver
+    crashed are tallied in the counters but not event-logged (one crash
+    event stands for the whole silence). *)
+val events : t -> event list
+
+val drops : t -> int
+val words_lost : t -> int
+val crashes : t -> int
+val edges_killed : t -> int
+val pp_summary : Format.formatter -> t -> unit

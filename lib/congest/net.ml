@@ -2,6 +2,41 @@ module Graph = Graphs.Graph
 
 type msg = int array
 
+type violation = {
+  v_round : int;
+  v_node : int option;
+  v_edge : (int * int) option;
+  v_budget : int option;
+  v_detail : string;
+}
+
+exception Protocol_violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "round %d" v.v_round;
+  (match v.v_node with
+  | Some u -> Format.fprintf ppf ", node %d" u
+  | None -> ());
+  (match v.v_edge with
+  | Some (u, w) -> Format.fprintf ppf ", edge (%d,%d)" u w
+  | None -> ());
+  (match v.v_budget with
+  | Some b -> Format.fprintf ppf ", budget %d" b
+  | None -> ());
+  Format.fprintf ppf ": %s" v.v_detail
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation v ->
+      Some (Format.asprintf "Congest.Net.Protocol_violation (%a)" pp_violation v)
+    | _ -> None)
+
+type fault_hook = {
+  on_round_start : int -> unit;
+  node_alive : int -> bool;
+  deliver : src:int -> dst:int -> msg -> bool;
+}
+
 type t = {
   graph : Graph.t;
   model : Model.t;
@@ -10,6 +45,8 @@ type t = {
   mutable rounds : int;
   mutable messages : int;
   mutable words : int;
+  mutable messages_lost : int;
+  mutable words_lost : int;
   mutable max_node_load : int;
   mutable max_edge_load : int;
   node_load : int array; (* scratch: words received this round *)
@@ -17,6 +54,7 @@ type t = {
   mutable boundary : (int -> bool) option;
       (* Alice/Bob side predicate for two-party simulation accounting *)
   mutable boundary_words : int;
+  mutable faults : fault_hook option;
 }
 
 let create ?words_budget model g =
@@ -32,33 +70,53 @@ let create ?words_budget model g =
     rounds = 0;
     messages = 0;
     words = 0;
+    messages_lost = 0;
+    words_lost = 0;
     max_node_load = 0;
     max_edge_load = 0;
     node_load = Array.make n 0;
     edge_load = Array.make (Graph.m g) 0;
     boundary = None;
     boundary_words = 0;
+    faults = None;
   }
 
 let graph net = net.graph
 let model net = net.model
 let n net = Graph.n net.graph
 
-let check_msg net m =
+let violate ?node ?edge ?budget net detail =
+  raise
+    (Protocol_violation
+       {
+         v_round = net.rounds;
+         v_node = node;
+         v_edge = edge;
+         v_budget = budget;
+         v_detail = detail;
+       })
+
+let check_msg ?node net m =
   if Array.length m > net.words_budget then
-    invalid_arg
-      (Printf.sprintf "Congest: message of %d words exceeds budget %d"
-         (Array.length m) net.words_budget);
+    violate ?node net ~budget:net.words_budget
+      (Printf.sprintf "message of %d words exceeds budget" (Array.length m));
   Array.iter
     (fun w ->
       if abs w > net.max_word then
-        invalid_arg
-          (Printf.sprintf "Congest: word %d exceeds O(log n) width bound" w))
+        violate ?node net ~budget:net.max_word
+          (Printf.sprintf "word %d exceeds O(log n) width bound" w))
     m
+
+let install_faults net hook = net.faults <- Some hook
+let clear_faults net = net.faults <- None
+let has_faults net = net.faults <> None
 
 let begin_round net =
   Array.fill net.node_load 0 (Array.length net.node_load) 0;
-  Array.fill net.edge_load 0 (Array.length net.edge_load) 0
+  Array.fill net.edge_load 0 (Array.length net.edge_load) 0;
+  match net.faults with
+  | Some h -> h.on_round_start net.rounds
+  | None -> ()
 
 let end_round net =
   net.rounds <- net.rounds + 1;
@@ -66,6 +124,14 @@ let end_round net =
     net.node_load;
   Array.iter (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
     net.edge_load
+
+let alive net u =
+  match net.faults with None -> true | Some h -> h.node_alive u
+
+let delivered net ~src ~dst m =
+  match net.faults with
+  | None -> true
+  | Some h -> h.deliver ~src ~dst m
 
 let account net ~src ~dst m =
   let len = Array.length m in
@@ -79,44 +145,59 @@ let account net ~src ~dst m =
   let ei = Graph.edge_index net.graph src dst in
   net.edge_load.(ei) <- net.edge_load.(ei) + len
 
+let lose net m =
+  net.messages_lost <- net.messages_lost + 1;
+  net.words_lost <- net.words_lost + Array.length m
+
 let broadcast_round net send =
   begin_round net;
   let nn = n net in
   let inboxes = Array.make nn [] in
   for u = nn - 1 downto 0 do
-    match send u with
-    | None -> ()
-    | Some m ->
-      check_msg net m;
-      Array.iter
-        (fun v ->
-          account net ~src:u ~dst:v m;
-          inboxes.(v) <- (u, m) :: inboxes.(v))
-        (Graph.neighbors net.graph u)
+    if alive net u then
+      match send u with
+      | None -> ()
+      | Some m ->
+        check_msg ~node:u net m;
+        Array.iter
+          (fun v ->
+            if delivered net ~src:u ~dst:v m then begin
+              account net ~src:u ~dst:v m;
+              inboxes.(v) <- (u, m) :: inboxes.(v)
+            end
+            else lose net m)
+          (Graph.neighbors net.graph u)
   done;
   end_round net;
   inboxes
 
 let edge_round net send =
   if net.model = Model.V_congest then
-    invalid_arg "Congest.edge_round: per-edge messages illegal in V-CONGEST";
+    violate net "edge_round: per-edge messages illegal in V-CONGEST";
   begin_round net;
   let nn = n net in
   let inboxes = Array.make nn [] in
   for u = nn - 1 downto 0 do
-    let outs = send u in
-    let seen = Hashtbl.create (List.length outs) in
-    List.iter
-      (fun (v, m) ->
-        if not (Graph.mem_edge net.graph u v) then
-          invalid_arg "Congest.edge_round: message along a non-edge";
-        if Hashtbl.mem seen v then
-          invalid_arg "Congest.edge_round: two messages on one edge direction";
-        Hashtbl.add seen v ();
-        check_msg net m;
-        account net ~src:u ~dst:v m;
-        inboxes.(v) <- (u, m) :: inboxes.(v))
-      outs
+    if alive net u then begin
+      let outs = send u in
+      let seen = Hashtbl.create (List.length outs) in
+      List.iter
+        (fun (v, m) ->
+          if not (Graph.mem_edge net.graph u v) then
+            violate net ~node:u ~edge:(u, v)
+              "edge_round: message along a non-edge";
+          if Hashtbl.mem seen v then
+            violate net ~node:u ~edge:(u, v)
+              "edge_round: two messages on one edge direction";
+          Hashtbl.add seen v ();
+          check_msg ~node:u net m;
+          if delivered net ~src:u ~dst:v m then begin
+            account net ~src:u ~dst:v m;
+            inboxes.(v) <- (u, m) :: inboxes.(v)
+          end
+          else lose net m)
+        outs
+    end
   done;
   end_round net;
   inboxes
@@ -128,6 +209,8 @@ let silent_rounds net k =
 let rounds net = net.rounds
 let messages_sent net = net.messages
 let words_sent net = net.words
+let messages_lost net = net.messages_lost
+let words_lost net = net.words_lost
 let max_node_load net = net.max_node_load
 let max_edge_load net = net.max_edge_load
 
@@ -135,6 +218,8 @@ let reset_stats net =
   net.rounds <- 0;
   net.messages <- 0;
   net.words <- 0;
+  net.messages_lost <- 0;
+  net.words_lost <- 0;
   net.max_node_load <- 0;
   net.max_edge_load <- 0;
   net.boundary_words <- 0

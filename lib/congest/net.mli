@@ -1,5 +1,5 @@
-(** Synchronous message-passing runtime with bandwidth enforcement and
-    congestion accounting.
+(** Synchronous message-passing runtime with bandwidth enforcement,
+    congestion accounting, and optional fault injection.
 
     Algorithms advance the network one synchronous round at a time via
     [broadcast_round] (the V-CONGEST primitive: one message per node,
@@ -9,7 +9,9 @@
     - rejects messages exceeding the model's word budget or word width,
     - rejects [edge_round] under V-CONGEST,
     - counts rounds, messages and words,
-    - tracks per-node and per-edge received-word loads (congestion).
+    - tracks per-node and per-edge received-word loads (congestion),
+    - consults an optional fault hook ({!install_faults}) that can
+      silence crashed nodes and destroy messages in flight.
 
     Protocol code must follow the locality discipline: what a node sends
     in round [r] may depend only on its id, its neighbors' ids, protocol
@@ -18,6 +20,26 @@
     against per-node knowledge arrays to respect it. *)
 
 type msg = int array
+
+(** {1 Protocol violations}
+
+    Illegal protocol behaviour — oversized or over-wide messages,
+    [edge_round] under V-CONGEST, messages along non-edges, two messages
+    on one edge direction — raises [Protocol_violation] carrying the
+    round, the offending node and/or edge when known, and the violated
+    budget. *)
+
+type violation = {
+  v_round : int;  (** rounds completed when the violation occurred *)
+  v_node : int option;  (** offending sender, when known *)
+  v_edge : (int * int) option;  (** offending edge, when known *)
+  v_budget : int option;  (** the violated budget/bound, when one exists *)
+  v_detail : string;
+}
+
+exception Protocol_violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
 
 type t
 
@@ -28,22 +50,54 @@ val graph : t -> Graphs.Graph.t
 val model : t -> Model.t
 val n : t -> int
 
+(** {1 Fault injection}
+
+    A fault hook lets an adversary (see {!Faults}) interpose on every
+    round without any change to algorithm code:
+
+    - [on_round_start r] is called once per round, before any message
+      moves, with [r] = the number of completed rounds (so the first
+      round is 0);
+    - a node [u] with [node_alive u = false] is {e crashed}: its send
+      function is not invoked and nothing is delivered to it (the
+      [deliver] hook is expected to refuse its inbound traffic);
+    - [deliver ~src ~dst m] decides the fate of each individual message
+      from a live sender: [false] destroys it in flight.
+
+    Destroyed traffic is {e not} counted in [messages_sent]/[words_sent]
+    or the load maxima; it is tallied in {!messages_lost} and
+    {!words_lost}. With no hook installed (or the null adversary) the
+    runtime behaves bit-identically to the fault-free semantics. *)
+
+type fault_hook = {
+  on_round_start : int -> unit;
+  node_alive : int -> bool;
+  deliver : src:int -> dst:int -> msg -> bool;
+}
+
+val install_faults : t -> fault_hook -> unit
+val clear_faults : t -> unit
+val has_faults : t -> bool
+
 (** {1 Rounds} *)
 
 (** [broadcast_round net send] performs one round in which node [u]
     locally broadcasts [send u] (or stays silent on [None]).
     [inboxes.(v)] lists [(sender, message)] in increasing sender order.
-    Legal in both models. *)
+    Legal in both models.
+    @raise Protocol_violation on oversized or over-wide messages. *)
 val broadcast_round : t -> (int -> msg option) -> (int * msg) list array
 
 (** [edge_round net send] performs one round in which node [u] sends
     [send u], a list of [(neighbor, message)] pairs, at most one message
     per incident edge.
-    @raise Invalid_argument under [V_congest] or on duplicate targets. *)
+    @raise Protocol_violation under [V_congest], on non-edges, or on
+    duplicate targets. *)
 val edge_round : t -> (int -> (int * msg) list) -> (int * msg) list array
 
 (** [silent_rounds net k] advances the clock by [k] message-free rounds
-    (used when a protocol idles, e.g. waiting for a known bound). *)
+    (used when a protocol idles, e.g. waiting for a known bound, or for
+    the round-charged backoff of a retry policy). *)
 val silent_rounds : t -> int -> unit
 
 (** {1 Accounting} *)
@@ -52,6 +106,12 @@ val rounds : t -> int
 val messages_sent : t -> int
 val words_sent : t -> int
 
+(** Messages / words destroyed by the installed fault hook (crashed
+    receivers and in-flight drops). Zero when no faults are installed. *)
+val messages_lost : t -> int
+
+val words_lost : t -> int
+
 (** Maximum words received by any single node during any single round. *)
 val max_node_load : t -> int
 
@@ -59,7 +119,15 @@ val max_node_load : t -> int
     during any single round. *)
 val max_edge_load : t -> int
 
-(** [reset_stats net] zeroes all counters (the clock too). *)
+(** [reset_stats net] zeroes every counter: the clock ([rounds]),
+    [messages_sent], [words_sent], [messages_lost], [words_lost], the
+    load maxima, and [boundary_words].
+
+    Counter-reset contract: {e configuration} survives a reset — the
+    boundary predicate stays set and an installed fault hook stays
+    installed (with whatever internal state it has accumulated; crashed
+    nodes stay crashed). Checkpoints taken before a reset are
+    invalidated. *)
 val reset_stats : t -> unit
 
 (** {1 Two-party simulation accounting (Appendix G)}

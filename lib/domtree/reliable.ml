@@ -1,0 +1,91 @@
+module Graph = Graphs.Graph
+module Net = Congest.Net
+
+type attempt = {
+  attempt_seed : int;
+  outcome : Tester.outcome;
+}
+
+type result = {
+  packing : Cds_packing.t;
+  attempts : attempt list;
+  verified : bool;
+  retries : int;
+  rounds_charged : int;
+}
+
+let default_max_retries = 4
+let default_backoff attempt = 1 lsl attempt
+
+(* fresh, decorrelated seed per attempt *)
+let reseed seed attempt = seed + (1_000_003 * attempt)
+
+let memberships_of res =
+  let per_real = Cds_packing.real_classes res in
+  fun r -> per_real.(r)
+
+let run_verified ?(seed = 42) ?(max_retries = default_max_retries) ?jumpstart g
+    ~classes ~layers =
+  let n = Graph.n g in
+  let detection_rounds = Tester.default_detection_rounds ~n in
+  let rec go attempt acc =
+    let s = reseed seed attempt in
+    let res = Cds_packing.run ~seed:s ?jumpstart g ~classes ~layers in
+    let outcome =
+      Tester.run_centralized ~seed:s g
+        ~memberships:(memberships_of res)
+        ~classes ~detection_rounds
+    in
+    let acc = { attempt_seed = s; outcome } :: acc in
+    if outcome.Tester.pass || attempt >= max_retries then
+      {
+        packing = res;
+        attempts = List.rev acc;
+        verified = outcome.Tester.pass;
+        retries = attempt;
+        rounds_charged = 0;
+      }
+    else go (attempt + 1) acc
+  in
+  go 0 []
+
+let pack_verified ?seed ?max_retries g ~k =
+  run_verified ?seed ?max_retries g
+    ~classes:(Cds_packing.default_classes ~k)
+    ~layers:(Cds_packing.default_layers ~n:(Graph.n g))
+
+let run_verified_distributed ?(seed = 42) ?(max_retries = default_max_retries)
+    ?(backoff = default_backoff) ?jumpstart net ~classes ~layers =
+  let n = Net.n net in
+  let detection_rounds = Tester.default_detection_rounds ~n in
+  let start = Net.checkpoint net in
+  let rec go attempt acc =
+    let s = reseed seed attempt in
+    let res = Dist_packing.run ~seed:s ?jumpstart net ~classes ~layers in
+    let outcome =
+      Tester.run_distributed ~seed:s net
+        ~memberships:(memberships_of res)
+        ~classes ~detection_rounds
+    in
+    let acc = { attempt_seed = s; outcome } :: acc in
+    if outcome.Tester.pass || attempt >= max_retries then
+      {
+        packing = res;
+        attempts = List.rev acc;
+        verified = outcome.Tester.pass;
+        retries = attempt;
+        rounds_charged = Net.rounds_since net start;
+      }
+    else begin
+      (* round-charged backoff: the network idles before retrying, so
+         the cost of flaky decompositions is visible on the clock *)
+      Net.silent_rounds net (backoff attempt);
+      go (attempt + 1) acc
+    end
+  in
+  go 0 []
+
+let pack_verified_distributed ?seed ?max_retries ?backoff net ~k =
+  run_verified_distributed ?seed ?max_retries ?backoff net
+    ~classes:(Cds_packing.default_classes ~k)
+    ~layers:(Cds_packing.default_layers ~n:(Net.n net))

@@ -1,0 +1,57 @@
+(** Verify-and-retry decomposition pipeline.
+
+    {!Cds_packing} succeeds w.h.p., not always: a run can leave a class
+    disconnected. This module guards every decomposition with the
+    Appendix E {!Tester} (Lemma E.1: a broken class is detected w.h.p.,
+    a valid partition always passes) and, on detected failure, re-runs
+    the decomposition with a fresh seed under a bounded retry policy.
+    The distributed variant charges an exponential backoff to the
+    CONGEST clock between attempts, so the expected cost of flakiness
+    is measured in rounds like everything else. *)
+
+type attempt = {
+  attempt_seed : int;  (** seed this attempt ran with *)
+  outcome : Tester.outcome;
+}
+
+type result = {
+  packing : Cds_packing.t;  (** the last attempt's packing *)
+  attempts : attempt list;  (** chronological, ≥ 1 *)
+  verified : bool;  (** the returned packing passed the tester *)
+  retries : int;  (** attempts - 1 *)
+  rounds_charged : int;
+      (** distributed runs: total rounds consumed including backoff;
+          centralized runs: 0 *)
+}
+
+val default_max_retries : int
+
+(** Exponential: attempt [i] idles [2^i] rounds before retrying. *)
+val default_backoff : int -> int
+
+(** [run_verified ?seed ?max_retries ?jumpstart g ~classes ~layers]:
+    centralized packing + centralized tester, retried up to
+    [max_retries] times with decorrelated fresh seeds. If every attempt
+    fails the last packing is returned with [verified = false]. *)
+val run_verified :
+  ?seed:int -> ?max_retries:int -> ?jumpstart:int ->
+  Graphs.Graph.t -> classes:int -> layers:int ->
+  result
+
+(** [pack_verified ?seed ?max_retries g ~k] is {!run_verified} with the
+    default parameters for connectivity(-estimate) [k]. *)
+val pack_verified :
+  ?seed:int -> ?max_retries:int -> Graphs.Graph.t -> k:int -> result
+
+(** Distributed packing + distributed tester over the CONGEST runtime;
+    [backoff attempt] silent rounds are charged before retry
+    [attempt + 1]. *)
+val run_verified_distributed :
+  ?seed:int -> ?max_retries:int -> ?backoff:(int -> int) -> ?jumpstart:int ->
+  Congest.Net.t -> classes:int -> layers:int ->
+  result
+
+val pack_verified_distributed :
+  ?seed:int -> ?max_retries:int -> ?backoff:(int -> int) ->
+  Congest.Net.t -> k:int ->
+  result

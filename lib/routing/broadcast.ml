@@ -288,6 +288,386 @@ let via_spanning_trees ?(seed = 42) net (packing : Spantree.Spacking.t)
   finish net start ~messages:total ~relays ~edge_crossings
 
 (* ------------------------------------------------------------------ *)
+(* Fault-tolerant variants: same store-and-forward schedulers, but
+   aware of a Faults adversary. Recovery semantics:
+   - a tree with a crashed member or a killed tree edge is dead; its
+     pending relays are rerouted onto surviving trees;
+   - every [repair_every] rounds each node re-gossips one random heard
+     message (retransmission against Bernoulli drops);
+   - delivery is owed to surviving nodes only, and only for messages
+     some survivor has heard. *)
+
+type ft_result = {
+  ft_rounds : int;
+  ft_messages : int;
+  ft_delivered : int;
+  ft_throughput : float;
+  ft_coverage : float;
+  ft_survivors : int;
+  ft_dead_trees : int;
+  ft_converged : bool;
+}
+
+let via_dominating_trees_ft ?(seed = 42) ?(repair_every = 8) ?round_cap net
+    faults (packing : Domtree.Packing.t) ~sources =
+  let trees = Array.of_list packing.Domtree.Packing.trees in
+  let tcount = Array.length trees in
+  if tcount = 0 then
+    invalid_arg "Broadcast.via_dominating_trees_ft: empty packing";
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let rng = Random.State.make [| seed; n; tcount; 17 |] in
+  let msgs, total = expand_sources sources in
+  let cap =
+    match round_cap with Some c -> c | None -> (20 * (total + n)) + 200
+  in
+  let member = Array.make_matrix tcount n false in
+  let tree_edge = Hashtbl.create 256 in
+  Array.iteri
+    (fun i tr ->
+      Array.iter (fun v -> member.(i).(v) <- true) tr.Domtree.Packing.vertices;
+      List.iter
+        (fun (u, v) -> Hashtbl.replace tree_edge (i, min u v, max u v) ())
+        tr.Domtree.Packing.edges)
+    trees;
+  let is_tree_edge i u v = Hashtbl.mem tree_edge (i, min u v, max u v) in
+  let tree_dead = Array.make tcount false in
+  let tree_of_msg = Array.init total (fun _ -> Random.State.int rng tcount) in
+  (* liveness bookkeeping: heard_alive.(id) counts surviving hearers *)
+  let node_dead = Array.make n false in
+  let alive_count = ref n in
+  let heard = Array.init n (fun _ -> Hashtbl.create 16) in
+  let heard_alive = Array.make total 0 in
+  let hear v id =
+    if (not node_dead.(v)) && not (Hashtbl.mem heard.(v) id) then begin
+      Hashtbl.replace heard.(v) id ();
+      heard_alive.(id) <- heard_alive.(id) + 1
+    end
+  in
+  let queues =
+    Array.init n (fun _ -> Array.init tcount (fun _ -> Queue.create ()))
+  in
+  let relayed = Array.init n (fun _ -> Hashtbl.create 16) in
+  let adopt v i id =
+    if
+      member.(i).(v)
+      && (not tree_dead.(i))
+      && not (Hashtbl.mem relayed.(v) (i, id))
+    then begin
+      Hashtbl.replace relayed.(v) (i, id) ();
+      Queue.add id queues.(v).(i)
+    end
+  in
+  let inject = Array.init n (fun _ -> Queue.create ()) in
+  List.iter
+    (fun (id, origin) ->
+      hear origin id;
+      let i = tree_of_msg.(id) in
+      if member.(i).(origin) then adopt origin i id
+      else Queue.add id inject.(origin))
+    msgs;
+  let surviving_trees () =
+    let acc = ref [] in
+    for i = tcount - 1 downto 0 do
+      if not tree_dead.(i) then acc := i :: !acc
+    done;
+    !acc
+  in
+  let random_of = function
+    | [] -> None
+    | l -> Some (List.nth l (Random.State.int rng (List.length l)))
+  in
+  (* a surviving tree v belongs to, else any surviving tree (tagged so
+     the caller knows whether v can relay it itself) *)
+  let pick_surviving v =
+    match
+      random_of (List.filter (fun i -> member.(i).(v)) (surviving_trees ()))
+    with
+    | Some i -> Some (true, i)
+    | None -> (
+      match random_of (surviving_trees ()) with
+      | Some i -> Some (false, i)
+      | None -> None)
+  in
+  let dead_trees = ref 0 in
+  let reroute v i =
+    let q = queues.(v).(i) in
+    while not (Queue.is_empty q) do
+      let id = Queue.pop q in
+      match pick_surviving v with
+      | Some (true, j) -> Queue.add id queues.(v).(j)
+      | Some (false, _) | None -> Queue.add id inject.(v)
+    done
+  in
+  let kill_tree i =
+    if not tree_dead.(i) then begin
+      tree_dead.(i) <- true;
+      incr dead_trees;
+      for v = 0 to n - 1 do
+        if not node_dead.(v) then reroute v i
+      done
+    end
+  in
+  let bury v =
+    if not node_dead.(v) then begin
+      node_dead.(v) <- true;
+      decr alive_count;
+      Hashtbl.iter
+        (fun id () -> heard_alive.(id) <- heard_alive.(id) - 1)
+        heard.(v)
+    end
+  in
+  let known_crashes = ref 0 and known_kills = ref 0 in
+  let sync_faults () =
+    if Congest.Faults.crashes faults <> !known_crashes then begin
+      known_crashes := Congest.Faults.crashes faults;
+      List.iter bury (Congest.Faults.crashed_nodes faults);
+      for i = 0 to tcount - 1 do
+        if
+          (not tree_dead.(i))
+          && Array.exists
+               (fun v -> node_dead.(v))
+               trees.(i).Domtree.Packing.vertices
+        then kill_tree i
+      done
+    end;
+    if Congest.Faults.edges_killed faults <> !known_kills then begin
+      known_kills := Congest.Faults.edges_killed faults;
+      List.iter
+        (fun (u, v) ->
+          for i = 0 to tcount - 1 do
+            if (not tree_dead.(i)) && is_tree_edge i u v then kill_tree i
+          done)
+        (Congest.Faults.killed_edges faults)
+    end
+  in
+  sync_faults ();
+  let rr = Array.make n 0 in
+  let start = Net.checkpoint net in
+  let all_done () =
+    !alive_count = 0
+    ||
+    let ok = ref true in
+    for id = 0 to total - 1 do
+      let h = heard_alive.(id) in
+      if h <> 0 && h <> !alive_count then ok := false
+    done;
+    !ok
+  in
+  let round = ref 0 in
+  while (not (all_done ())) && !round < cap do
+    incr round;
+    if !round mod repair_every = 0 then
+      (* repair tick: every survivor re-gossips one random heard message *)
+      for v = 0 to n - 1 do
+        if not node_dead.(v) then begin
+          let ks = Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [] in
+          match random_of ks with
+          | None -> ()
+          | Some id -> (
+            match pick_surviving v with
+            | Some (true, j) -> Queue.add id queues.(v).(j)
+            | Some (false, _) -> Queue.add id inject.(v)
+            | None -> ())
+        end
+      done;
+    let choice =
+      Array.init n (fun v ->
+          if node_dead.(v) then None
+          else if not (Queue.is_empty inject.(v)) then begin
+            let id = Queue.pop inject.(v) in
+            let i0 = tree_of_msg.(id) in
+            let i =
+              if not tree_dead.(i0) then i0
+              else
+                match random_of (surviving_trees ()) with
+                | Some j ->
+                  tree_of_msg.(id) <- j;
+                  j
+                | None -> i0
+            in
+            Some (i, id)
+          end
+          else begin
+            let found = ref None in
+            let tried = ref 0 in
+            while !found = None && !tried < tcount do
+              let i = (rr.(v) + !tried) mod tcount in
+              if not (Queue.is_empty queues.(v).(i)) then begin
+                found := Some (i, Queue.pop queues.(v).(i));
+                rr.(v) <- (i + 1) mod tcount
+              end;
+              incr tried
+            done;
+            !found
+          end)
+    in
+    let inboxes =
+      Net.broadcast_round net (fun v ->
+          match choice.(v) with
+          | Some (i, id) -> Some [| i; id |]
+          | None -> None)
+    in
+    sync_faults ();
+    for v = 0 to n - 1 do
+      if not node_dead.(v) then
+        List.iter
+          (fun (sender, m) ->
+            let i = m.(0) and id = m.(1) in
+            hear v id;
+            if
+              member.(i).(v)
+              && (is_tree_edge i sender v || not member.(i).(sender))
+            then adopt v i id)
+          inboxes.(v)
+    done
+  done;
+  let converged = all_done () in
+  let rounds = max 1 (Net.rounds_since net start) in
+  let delivered = ref 0 and pairs = ref 0 in
+  for id = 0 to total - 1 do
+    pairs := !pairs + heard_alive.(id);
+    if !alive_count > 0 && heard_alive.(id) = !alive_count then incr delivered
+  done;
+  {
+    ft_rounds = rounds;
+    ft_messages = total;
+    ft_delivered = !delivered;
+    ft_throughput = float_of_int !delivered /. float_of_int rounds;
+    ft_coverage =
+      (if total = 0 || !alive_count = 0 then 1.
+       else float_of_int !pairs /. float_of_int (total * !alive_count));
+    ft_survivors = !alive_count;
+    ft_dead_trees = !dead_trees;
+    ft_converged = converged;
+  }
+
+let naive_single_tree_ft ?(repair_every = 8) ?round_cap net faults ~sources =
+  let g = Net.graph net in
+  let n = Graph.n g in
+  let msgs, total = expand_sources sources in
+  let cap =
+    match round_cap with Some c -> c | None -> (20 * (total + n)) + 200
+  in
+  (* the tree predates the faults: build it on a fault-free scratch net
+     over the same graph and charge those rounds to the real clock *)
+  let scratch = Net.create (Net.model net) g in
+  let tree = Congest.Primitives.bfs_tree scratch ~root:0 in
+  Net.silent_rounds net (Net.rounds scratch);
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun v p ->
+      if p >= 0 && p <> v then begin
+        adj.(v) <- p :: adj.(v);
+        adj.(p) <- v :: adj.(p)
+      end)
+    tree.Congest.Primitives.parent;
+  let node_dead = Array.make n false in
+  let alive_count = ref n in
+  let heard = Array.init n (fun _ -> Hashtbl.create 16) in
+  let heard_alive = Array.make total 0 in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let learn v id =
+    if (not node_dead.(v)) && not (Hashtbl.mem heard.(v) id) then begin
+      Hashtbl.replace heard.(v) id ();
+      heard_alive.(id) <- heard_alive.(id) + 1;
+      Queue.add id queues.(v)
+    end
+  in
+  List.iter (fun (id, origin) -> learn origin id) msgs;
+  let bury v =
+    if not node_dead.(v) then begin
+      node_dead.(v) <- true;
+      decr alive_count;
+      Hashtbl.iter
+        (fun id () -> heard_alive.(id) <- heard_alive.(id) - 1)
+        heard.(v)
+    end
+  in
+  let tree_hit = ref false in
+  let known_crashes = ref 0 and known_kills = ref 0 in
+  let sync_faults () =
+    if Congest.Faults.crashes faults <> !known_crashes then begin
+      known_crashes := Congest.Faults.crashes faults;
+      List.iter bury (Congest.Faults.crashed_nodes faults);
+      if List.exists (fun v -> adj.(v) <> []) (Congest.Faults.crashed_nodes faults)
+      then tree_hit := true
+    end;
+    if Congest.Faults.edges_killed faults <> !known_kills then begin
+      known_kills := Congest.Faults.edges_killed faults;
+      if
+        List.exists
+          (fun (u, v) -> List.mem v adj.(u))
+          (Congest.Faults.killed_edges faults)
+      then tree_hit := true
+    end
+  in
+  sync_faults ();
+  let rng = Random.State.make [| 42; n; total; 19 |] in
+  let start = Net.checkpoint net in
+  let all_done () =
+    !alive_count = 0
+    ||
+    let ok = ref true in
+    for id = 0 to total - 1 do
+      let h = heard_alive.(id) in
+      if h <> 0 && h <> !alive_count then ok := false
+    done;
+    !ok
+  in
+  let round = ref 0 in
+  while (not (all_done ())) && !round < cap do
+    incr round;
+    if !round mod repair_every = 0 then
+      (* retransmission against drops: re-pipeline one random heard
+         message; the single tree itself is never routed around *)
+      for v = 0 to n - 1 do
+        if not node_dead.(v) then begin
+          let ks = Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [] in
+          match ks with
+          | [] -> ()
+          | _ -> Queue.add (List.nth ks (Random.State.int rng (List.length ks)))
+                   queues.(v)
+        end
+      done;
+    let choice =
+      Array.init n (fun v ->
+          if node_dead.(v) || Queue.is_empty queues.(v) then None
+          else Some (Queue.pop queues.(v)))
+    in
+    let inboxes =
+      Net.broadcast_round net (fun v ->
+          match choice.(v) with Some id -> Some [| id |] | None -> None)
+    in
+    sync_faults ();
+    for v = 0 to n - 1 do
+      if not node_dead.(v) then
+        List.iter
+          (fun (sender, m) -> if List.mem sender adj.(v) then learn v m.(0))
+          inboxes.(v)
+    done
+  done;
+  let converged = all_done () in
+  let rounds = max 1 (Net.rounds_since net start) in
+  let delivered = ref 0 and pairs = ref 0 in
+  for id = 0 to total - 1 do
+    pairs := !pairs + heard_alive.(id);
+    if !alive_count > 0 && heard_alive.(id) = !alive_count then incr delivered
+  done;
+  {
+    ft_rounds = rounds;
+    ft_messages = total;
+    ft_delivered = !delivered;
+    ft_throughput = float_of_int !delivered /. float_of_int rounds;
+    ft_coverage =
+      (if total = 0 || !alive_count = 0 then 1.
+       else float_of_int !pairs /. float_of_int (total * !alive_count));
+    ft_survivors = !alive_count;
+    ft_dead_trees = (if !tree_hit then 1 else 0);
+    ft_converged = converged;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Baseline: single BFS tree *)
 
 let naive_single_tree net ~sources =

@@ -46,3 +46,57 @@ val via_spanning_trees :
     this paper: pipeline everything over one global BFS tree (throughput
     ≤ 1 message/round regardless of connectivity). *)
 val naive_single_tree : Congest.Net.t -> sources:(int * int) list -> result
+
+(** {1 Fault-tolerant variants}
+
+    Same schedulers, run against a {!Congest.Faults} adversary (which
+    the caller installs on the net — see {!Routing.Gossip} for wrappers
+    that do). Recovery semantics:
+
+    - a tree with a crashed member or a killed tree edge is {e dead};
+      its pending relays are rerouted onto surviving trees (the
+      redundancy story of Theorem 1.1 — the packing degrades one class
+      at a time, while the single-tree baseline has nothing to reroute
+      onto);
+    - every [repair_every] rounds (default 8) each surviving node
+      re-gossips one random heard message, a retransmission mechanism
+      against Bernoulli drops (granted to the baseline too, so the
+      comparison isolates structural redundancy);
+    - delivery is owed to surviving nodes only, and only for messages
+      at least one survivor has heard. The run stops when every such
+      message is everywhere ([ft_converged = true]) or at [round_cap]
+      (default [20 * (messages + n) + 200]) when faults made full
+      delivery impossible. *)
+
+type ft_result = {
+  ft_rounds : int;  (** rounds consumed (capped runs: the cap) *)
+  ft_messages : int;  (** messages injected *)
+  ft_delivered : int;  (** messages heard by {e every} surviving node *)
+  ft_throughput : float;  (** delivered / rounds — sustained throughput *)
+  ft_coverage : float;
+      (** fraction of (survivor, message) pairs heard — 1.0 iff full
+          delivery *)
+  ft_survivors : int;
+  ft_dead_trees : int;  (** trees abandoned to crashes/edge kills *)
+  ft_converged : bool;
+}
+
+val via_dominating_trees_ft :
+  ?seed:int ->
+  ?repair_every:int ->
+  ?round_cap:int ->
+  Congest.Net.t -> Congest.Faults.t -> Domtree.Packing.t ->
+  sources:(int * int) list ->
+  ft_result
+
+(** Single-BFS-tree baseline under the same adversary: retransmits
+    against drops, but a crashed internal tree node or killed tree edge
+    permanently disconnects its subtree. The tree is built on a
+    fault-free scratch net (it predates the faults); those rounds are
+    charged to the real clock. *)
+val naive_single_tree_ft :
+  ?repair_every:int ->
+  ?round_cap:int ->
+  Congest.Net.t -> Congest.Faults.t ->
+  sources:(int * int) list ->
+  ft_result

@@ -19,6 +19,25 @@ val all_to_all :
 (** [all_to_all_naive net ~per_node] is the single-BFS-tree baseline. *)
 val all_to_all_naive : ?per_node:int -> Congest.Net.t -> Broadcast.result
 
+(** {1 Gossip under faults}
+
+    [all_to_all_ft net faults packing] installs the adversary on [net]
+    and gossips via the packing with graceful degradation: failed CDS
+    classes are dropped and their load rerouted across surviving
+    classes (see {!Broadcast.via_dominating_trees_ft}). The packing
+    should sustain throughput as failures mount, where the single-tree
+    baseline [all_to_all_naive_ft] collapses as soon as its one tree is
+    hit. *)
+val all_to_all_ft :
+  ?seed:int -> ?per_node:int -> ?round_cap:int ->
+  Congest.Net.t -> Congest.Faults.t -> Domtree.Packing.t ->
+  Broadcast.ft_result
+
+val all_to_all_naive_ft :
+  ?per_node:int -> ?round_cap:int ->
+  Congest.Net.t -> Congest.Faults.t ->
+  Broadcast.ft_result
+
 (** [scattered ?seed rng_messages net packing ~k ~total ~max_per_node] is
     Corollary A.1 in full generality: [total] messages placed at random
     nodes with at most [max_per_node] at any single node; the reference

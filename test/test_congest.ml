@@ -26,10 +26,14 @@ let test_broadcast_round () =
 let test_bandwidth_enforced () =
   let g = Gen.path 3 in
   let net = vnet g in
-  Alcotest.check_raises "oversized message rejected"
-    (Invalid_argument "Congest: message of 9 words exceeds budget 8")
-    (fun () ->
-      ignore (Congest.Net.broadcast_round net (fun _ -> Some (Array.make 9 0))))
+  match Congest.Net.broadcast_round net (fun _ -> Some (Array.make 9 0)) with
+  | _ -> Alcotest.fail "oversized message accepted"
+  | exception Congest.Net.Protocol_violation v ->
+    Alcotest.(check int) "violation round" 0 v.Congest.Net.v_round;
+    Alcotest.(check (option int)) "budget in context" (Some 8)
+      v.Congest.Net.v_budget;
+    Alcotest.(check bool) "offending node recorded" true
+      (v.Congest.Net.v_node <> None)
 
 let test_word_width_enforced () =
   let g = Gen.path 3 in
@@ -38,14 +42,16 @@ let test_word_width_enforced () =
   try
     ignore (Congest.Net.broadcast_round net (fun _ -> Some [| huge |]));
     Alcotest.fail "expected rejection of an overly wide word"
-  with Invalid_argument _ -> ()
+  with Congest.Net.Protocol_violation _ -> ()
 
 let test_edge_round_illegal_in_vcongest () =
   let g = Gen.path 3 in
   let net = vnet g in
-  Alcotest.check_raises "edge_round rejected"
-    (Invalid_argument "Congest.edge_round: per-edge messages illegal in V-CONGEST")
-    (fun () -> ignore (Congest.Net.edge_round net (fun _ -> [])))
+  match Congest.Net.edge_round net (fun _ -> []) with
+  | _ -> Alcotest.fail "edge_round accepted in V-CONGEST"
+  | exception Congest.Net.Protocol_violation v ->
+    Alcotest.(check bool) "detail names edge_round" true
+      (String.length v.Congest.Net.v_detail > 0)
 
 let test_edge_round_in_econgest () =
   let g = Gen.path 3 in
@@ -56,12 +62,14 @@ let test_edge_round_in_econgest () =
   in
   Alcotest.(check int) "end 0 got 7" 7 (snd (List.hd inboxes.(0))).(0);
   Alcotest.(check int) "end 2 got 8" 8 (snd (List.hd inboxes.(2))).(0);
-  Alcotest.check_raises "duplicate direction rejected"
-    (Invalid_argument "Congest.edge_round: two messages on one edge direction")
-    (fun () ->
-      ignore
-        (Congest.Net.edge_round net (fun u ->
-             if u = 1 then [ (0, [| 1 |]); (0, [| 2 |]) ] else [])))
+  match
+    Congest.Net.edge_round net (fun u ->
+        if u = 1 then [ (0, [| 1 |]); (0, [| 2 |]) ] else [])
+  with
+  | _ -> Alcotest.fail "duplicate edge direction accepted"
+  | exception Congest.Net.Protocol_violation v ->
+    Alcotest.(check (option (pair int int))) "offending edge" (Some (1, 0))
+      v.Congest.Net.v_edge
 
 let test_congestion_accounting () =
   let g = Gen.clique 4 in
@@ -101,6 +109,148 @@ let test_boundary_accounting () =
     (Congest.Net.boundary_words net);
   Congest.Net.reset_stats net;
   Alcotest.(check int) "reset" 0 (Congest.Net.boundary_words net)
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection *)
+
+module F = Congest.Faults
+
+let net_fingerprint net =
+  ( Congest.Net.rounds net,
+    Congest.Net.messages_sent net,
+    Congest.Net.words_sent net,
+    Congest.Net.messages_lost net,
+    Congest.Net.words_lost net,
+    Congest.Net.max_node_load net,
+    Congest.Net.max_edge_load net )
+
+let prop_null_adversary_bit_identical =
+  QCheck.Test.make
+    ~name:"null adversary: execution bit-identical to fault-free" ~count:30
+    QCheck.(triple (int_range 4 20) (int_range 0 20) (int_range 0 999))
+    (fun (n, extra, salt) ->
+      let g = Gen.random_connected (rng ()) ~n ~extra in
+      let send1 u = if (u + salt) mod 3 = 0 then Some [| u; salt mod 7 |] else None in
+      let send2 u = if u mod 2 = 0 then Some [| u; u; salt mod 5 |] else None in
+      let run with_null =
+        let net = vnet g in
+        if with_null then F.install net (F.none ());
+        let i1 = Congest.Net.broadcast_round net send1 in
+        let i2 = Congest.Net.broadcast_round net send2 in
+        (i1, i2, net_fingerprint net)
+      in
+      run false = run true)
+
+let test_crash_silences_node () =
+  let g = Gen.clique 4 in
+  let net = vnet g in
+  let faults = F.create [ F.Crash_at [ (1, 2) ] ] in
+  F.install net faults;
+  let i0 = Congest.Net.broadcast_round net (fun u -> Some [| u |]) in
+  Alcotest.(check int) "round 0: all alive" 3 (List.length i0.(0));
+  let i1 = Congest.Net.broadcast_round net (fun u -> Some [| u |]) in
+  Alcotest.(check bool) "node 2 crashed" true (F.crashed faults 2);
+  Alcotest.(check (list int)) "crashed node silenced as sender" [ 1; 3 ]
+    (List.map fst i1.(0) |> List.sort compare);
+  Alcotest.(check int) "crashed node's inbox silenced" 0 (List.length i1.(2));
+  (* three messages destined to the crashed node were destroyed *)
+  Alcotest.(check int) "messages lost" 3 (Congest.Net.messages_lost net);
+  Alcotest.(check int) "words lost" 3 (Congest.Net.words_lost net);
+  Alcotest.(check (list int)) "crashed_nodes" [ 2 ] (F.crashed_nodes faults);
+  (* destroyed traffic is not billed as sent *)
+  Alcotest.(check int) "sent excludes destroyed" (12 + 6)
+    (Congest.Net.messages_sent net);
+  match F.events faults with
+  | [ F.Crash { round = 1; node = 2 } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one crash event at round 1"
+
+let test_bernoulli_drops_accounted () =
+  let g = Gen.clique 6 in
+  let net = vnet g in
+  let faults = F.create ~seed:3 [ F.Drop_bernoulli 0.5 ] in
+  F.install net faults;
+  for _ = 1 to 10 do
+    ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+  done;
+  let sent = Congest.Net.messages_sent net in
+  let lost = Congest.Net.messages_lost net in
+  Alcotest.(check int) "sent + lost = offered" (6 * 5 * 10) (sent + lost);
+  Alcotest.(check bool) "some messages dropped" true (lost > 0);
+  Alcotest.(check bool) "some messages survived" true (sent > 0);
+  Alcotest.(check int) "adversary drop counter agrees" lost (F.drops faults);
+  Alcotest.(check int) "adversary words_lost agrees"
+    (Congest.Net.words_lost net) (F.words_lost faults)
+
+let test_drop_determinism () =
+  let run () =
+    let g = Gen.clique 6 in
+    let net = vnet g in
+    let faults = F.create ~seed:11 [ F.Drop_bernoulli 0.3 ] in
+    F.install net faults;
+    let i = Congest.Net.broadcast_round net (fun u -> Some [| u |]) in
+    (i, net_fingerprint net)
+  in
+  Alcotest.(check bool) "same seed, same execution" true (run () = run ())
+
+let test_scheduled_edge_kill () =
+  let g = Gen.cycle 4 in
+  let net = vnet g in
+  let faults = F.create [ F.Kill_edges_at [ (1, (1, 0)) ] ] in
+  F.install net faults;
+  let i0 = Congest.Net.broadcast_round net (fun u -> Some [| u |]) in
+  Alcotest.(check int) "round 0: edge alive" 2 (List.length i0.(0));
+  let i1 = Congest.Net.broadcast_round net (fun u -> Some [| u |]) in
+  Alcotest.(check (list int)) "0 no longer hears 1" [ 3 ]
+    (List.map fst i1.(0));
+  Alcotest.(check (list int)) "1 no longer hears 0" [ 2 ]
+    (List.map fst i1.(1));
+  Alcotest.(check bool) "killed, orientation-free" true
+    (F.edge_killed faults (0, 1) && F.edge_killed faults (1, 0));
+  Alcotest.(check int) "both directions destroyed" 2
+    (Congest.Net.messages_lost net)
+
+let test_greedy_kill_budget () =
+  let g = Gen.clique 5 in
+  let net = vnet g in
+  let faults =
+    F.create [ F.Greedy_edge_kill { budget = 2; period = 1; from_round = 1 } ]
+  in
+  F.install net faults;
+  for _ = 1 to 6 do
+    ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+  done;
+  Alcotest.(check int) "budget respected" 2 (F.edges_killed faults);
+  Alcotest.(check int) "two distinct edges" 2
+    (List.length (F.killed_edges faults))
+
+let test_reset_stats_contract () =
+  let g = Gen.clique 4 in
+  let net = vnet g in
+  let faults = F.create ~seed:1 [ F.Drop_bernoulli 1.0 ] in
+  F.install net faults;
+  ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]));
+  Alcotest.(check int) "p=1: everything lost" 12
+    (Congest.Net.messages_lost net);
+  Alcotest.(check int) "p=1: nothing delivered" 0
+    (Congest.Net.messages_sent net);
+  Congest.Net.reset_stats net;
+  Alcotest.(check int) "messages_lost zeroed" 0
+    (Congest.Net.messages_lost net);
+  Alcotest.(check int) "words_lost zeroed" 0 (Congest.Net.words_lost net);
+  Alcotest.(check int) "boundary_words zeroed" 0
+    (Congest.Net.boundary_words net);
+  (* configuration survives a stats reset; only counters are cleared *)
+  Alcotest.(check bool) "fault hook survives reset" true
+    (Congest.Net.has_faults net);
+  F.uninstall net;
+  ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]));
+  Alcotest.(check int) "uninstalled: deliveries resume" 12
+    (Congest.Net.messages_sent net)
+
+let test_invalid_drop_probability () =
+  Alcotest.check_raises "p > 1 rejected"
+    (Invalid_argument "Faults.create: drop probability outside [0,1]")
+    (fun () -> ignore (F.create [ F.Drop_bernoulli 1.5 ]))
 
 (* ------------------------------------------------------------------ *)
 (* Primitives *)
@@ -497,6 +647,23 @@ let () =
           Alcotest.test_case "boundary accounting" `Quick
             test_boundary_accounting;
         ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash silences node" `Quick
+            test_crash_silences_node;
+          Alcotest.test_case "bernoulli drops accounted" `Quick
+            test_bernoulli_drops_accounted;
+          Alcotest.test_case "drop determinism" `Quick test_drop_determinism;
+          Alcotest.test_case "scheduled edge kill" `Quick
+            test_scheduled_edge_kill;
+          Alcotest.test_case "greedy kill budget" `Quick
+            test_greedy_kill_budget;
+          Alcotest.test_case "reset_stats contract" `Quick
+            test_reset_stats_contract;
+          Alcotest.test_case "invalid drop probability" `Quick
+            test_invalid_drop_probability;
+        ] );
+      qsuite "faults.props" [ prop_null_adversary_bit_identical ];
       ( "primitives",
         [
           Alcotest.test_case "bfs tree + rounds" `Quick test_bfs_tree_rounds;

@@ -754,6 +754,99 @@ let test_tester_distance3_detection () =
   Alcotest.(check bool) "distance-3 disconnect detected" false
     outcome.Tester.pass
 
+let test_tester_detection_rate () =
+  (* Lemma E.1: a disconnected class is detected w.h.p. Measure the
+     empirical detection rate of the randomized tester over 100
+     independent seeds on a hand-built broken partition. *)
+  let g, memberships = split_class_instance () in
+  let trials = 100 in
+  let detected = ref 0 in
+  for seed = 1 to trials do
+    let outcome =
+      Tester.run_centralized ~seed g ~memberships ~classes:2
+        ~detection_rounds:24
+    in
+    if not outcome.Tester.pass then incr detected
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "detection rate %d/%d clears the w.h.p. bound" !detected
+       trials)
+    true (!detected >= 95)
+
+let test_tester_no_false_positives () =
+  (* the other half of Lemma E.1: a valid partition always passes *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let passes = ref 0 in
+  for seed = 1 to 100 do
+    let outcome =
+      Tester.run_centralized ~seed g
+        ~memberships:(fun r -> per_real.(r))
+        ~classes:res.Cds_packing.classes ~detection_rounds:24
+    in
+    if outcome.Tester.pass then incr passes
+  done;
+  Alcotest.(check int) "valid partition passes on every seed" 100 !passes
+
+(* ------------------------------------------------------------------ *)
+(* Verify-and-retry pipeline *)
+
+let test_reliable_verifies_first_try () =
+  let g = Gen.harary ~k:8 ~n:48 in
+  let r = Reliable.pack_verified ~seed:7 g ~k:8 in
+  Alcotest.(check bool) "verified" true r.Reliable.verified;
+  Alcotest.(check int) "no retries" 0 r.Reliable.retries;
+  Alcotest.(check int) "one attempt" 1 (List.length r.Reliable.attempts);
+  Alcotest.(check int) "centralized: no rounds" 0 r.Reliable.rounds_charged
+
+let test_reliable_exhausts_retries () =
+  (* an over-ambitious configuration (10 classes, 2 layers on a k=8
+     graph) keeps failing the tester: the bounded retry policy must
+     stop after max_retries and report verified=false *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let r =
+    Reliable.run_verified ~seed:7 ~max_retries:3 g ~classes:10 ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check int) "all attempts used" 4 (List.length r.Reliable.attempts);
+  Alcotest.(check int) "retries counted" 3 r.Reliable.retries;
+  let seeds =
+    List.map (fun a -> a.Reliable.attempt_seed) r.Reliable.attempts
+  in
+  Alcotest.(check int) "fresh decorrelated seed per attempt" 4
+    (List.length (List.sort_uniq compare seeds));
+  List.iter
+    (fun (a : Reliable.attempt) ->
+      Alcotest.(check bool) "every attempt failed the tester" false
+        a.outcome.Tester.pass)
+    r.Reliable.attempts
+
+let test_reliable_distributed_charges_rounds () =
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let r = Reliable.pack_verified_distributed ~seed:7 net ~k:8 in
+  Alcotest.(check bool) "verified" true r.Reliable.verified;
+  Alcotest.(check int) "rounds_charged = clock delta"
+    (Congest.Net.rounds net) r.Reliable.rounds_charged;
+  Alcotest.(check bool) "packing + tester cost rounds" true
+    (r.Reliable.rounds_charged > 0)
+
+let test_reliable_distributed_backoff () =
+  (* a flaky distributed config: each retry is preceded by 2^attempt
+     silent rounds charged to the CONGEST clock *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let r =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:2 net ~classes:10
+      ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check int) "attempts = max_retries + 1" 3
+    (List.length r.Reliable.attempts);
+  Alcotest.(check int) "clock delta matches" (Congest.Net.rounds net)
+    r.Reliable.rounds_charged
+
 (* ------------------------------------------------------------------ *)
 (* Distributed packing *)
 
@@ -952,6 +1045,21 @@ let () =
             test_tester_detects_non_domination;
           Alcotest.test_case "distance-3 detection" `Quick
             test_tester_distance3_detection;
+          Alcotest.test_case "detection rate (Lemma E.1)" `Slow
+            test_tester_detection_rate;
+          Alcotest.test_case "no false positives" `Slow
+            test_tester_no_false_positives;
+        ] );
+      ( "reliable",
+        [
+          Alcotest.test_case "verifies first try" `Quick
+            test_reliable_verifies_first_try;
+          Alcotest.test_case "exhausts bounded retries" `Quick
+            test_reliable_exhausts_retries;
+          Alcotest.test_case "distributed charges rounds" `Quick
+            test_reliable_distributed_charges_rounds;
+          Alcotest.test_case "distributed backoff" `Quick
+            test_reliable_distributed_backoff;
         ] );
       ( "dist_packing",
         [

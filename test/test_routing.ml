@@ -181,6 +181,78 @@ let test_coefficient_words () =
   Alcotest.(check int) "two limbs" 2
     (Routing.Coding.coefficient_words ~n:100 ~messages:17)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-tolerant gossip *)
+
+module F = Congest.Faults
+
+let test_ft_gossip_null_faults () =
+  (* the fault-tolerant path with a null adversary: full coverage,
+     convergence, no dead trees *)
+  let g = Gen.harary ~k:12 ~n:36 in
+  let p = fast_packing g ~classes:8 in
+  let net = vnet g in
+  let faults = F.none () in
+  let r = Routing.Gossip.all_to_all_ft ~seed:5 net faults p in
+  Alcotest.(check bool) "converged" true r.Routing.Broadcast.ft_converged;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.
+    r.Routing.Broadcast.ft_coverage;
+  Alcotest.(check int) "all delivered" 36 r.Routing.Broadcast.ft_delivered;
+  Alcotest.(check int) "no dead trees" 0 r.Routing.Broadcast.ft_dead_trees;
+  Alcotest.(check int) "everyone survives" 36 r.Routing.Broadcast.ft_survivors
+
+let test_ft_gossip_recovers_from_drops () =
+  (* p = 0.05 message drops: the repair tick refills the holes and the
+     run still converges with full coverage *)
+  let g = Gen.harary ~k:12 ~n:36 in
+  let p = fast_packing g ~classes:8 in
+  let net = vnet g in
+  let faults = F.create ~seed:9 [ F.Drop_bernoulli 0.05 ] in
+  let r = Routing.Gossip.all_to_all_ft ~seed:5 net faults p in
+  Alcotest.(check bool) "converged despite drops" true
+    r.Routing.Broadcast.ft_converged;
+  Alcotest.(check (float 1e-9)) "full coverage" 1.
+    r.Routing.Broadcast.ft_coverage;
+  Alcotest.(check bool) "drops actually happened" true (F.drops faults > 0)
+
+let test_ft_gossip_beats_naive_under_crashes () =
+  (* crash two nodes early: the packing reroutes around dead classes,
+     the single BFS tree is severed and cannot recover *)
+  let g = Gen.harary ~k:12 ~n:36 in
+  let p = fast_packing g ~classes:8 in
+  let specs = [ F.Crash_at [ (4, 1); (7, 18) ] ] in
+  let net = vnet g in
+  let faults = F.create ~seed:3 specs in
+  let r = Routing.Gossip.all_to_all_ft ~seed:5 net faults p in
+  let net2 = vnet g in
+  let faults2 = F.create ~seed:3 specs in
+  let rn = Routing.Gossip.all_to_all_naive_ft net2 faults2 in
+  Alcotest.(check int) "34 survivors" 34 r.Routing.Broadcast.ft_survivors;
+  Alcotest.(check bool)
+    (Printf.sprintf "packing coverage %.3f >= naive coverage %.3f"
+       r.Routing.Broadcast.ft_coverage rn.Routing.Broadcast.ft_coverage)
+    true
+    (r.Routing.Broadcast.ft_coverage >= rn.Routing.Broadcast.ft_coverage);
+  Alcotest.(check bool)
+    (Printf.sprintf "packing throughput %.3f > naive %.3f"
+       r.Routing.Broadcast.ft_throughput rn.Routing.Broadcast.ft_throughput)
+    true
+    (r.Routing.Broadcast.ft_throughput > rn.Routing.Broadcast.ft_throughput)
+
+let test_ft_gossip_deterministic () =
+  let run () =
+    let g = Gen.harary ~k:12 ~n:36 in
+    let p = fast_packing g ~classes:8 in
+    let net = vnet g in
+    let faults = F.create ~seed:9 [ F.Drop_bernoulli 0.08 ] in
+    let r = Routing.Gossip.all_to_all_ft ~seed:5 net faults p in
+    ( r.Routing.Broadcast.ft_rounds,
+      r.Routing.Broadcast.ft_delivered,
+      Congest.Net.messages_sent net,
+      F.drops faults )
+  in
+  Alcotest.(check bool) "fixed seed, identical run" true (run () = run ())
+
 let prop_broadcast_always_delivers =
   QCheck.Test.make ~name:"tree-parallel broadcast always delivers everything"
     ~count:8
@@ -216,6 +288,15 @@ let () =
         [
           Alcotest.test_case "bound shape" `Quick test_gossip_bound_shape;
           Alcotest.test_case "scattered (Cor A.1)" `Quick test_scattered_gossip;
+        ] );
+      ( "gossip.faults",
+        [
+          Alcotest.test_case "null adversary" `Quick test_ft_gossip_null_faults;
+          Alcotest.test_case "recovers from drops" `Quick
+            test_ft_gossip_recovers_from_drops;
+          Alcotest.test_case "beats naive under crashes" `Quick
+            test_ft_gossip_beats_naive_under_crashes;
+          Alcotest.test_case "deterministic" `Quick test_ft_gossip_deterministic;
         ] );
       ( "coding",
         [
