@@ -45,6 +45,8 @@ let gen_graph spec =
   | "torus" -> Graphs.Gen.torus (get "rows" ~default:6) (get "cols" ~default:6)
   | "clique_path" ->
     Graphs.Gen.clique_path ~k:(get "k" ~default:4) ~len:(get "len" ~default:8)
+  | "lollipop" ->
+    Graphs.Gen.lollipop ~clique:(get "m" ~default:8) ~tail:(get "tail" ~default:8)
   | "random" ->
     Graphs.Gen.random_k_connected rng ~n:(get "n" ~default:32)
       ~k:(get "k" ~default:4)
@@ -70,10 +72,42 @@ let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
 (* ------------------------------------------------------------------ *)
+(* Determinism sanitizer plumbing (--check) *)
+
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"Run the distributed protocol twice from the same seed and \
+               fail (exit 3) unless telemetry — rounds, words, loads, \
+               per-round traffic digests — is bit-identical. Requires \
+               $(b,--distributed).")
+
+(* Under --check, run [f] through Net.replay_check and report; otherwise
+   run it once. Either way the caller gets [f]'s result. *)
+let run_checked ~check net f =
+  if not check then f net
+  else begin
+    let out = ref None in
+    let report = Congest.Net.replay_check net (fun net -> out := Some (f net)) in
+    (match report.Congest.Net.r_divergence with
+    | None ->
+      Format.printf "replay check: deterministic (%a)@."
+        Congest.Net.pp_telemetry report.Congest.Net.r_second
+    | Some d ->
+      Format.eprintf "replay check: seed-determinism violated: %s@." d;
+      exit 3);
+    match !out with Some r -> r | None -> assert false
+  end
+
+let require_distributed ~check ~distributed =
+  if check && not distributed then
+    failwith "--check replays the CONGEST run; it requires --distributed"
+
+(* ------------------------------------------------------------------ *)
 (* Subcommands *)
 
 let vertex_cmd =
-  let run gen file seed distributed dot =
+  let run gen file seed distributed check dot =
+    require_distributed ~check ~distributed;
     let g = load ~gen ~file in
     let k = Graphs.Connectivity.vertex_connectivity g in
     Format.printf "n=%d m=%d vertex connectivity=%d@." (Graphs.Graph.n g)
@@ -81,7 +115,10 @@ let vertex_cmd =
     let res =
       if distributed then begin
         let net = Congest.Net.create Congest.Model.V_congest g in
-        let r = Domtree.Dist_packing.pack ~seed net ~k:(max 1 k) in
+        let r =
+          run_checked ~check net (fun net ->
+              Domtree.Dist_packing.pack ~seed net ~k:(max 1 k))
+        in
         Format.printf "distributed run: %d rounds, %d messages@."
           (Congest.Net.rounds net)
           (Congest.Net.messages_sent net);
@@ -131,10 +168,12 @@ let vertex_cmd =
   in
   Cmd.v
     (Cmd.info "vertex" ~doc:"Vertex-connectivity decomposition (dominating trees)")
-    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ dot_arg)
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg
+          $ dot_arg)
 
 let edge_cmd =
-  let run gen file seed distributed =
+  let run gen file seed distributed check =
+    require_distributed ~check ~distributed;
     let g = load ~gen ~file in
     let lambda = Graphs.Connectivity.edge_connectivity g in
     Format.printf "n=%d m=%d edge connectivity=%d@." (Graphs.Graph.n g)
@@ -142,7 +181,11 @@ let edge_cmd =
     let p =
       if distributed then begin
         let net = Congest.Net.create Congest.Model.E_congest g in
-        let r = Spantree.Dist_packing.run_sampled ~seed net ~lambda:(max 1 lambda) in
+        let r =
+          run_checked ~check net (fun net ->
+              Spantree.Dist_packing.run_sampled ~seed net
+                ~lambda:(max 1 lambda))
+        in
         Format.printf "distributed run: %d rounds (pipelined estimate %d)@."
           r.Spantree.Dist_packing.measured_rounds
           r.Spantree.Dist_packing.parallel_rounds;
@@ -171,15 +214,18 @@ let edge_cmd =
   in
   Cmd.v
     (Cmd.info "edge" ~doc:"Edge-connectivity decomposition (spanning trees)")
-    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg)
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg)
 
 let approx_vc_cmd =
-  let run gen file seed distributed =
+  let run gen file seed distributed check =
+    require_distributed ~check ~distributed;
     let g = load ~gen ~file in
     let r =
       if distributed then begin
         let net = Congest.Net.create Congest.Model.V_congest g in
-        let r = Domtree.Vc_approx.distributed ~seed net in
+        let r =
+          run_checked ~check net (fun net -> Domtree.Vc_approx.distributed ~seed net)
+        in
         Format.printf "distributed run: %d rounds@." (Congest.Net.rounds net);
         r
       end
@@ -198,7 +244,7 @@ let approx_vc_cmd =
   Cmd.v
     (Cmd.info "approx-vc"
        ~doc:"O(log n)-approximate vertex connectivity (Corollary 1.7)")
-    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg)
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg)
 
 let parse_crash spec =
   (* "round:node" *)
@@ -287,14 +333,17 @@ let gossip_cmd =
           $ crash_arg $ kill_arg)
 
 let verified_cmd =
-  let run gen file seed distributed max_retries =
+  let run gen file seed distributed check max_retries =
+    require_distributed ~check ~distributed;
     let g = load ~gen ~file in
     let k = max 1 (Graphs.Connectivity.vertex_connectivity g) in
     let r =
       if distributed then begin
         let net = Congest.Net.create Congest.Model.V_congest g in
         let r =
-          Domtree.Reliable.pack_verified_distributed ~seed ~max_retries net ~k
+          run_checked ~check net (fun net ->
+              Domtree.Reliable.pack_verified_distributed ~seed ~max_retries
+                net ~k)
         in
         Format.printf "rounds charged (packing + tester + backoff): %d@."
           r.Domtree.Reliable.rounds_charged;
@@ -332,7 +381,8 @@ let verified_cmd =
   Cmd.v
     (Cmd.info "verified"
        ~doc:"Decompose under the verify-and-retry pipeline (Appendix E guard)")
-    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ retries_arg)
+    Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg
+          $ retries_arg)
 
 let test_packing_cmd =
   let run gen file seed =

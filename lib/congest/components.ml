@@ -137,6 +137,7 @@ let identify_hybrid ?cap ?(seed = 1) net ~active ~edge_active =
     surviving;
   (* final label of an involved fragment = min fragment label of its class *)
   let class_min = Hashtbl.create 64 in
+  (* lint: allow hashtbl-order — commutative min per class, order-free *)
   Hashtbl.iter
     (fun l () ->
       let r = Graphs.Union_find.find root_uf l in
@@ -150,6 +151,7 @@ let identify_hybrid ?cap ?(seed = 1) net ~active ~edge_active =
         let final = Hashtbl.find class_min (Graphs.Union_find.find root_uf l) in
         [| l; final |] :: acc)
       involved []
+    |> List.sort compare
   in
   (* phase 3: pipelined downcast of the mapping; fragments not involved in
      any crossing edge already carry their component's minimum *)

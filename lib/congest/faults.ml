@@ -19,7 +19,8 @@ type spec =
   | Greedy_edge_kill of { budget : int; period : int; from_round : int }
 
 type t = {
-  rng : Random.State.t;
+  seed : int;
+  mutable rng : Random.State.t;
   p_drop : float;
   crash_sched : (int * int) list; (* sorted by round *)
   kill_sched : (int * (int * int)) list; (* sorted by round *)
@@ -67,6 +68,7 @@ let create ?(seed = 42) specs =
       None specs
   in
   {
+    seed;
     rng = Random.State.make [| seed; 0x0FA17 |];
     p_drop;
     crash_sched;
@@ -85,6 +87,25 @@ let create ?(seed = 42) specs =
   }
 
 let none () = create []
+
+(* Rewind the adversary to its creation state: reseed the drop RNG,
+   revive crashed nodes and killed edges, restore the greedy budget, and
+   clear the observed-traffic table and telemetry. With [reset] between
+   two runs of the same protocol from the same seed, the adversary
+   re-makes exactly the same decisions — the contract Net.replay_check
+   relies on. *)
+let reset t =
+  t.rng <- Random.State.make [| t.seed; 0x0FA17 |];
+  t.greedy_left <- (match t.greedy with Some (b, _, _) -> b | None -> 0);
+  t.round <- 0;
+  Hashtbl.reset t.crashed;
+  Hashtbl.reset t.killed;
+  Hashtbl.reset t.traffic;
+  t.pending_crash <- t.crash_sched;
+  t.pending_kill <- t.kill_sched;
+  t.events <- [];
+  t.drops <- 0;
+  t.words_lost <- 0
 
 let is_null t =
   t.p_drop = 0. && t.crash_sched = [] && t.kill_sched = [] && t.greedy = None
@@ -105,6 +126,8 @@ let kill_edge t ~round e =
   end
 
 let hottest_live_edge t =
+  (* lint: allow hashtbl-order — commutative max with a total-order
+     tie-break on the edge id, so the winner is iteration-order-free *)
   Hashtbl.fold
     (fun e w best ->
       if Hashtbl.mem t.killed e then best
@@ -178,6 +201,7 @@ let hook t =
     Net.on_round_start = on_round_start t;
     node_alive = node_alive t;
     deliver = (fun ~src ~dst m -> deliver t ~src ~dst m);
+    reset = (fun () -> reset t);
   }
 
 let install net t = Net.install_faults net (hook t)

@@ -60,6 +60,12 @@ val install : Net.t -> t -> unit
 
 val uninstall : Net.t -> unit
 
+(** [reset t] rewinds the adversary to its creation state: crashed nodes
+    revive, killed edges restore, the greedy budget and drop RNG reseed,
+    and telemetry clears. [Net.replay_reset] calls this through the
+    installed hook so one adversary replays identically. *)
+val reset : t -> unit
+
 (** The raw hook, for callers managing installation themselves. *)
 val hook : t -> Net.fault_hook
 

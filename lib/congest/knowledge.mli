@@ -1,0 +1,58 @@
+(** Locality sanitizer: checked per-node knowledge for CONGEST protocols.
+
+    The runtime enforces bandwidth, but the locality discipline — what a
+    node sends may depend only on its own state and messages it has
+    received — is a convention the simulator cannot see (net.mli). A
+    [Knowledge.t] makes it checkable: it holds, for every node [v], a
+    view of every node [u]'s value, and only hands an entry out through
+    {!read}, which verifies that [v] actually {e learned} it — at
+    creation ([u = v]) or via {!learn}, which callers invoke exactly for
+    traffic the network delivered. In checked mode (the default) a read
+    of an unlearned entry raises [Net.Protocol_violation] carrying the
+    round and both nodes: the shared-memory shortcut a simulated
+    protocol must never take, caught at the moment it is taken.
+
+    The handle also records every (reader, about) pair ({!reads_of}), so
+    tests can assert that a round function touched only the indices its
+    message history justifies. *)
+
+type 'a t
+
+(** [create ?checked net ~init] gives node [v] exactly its own entry
+    [init v]. [checked] defaults to [true]; [false] keeps the recording
+    but never raises (for measuring an existing protocol's footprint
+    before enforcing it). *)
+val create : ?checked:bool -> Net.t -> init:(int -> 'a) -> 'a t
+
+val checked : 'a t -> bool
+
+(** [read t ~reader ~about] is [reader]'s view of [about]'s value.
+    @raise Net.Protocol_violation in checked mode when [reader] never
+    learned an entry for [about]. *)
+val read : 'a t -> reader:int -> about:int -> 'a
+
+(** [read_opt] is [read] returning [None] instead of raising; the read
+    is still recorded. *)
+val read_opt : 'a t -> reader:int -> about:int -> 'a option
+
+val knows : 'a t -> reader:int -> about:int -> bool
+
+(** [set_own t ~node v] updates [node]'s own entry — always legal. *)
+val set_own : 'a t -> node:int -> 'a -> unit
+
+(** [learn t ~reader ~about v] records that [reader] received [about]'s
+    value [v] (call it when the network delivers the carrying message). *)
+val learn : 'a t -> reader:int -> about:int -> 'a -> unit
+
+(** [exchange t ~encode ~decode] performs one [Net.broadcast_round] in
+    which every node broadcasts its own entry; every delivered message
+    is learned. One checked-locality building block: after [r] calls,
+    node [v] legitimately knows exactly its [<= r]-hop-in neighborhood
+    (minus faulted traffic). *)
+val exchange : 'a t -> encode:('a -> Net.msg) -> decode:(Net.msg -> 'a) -> unit
+
+(** Indices [reader] has read so far, ascending. *)
+val reads_of : 'a t -> int -> int list
+
+(** Indices [reader] has learned (its own included), ascending. *)
+val known_to : 'a t -> int -> int list

@@ -35,6 +35,7 @@ type fault_hook = {
   on_round_start : int -> unit;
   node_alive : int -> bool;
   deliver : src:int -> dst:int -> msg -> bool;
+  reset : unit -> unit;
 }
 
 type t = {
@@ -55,6 +56,9 @@ type t = {
       (* Alice/Bob side predicate for two-party simulation accounting *)
   mutable boundary_words : int;
   mutable faults : fault_hook option;
+  mutable round_digest : int;
+      (* running hash of this round's delivered and destroyed traffic *)
+  mutable digests_rev : int list; (* one digest per message round *)
 }
 
 let create ?words_budget model g =
@@ -79,6 +83,8 @@ let create ?words_budget model g =
     boundary = None;
     boundary_words = 0;
     faults = None;
+    round_digest = 0;
+    digests_rev = [];
   }
 
 let graph net = net.graph
@@ -114,16 +120,28 @@ let has_faults net = net.faults <> None
 let begin_round net =
   Array.fill net.node_load 0 (Array.length net.node_load) 0;
   Array.fill net.edge_load 0 (Array.length net.edge_load) 0;
+  net.round_digest <- 0;
   match net.faults with
   | Some h -> h.on_round_start net.rounds
   | None -> ()
 
 let end_round net =
   net.rounds <- net.rounds + 1;
+  net.digests_rev <- net.round_digest :: net.digests_rev;
   Array.iter (fun l -> if l > net.max_node_load then net.max_node_load <- l)
     net.node_load;
   Array.iter (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
     net.edge_load
+
+(* FNV-style mix; folded over (src, dst, payload) of every message the
+   round moves — delivered or destroyed — so two executions agree on a
+   round's digest iff they moved bit-identical traffic with an identical
+   fault outcome. *)
+let mix h x = ((h lxor x) * 0x01000193) land 0x3FFFFFFFFFFFFFF
+
+let digest_msg net ~tag ~src ~dst m =
+  let h = mix (mix (mix net.round_digest tag) src) dst in
+  net.round_digest <- Array.fold_left mix h m
 
 let alive net u =
   match net.faults with None -> true | Some h -> h.node_alive u
@@ -135,6 +153,7 @@ let delivered net ~src ~dst m =
 
 let account net ~src ~dst m =
   let len = Array.length m in
+  digest_msg net ~tag:1 ~src ~dst m;
   net.messages <- net.messages + 1;
   net.words <- net.words + len;
   net.node_load.(dst) <- net.node_load.(dst) + len;
@@ -145,7 +164,8 @@ let account net ~src ~dst m =
   let ei = Graph.edge_index net.graph src dst in
   net.edge_load.(ei) <- net.edge_load.(ei) + len
 
-let lose net m =
+let lose net ~src ~dst m =
+  digest_msg net ~tag:2 ~src ~dst m;
   net.messages_lost <- net.messages_lost + 1;
   net.words_lost <- net.words_lost + Array.length m
 
@@ -165,7 +185,7 @@ let broadcast_round net send =
               account net ~src:u ~dst:v m;
               inboxes.(v) <- (u, m) :: inboxes.(v)
             end
-            else lose net m)
+            else lose net ~src:u ~dst:v m)
           (Graph.neighbors net.graph u)
   done;
   end_round net;
@@ -195,7 +215,7 @@ let edge_round net send =
             account net ~src:u ~dst:v m;
             inboxes.(v) <- (u, m) :: inboxes.(v)
           end
-          else lose net m)
+          else lose net ~src:u ~dst:v m)
         outs
     end
   done;
@@ -222,7 +242,9 @@ let reset_stats net =
   net.words_lost <- 0;
   net.max_node_load <- 0;
   net.max_edge_load <- 0;
-  net.boundary_words <- 0
+  net.boundary_words <- 0;
+  net.round_digest <- 0;
+  net.digests_rev <- []
 
 let set_boundary net side = net.boundary <- Some side
 let clear_boundary net = net.boundary <- None
@@ -232,3 +254,98 @@ type checkpoint = int
 
 let checkpoint net = net.rounds
 let rounds_since net cp = net.rounds - cp
+
+(* ------------------------------------------------------------------ *)
+(* Determinism sanitizer *)
+
+type telemetry = {
+  t_rounds : int;
+  t_messages : int;
+  t_words : int;
+  t_messages_lost : int;
+  t_words_lost : int;
+  t_max_node_load : int;
+  t_max_edge_load : int;
+  t_boundary_words : int;
+  t_digests : int array; (* per message round, chronological *)
+}
+
+let telemetry net =
+  {
+    t_rounds = net.rounds;
+    t_messages = net.messages;
+    t_words = net.words;
+    t_messages_lost = net.messages_lost;
+    t_words_lost = net.words_lost;
+    t_max_node_load = net.max_node_load;
+    t_max_edge_load = net.max_edge_load;
+    t_boundary_words = net.boundary_words;
+    t_digests = Array.of_list (List.rev net.digests_rev);
+  }
+
+let run_digest t = Array.fold_left mix (mix 0 t.t_rounds) t.t_digests
+
+let pp_telemetry ppf t =
+  Format.fprintf ppf
+    "%d rounds (%d message rounds), %d messages, %d words, %d/%d lost, \
+     loads %d/%d, digest %x"
+    t.t_rounds (Array.length t.t_digests) t.t_messages t.t_words
+    t.t_messages_lost t.t_words_lost t.t_max_node_load t.t_max_edge_load
+    (run_digest t)
+
+let diff_telemetry a b =
+  let d = ref [] in
+  let cmp name proj =
+    if proj a <> proj b then
+      d := Printf.sprintf "%s: %d vs %d" name (proj a) (proj b) :: !d
+  in
+  cmp "rounds" (fun t -> t.t_rounds);
+  cmp "messages" (fun t -> t.t_messages);
+  cmp "words" (fun t -> t.t_words);
+  cmp "messages_lost" (fun t -> t.t_messages_lost);
+  cmp "words_lost" (fun t -> t.t_words_lost);
+  cmp "max_node_load" (fun t -> t.t_max_node_load);
+  cmp "max_edge_load" (fun t -> t.t_max_edge_load);
+  cmp "boundary_words" (fun t -> t.t_boundary_words);
+  (if Array.length a.t_digests <> Array.length b.t_digests then
+     d :=
+       Printf.sprintf "message rounds: %d vs %d" (Array.length a.t_digests)
+         (Array.length b.t_digests)
+       :: !d
+   else
+     match
+       Array.to_seq a.t_digests
+       |> Seq.zip (Array.to_seq b.t_digests)
+       |> Seq.mapi (fun i (x, y) -> (i, x, y))
+       |> Seq.find (fun (_, x, y) -> x <> y)
+     with
+     | Some (i, y, x) ->
+       d := Printf.sprintf "round %d digest: %x vs %x" i x y :: !d
+     | None -> ());
+  List.rev !d
+
+let replay_reset net =
+  reset_stats net;
+  match net.faults with Some h -> h.reset () | None -> ()
+
+type replay_report = {
+  r_first : telemetry;
+  r_second : telemetry;
+  r_divergence : string option;
+}
+
+let deterministic r = r.r_divergence = None
+
+let replay_check net protocol =
+  replay_reset net;
+  protocol net;
+  let first = telemetry net in
+  replay_reset net;
+  protocol net;
+  let second = telemetry net in
+  let divergence =
+    match diff_telemetry first second with
+    | [] -> None
+    | ds -> Some (String.concat "; " ds)
+  in
+  { r_first = first; r_second = second; r_divergence = divergence }

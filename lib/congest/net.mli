@@ -62,7 +62,12 @@ val n : t -> int
       function is not invoked and nothing is delivered to it (the
       [deliver] hook is expected to refuse its inbound traffic);
     - [deliver ~src ~dst m] decides the fate of each individual message
-      from a live sender: [false] destroys it in flight.
+      from a live sender: [false] destroys it in flight;
+    - [reset ()] must rewind the adversary to its creation state
+      (revive nodes and edges, reseed internal randomness, clear
+      telemetry) so a replayed protocol faces identical faults; it is
+      invoked by {!replay_reset} / {!replay_check}, never by ordinary
+      rounds.
 
     Destroyed traffic is {e not} counted in [messages_sent]/[words_sent]
     or the load maxima; it is tallied in {!messages_lost} and
@@ -73,6 +78,7 @@ type fault_hook = {
   on_round_start : int -> unit;
   node_alive : int -> bool;
   deliver : src:int -> dst:int -> msg -> bool;
+  reset : unit -> unit;
 }
 
 val install_faults : t -> fault_hook -> unit
@@ -121,13 +127,14 @@ val max_edge_load : t -> int
 
 (** [reset_stats net] zeroes every counter: the clock ([rounds]),
     [messages_sent], [words_sent], [messages_lost], [words_lost], the
-    load maxima, and [boundary_words].
+    load maxima, [boundary_words], and the per-round digest trace.
 
     Counter-reset contract: {e configuration} survives a reset — the
     boundary predicate stays set and an installed fault hook stays
     installed (with whatever internal state it has accumulated; crashed
     nodes stay crashed). Checkpoints taken before a reset are
-    invalidated. *)
+    invalidated. Use {!replay_reset} when accumulated fault state must
+    {e not} survive. *)
 val reset_stats : t -> unit
 
 (** {1 Two-party simulation accounting (Appendix G)}
@@ -148,3 +155,63 @@ type checkpoint
 
 val checkpoint : t -> checkpoint
 val rounds_since : t -> checkpoint -> int
+
+(** {1 Determinism sanitizer}
+
+    Every round the runtime folds the traffic it moves — delivered
+    {e and} destroyed, with sender, receiver and payload — into a
+    per-round digest, so two executions have equal telemetry iff they
+    are message-for-message identical. [replay_check] runs a protocol
+    twice on one network and diffs the two telemetries: a protocol that
+    consults any randomness outside its threaded seed (global [Random],
+    hash-order iteration, wall clock) diverges and is reported. *)
+
+type telemetry = {
+  t_rounds : int;
+  t_messages : int;
+  t_words : int;
+  t_messages_lost : int;
+  t_words_lost : int;
+  t_max_node_load : int;
+  t_max_edge_load : int;
+  t_boundary_words : int;
+  t_digests : int array;
+      (** one digest per message round ([broadcast_round]/[edge_round]),
+          chronological; [silent_rounds] contributes none *)
+}
+
+val telemetry : t -> telemetry
+
+(** Single digest summarizing a whole run (clock + every round digest). *)
+val run_digest : telemetry -> int
+
+val pp_telemetry : Format.formatter -> telemetry -> unit
+
+(** Field-by-field differences, human-readable; [[]] iff equal. *)
+val diff_telemetry : telemetry -> telemetry -> string list
+
+(** [replay_reset net] is {!reset_stats} {e plus} a rewind of the
+    installed fault hook to its creation state (nodes revived, edges
+    restored, adversary RNG reseeded, fault telemetry cleared) — the
+    reset that makes one [t] reusable across replays. The boundary
+    predicate and the hook installation itself survive, as with
+    [reset_stats]. *)
+val replay_reset : t -> unit
+
+type replay_report = {
+  r_first : telemetry;
+  r_second : telemetry;
+  r_divergence : string option;
+      (** [None] = bit-identical telemetry; [Some d] describes the first
+          differing counters/rounds *)
+}
+
+val deterministic : replay_report -> bool
+
+(** [replay_check net protocol] calls [protocol net] twice, each from a
+    {!replay_reset} network, and diffs the telemetry. The network is
+    left in the second run's final state, so callers can keep reporting
+    from it. [protocol] must re-derive all randomness from its own
+    captured seed for the check to pass — which is exactly what it
+    verifies. *)
+val replay_check : t -> (t -> unit) -> replay_report

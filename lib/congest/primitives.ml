@@ -51,6 +51,37 @@ let flood_min net ~value ~rounds =
   done;
   current
 
+(* Same protocol, run through the locality sanitizer: each node's
+   current minimum is carried as a (witness, value) pair, so every
+   knowledge entry a node folds over is one it provably received. Two
+   words per message instead of one; identical fixpoint. *)
+let flood_min_checked net ~value ~rounds =
+  let n = Net.n net in
+  let k = Knowledge.create net ~init:(fun v -> (v, value v)) in
+  let best v =
+    (* fold only over learned entries; every read is checked + logged *)
+    List.fold_left
+      (fun ((_, bx) as b) u ->
+        let (_, x) as cand = Knowledge.read k ~reader:v ~about:u in
+        if x < bx then cand else b)
+      (Knowledge.read k ~reader:v ~about:v)
+      (List.filter (fun u -> u <> v) (Knowledge.known_to k v))
+  in
+  for _ = 1 to rounds do
+    let inboxes =
+      Net.broadcast_round net (fun v ->
+          let w, x = best v in
+          Some [| w; x |])
+    in
+    for v = 0 to n - 1 do
+      List.iter
+        (fun (u, m) -> Knowledge.learn k ~reader:v ~about:u (m.(0), m.(1)))
+        inboxes.(v);
+      Knowledge.set_own k ~node:v (best v)
+    done
+  done;
+  Array.init n (fun v -> snd (Knowledge.read k ~reader:v ~about:v))
+
 (* Convergecast scheduled by depth: nodes at depth d broadcast their
    aggregate at round (height - d + 1); parents fold children values. *)
 let converge net tree ~combine ~value =
@@ -225,6 +256,7 @@ let pipelined_converge net tree ~values ~better =
     List.iter
       (fun (k, _) -> if k > emitted_up_to.(u) && k < !candidate then candidate := k)
       !(own.(u));
+    (* lint: allow hashtbl-order — commutative min over keys *)
     Hashtbl.iter
       (fun k _ -> if k > emitted_up_to.(u) && k < !candidate then candidate := k)
       collected.(u);

@@ -22,6 +22,15 @@ val bfs_tree : Net.t -> root:int -> tree
     diameter this is the global minimum everywhere. *)
 val flood_min : Net.t -> value:(int -> int) -> rounds:int -> int array
 
+(** [flood_min_checked] computes the same fixpoint as {!flood_min}, but
+    routes every per-node state access through the {!Knowledge} locality
+    sanitizer: values travel as (witness, value) pairs (two words per
+    message instead of one) and a node can only fold over entries it
+    provably received — a read outside that set raises
+    [Net.Protocol_violation]. Reference implementation for writing
+    checked protocols. *)
+val flood_min_checked : Net.t -> value:(int -> int) -> rounds:int -> int array
+
 (** [preprocess net] runs the standard O(D) setup the paper assumes
     (§2): elect the minimum id as leader, build its BFS tree, and learn
     [n] and a 2-approximation of the diameter. *)

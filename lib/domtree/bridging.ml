@@ -104,6 +104,7 @@ let build g ~classes ~members ~class1 ~class3 =
   in
   (* canonicalize edge component ids to the minimum member *)
   let canon = Hashtbl.create 16 in
+  (* lint: allow hashtbl-order — one write per distinct key, order-free *)
   Hashtbl.iter
     (fun (i, c) ms -> Hashtbl.replace canon (i, c) (List.fold_left min max_int ms))
     comp_members;

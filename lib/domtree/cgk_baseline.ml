@@ -29,6 +29,7 @@ let components_of st cls =
     end
   done;
   Hashtbl.fold (fun _ members acc -> members :: acc) roots []
+  |> List.sort compare
 
 let excess st =
   let total = ref 0 in

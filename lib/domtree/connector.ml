@@ -165,6 +165,7 @@ let audit_jumpstart ?(seed = 7) g ~classes ~layers ~k =
       done;
       if Hashtbl.length roots >= 2 then begin
         incr classes_checked;
+        (* lint: allow hashtbl-order — commutative counter + min updates *)
         Hashtbl.iter
           (fun root () ->
             incr components_checked;

@@ -82,6 +82,7 @@ let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
         Array.init n (fun r ->
             let ks =
               Hashtbl.fold (fun i c acc -> (i, c) :: acc) heard.(r) []
+              |> List.sort compare
             in
             match ks with
             | [] -> None
@@ -167,6 +168,7 @@ let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
         Array.init n (fun r ->
             let ks =
               Hashtbl.fold (fun i c acc -> (i, c) :: acc) heard.(r) []
+              |> List.sort compare
             in
             match ks with
             | [] -> None

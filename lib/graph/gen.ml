@@ -96,6 +96,21 @@ let clique_path ~k ~len =
   done;
   Graph.of_edges ~n !es
 
+let lollipop ~clique:k ~tail =
+  if k < 2 || tail < 1 then invalid_arg "Gen.lollipop";
+  let n = k + tail in
+  let es = ref [] in
+  for u = 0 to k - 1 do
+    for v = u + 1 to k - 1 do
+      es := (u, v) :: !es
+    done
+  done;
+  for i = 0 to tail - 1 do
+    let v = k + i in
+    es := ((if i = 0 then 0 else v - 1), v) :: !es
+  done;
+  Graph.of_edges ~n !es
+
 let two_cliques_bridged ~size ~bridges =
   if bridges > size then invalid_arg "Gen.two_cliques_bridged: bridges > size";
   let es = ref [] in

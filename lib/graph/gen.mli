@@ -28,6 +28,11 @@ val harary : k:int -> n:int -> Graph.t
     diameter [Θ(len)] — the "diameter up to n/k" extremal family. *)
 val clique_path : k:int -> len:int -> Graph.t
 
+(** [lollipop ~clique ~tail] is K_clique with a [tail]-vertex path hung
+    off vertex 0 — the classic diameter/conductance stress shape (dense
+    core, long sparse appendix) used by the determinism sweeps. *)
+val lollipop : clique:int -> tail:int -> Graph.t
+
 (** [two_cliques_bridged ~size ~bridges] joins two [size]-cliques by
     [bridges] vertex-disjoint edges: edge connectivity [min bridges
     (size-1)]. Requires [bridges <= size]. *)

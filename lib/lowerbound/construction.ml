@@ -87,7 +87,10 @@ let build (inst : Disjointness.t) ~ell ~w =
   done;
   (* hubs *)
   add a_id b_id;
+  (* lint: allow hashtbl-order — edge multiset only; Graph.of_edges
+     canonicalizes edge and adjacency order *)
   Hashtbl.iter (fun _ u -> add a_id u) ux_id;
+  (* lint: allow hashtbl-order — edge multiset only, as above *)
   Hashtbl.iter (fun _ v -> add b_id v) vy_id;
   for p = 0 to paths - 1 do
     for q = 1 to 2 * ell do
@@ -105,7 +108,9 @@ let build (inst : Disjointness.t) ~ell ~w =
   done;
   roles.(a_id) <- Hub_a;
   roles.(b_id) <- Hub_b;
+  (* lint: allow hashtbl-order — one write per distinct index, order-free *)
   Hashtbl.iter (fun x id -> roles.(id) <- Sel_x x) ux_id;
+  (* lint: allow hashtbl-order — one write per distinct index, order-free *)
   Hashtbl.iter (fun y id -> roles.(id) <- Sel_y y) vy_id;
   {
     graph = Graph.of_edges ~n !edges;

@@ -268,7 +268,8 @@ let via_spanning_trees ?(seed = 42) net (packing : Spantree.Spacking.t)
                 let i, id = Queue.pop q in
                 (u, [| i; id |]) :: acc
               end)
-            out_queues.(v) [])
+            out_queues.(v) []
+          |> List.sort (fun (a, _) (b, _) -> compare a b))
     in
     let inboxes = Net.edge_round net (fun v -> outgoing.(v)) in
     for v = 0 to n - 1 do
@@ -412,6 +413,7 @@ let via_dominating_trees_ft ?(seed = 42) ?(repair_every = 8) ?round_cap net
     if not node_dead.(v) then begin
       node_dead.(v) <- true;
       decr alive_count;
+      (* lint: allow hashtbl-order — commutative counter decrements *)
       Hashtbl.iter
         (fun id () -> heard_alive.(id) <- heard_alive.(id) - 1)
         heard.(v)
@@ -461,7 +463,10 @@ let via_dominating_trees_ft ?(seed = 42) ?(repair_every = 8) ?round_cap net
       (* repair tick: every survivor re-gossips one random heard message *)
       for v = 0 to n - 1 do
         if not node_dead.(v) then begin
-          let ks = Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [] in
+          let ks =
+            List.sort compare
+              (Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [])
+          in
           match random_of ks with
           | None -> ()
           | Some id -> (
@@ -579,6 +584,7 @@ let naive_single_tree_ft ?(repair_every = 8) ?round_cap net faults ~sources =
     if not node_dead.(v) then begin
       node_dead.(v) <- true;
       decr alive_count;
+      (* lint: allow hashtbl-order — commutative counter decrements *)
       Hashtbl.iter
         (fun id () -> heard_alive.(id) <- heard_alive.(id) - 1)
         heard.(v)
@@ -623,7 +629,10 @@ let naive_single_tree_ft ?(repair_every = 8) ?round_cap net faults ~sources =
          message; the single tree itself is never routed around *)
       for v = 0 to n - 1 do
         if not node_dead.(v) then begin
-          let ks = Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [] in
+          let ks =
+            List.sort compare
+              (Hashtbl.fold (fun id () acc -> id :: acc) heard.(v) [])
+          in
           match ks with
           | [] -> ()
           | _ -> Queue.add (List.nth ks (Random.State.int rng (List.length ks)))

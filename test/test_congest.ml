@@ -273,6 +273,64 @@ let test_flood_min () =
   (* after >= diameter(3)+ rounds everyone has the global min 100-6 = 94 *)
   Array.iter (fun v -> Alcotest.(check int) "global min" 94 v) mins
 
+let test_flood_min_checked_matches () =
+  let g = Gen.random_connected (rng ()) ~n:18 ~extra:6 in
+  let value u = (u * 13) mod 31 in
+  let plain = Congest.Primitives.flood_min (vnet g) ~value ~rounds:18 in
+  let checked =
+    Congest.Primitives.flood_min_checked (vnet g) ~value ~rounds:18
+  in
+  Alcotest.(check (array int)) "same fixpoint" plain checked
+
+let test_knowledge_unlearned_read_raises () =
+  let g = Gen.path 5 in
+  let net = vnet g in
+  let k = Congest.Knowledge.create net ~init:(fun v -> v * 10) in
+  (* own entry is always legal *)
+  Alcotest.(check int) "own entry" 30 (Congest.Knowledge.read k ~reader:3 ~about:3);
+  (* node 0 never received anything about node 4 *)
+  Alcotest.check_raises "unlearned read"
+    (Congest.Net.Protocol_violation
+       {
+         Congest.Net.v_round = 0;
+         v_node = Some 0;
+         v_edge = None;
+         v_budget = None;
+         v_detail = "locality: node 0 read knowledge about node 4 it never received";
+       })
+    (fun () -> ignore (Congest.Knowledge.read k ~reader:0 ~about:4))
+
+let test_knowledge_exchange_is_one_hop () =
+  let g = Gen.path 4 in
+  let net = vnet g in
+  let k = Congest.Knowledge.create net ~init:(fun v -> v) in
+  Congest.Knowledge.exchange k ~encode:(fun v -> [| v |])
+    ~decode:(fun m -> m.(0));
+  (* after one exchange node 1 knows exactly {0, 1, 2} *)
+  Alcotest.(check (list int)) "one-hop horizon" [ 0; 1; 2 ]
+    (Congest.Knowledge.known_to k 1);
+  Alcotest.(check bool) "neighbor readable" true
+    (Congest.Knowledge.knows k ~reader:1 ~about:2);
+  Alcotest.(check int) "delivered value" 2
+    (Congest.Knowledge.read k ~reader:1 ~about:2);
+  (* reads are logged for footprint assertions *)
+  Alcotest.(check (list int)) "read log" [ 2 ]
+    (Congest.Knowledge.reads_of k 1);
+  (* two hops away stays out of reach *)
+  Alcotest.(check bool) "two hops unknown" false
+    (Congest.Knowledge.knows k ~reader:0 ~about:2)
+
+let test_knowledge_unchecked_records_only () =
+  let g = Gen.path 3 in
+  let net = vnet g in
+  let k = Congest.Knowledge.create ~checked:false net ~init:(fun v -> v) in
+  Alcotest.(check bool) "not checked" false (Congest.Knowledge.checked k);
+  (* out-of-horizon read: no raise, None, still logged *)
+  Alcotest.(check (option int)) "unlearned is None" None
+    (Congest.Knowledge.read_opt k ~reader:0 ~about:2);
+  Alcotest.(check (list int)) "footprint recorded" [ 2 ]
+    (Congest.Knowledge.reads_of k 0)
+
 let test_preprocess () =
   let g = Gen.grid 3 5 in
   let net = vnet g in
@@ -668,6 +726,8 @@ let () =
         [
           Alcotest.test_case "bfs tree + rounds" `Quick test_bfs_tree_rounds;
           Alcotest.test_case "flood min" `Quick test_flood_min;
+          Alcotest.test_case "checked flood min matches" `Quick
+            test_flood_min_checked_matches;
           Alcotest.test_case "preprocess" `Quick test_preprocess;
           Alcotest.test_case "converge" `Quick test_converge_sum_min;
           Alcotest.test_case "broadcast int" `Quick test_broadcast_int;
@@ -692,6 +752,15 @@ let () =
             test_identify_hybrid_beats_flooding_on_paths;
           Alcotest.test_case "isolated fragments" `Quick
             test_identify_hybrid_isolated_fragments;
+        ] );
+      ( "knowledge",
+        [
+          Alcotest.test_case "unlearned read raises" `Quick
+            test_knowledge_unlearned_read_raises;
+          Alcotest.test_case "exchange is one hop" `Quick
+            test_knowledge_exchange_is_one_hop;
+          Alcotest.test_case "unchecked records only" `Quick
+            test_knowledge_unchecked_records_only;
         ] );
       qsuite "runtime.props" [ prop_words_accounting ];
       qsuite "components.props"

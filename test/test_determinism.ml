@@ -1,0 +1,195 @@
+(* Determinism sanitizer tests: Net.replay_check must certify that every
+   distributed pipeline is a pure function of its seed (bit-identical
+   telemetry, per-round digests included), across graph families, with
+   and without an installed fault adversary — and must catch a protocol
+   that smuggles state across runs. Also the reset contracts:
+   reset_stats preserves adversary state, replay_reset rewinds it. *)
+
+open Graphs
+module Net = Congest.Net
+
+let vnet g = Net.create Congest.Model.V_congest g
+
+let pack_protocol ~seed g net =
+  let k = max 1 (Connectivity.vertex_connectivity g) in
+  ignore (Domtree.Dist_packing.pack ~seed net ~k)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests *)
+
+let test_replay_fresh_net () =
+  let g = Gen.harary ~k:4 ~n:20 in
+  let net = vnet g in
+  let r = Net.replay_check net (pack_protocol ~seed:7 g) in
+  Alcotest.(check bool) "deterministic" true (Net.deterministic r);
+  Alcotest.(check bool) "rounds advanced" true (r.Net.r_first.Net.t_rounds > 0);
+  Alcotest.(check bool) "digests recorded" true
+    (Array.length r.Net.r_first.Net.t_digests > 0);
+  (* the net is left in the second run's state, still usable *)
+  Alcotest.(check int) "net state = second telemetry"
+    r.Net.r_second.Net.t_rounds (Net.rounds net)
+
+let test_replay_under_faults () =
+  let g = Gen.harary ~k:4 ~n:20 in
+  let net = vnet g in
+  let faults =
+    Congest.Faults.create ~seed:5
+      [ Congest.Faults.Drop_bernoulli 0.3; Congest.Faults.Crash_at [ (3, 2) ] ]
+  in
+  Congest.Faults.install net faults;
+  let r =
+    Net.replay_check net (fun net ->
+        ignore (Congest.Primitives.flood_min net ~value:(fun v -> v) ~rounds:25))
+  in
+  Alcotest.(check bool) "deterministic under faults" true (Net.deterministic r);
+  Alcotest.(check bool) "faults were active" true
+    (r.Net.r_second.Net.t_messages_lost > 0);
+  Alcotest.(check int) "losses replayed exactly"
+    r.Net.r_first.Net.t_messages_lost r.Net.r_second.Net.t_messages_lost
+
+let test_reset_contracts () =
+  let g = Gen.harary ~k:4 ~n:16 in
+  let net = vnet g in
+  let faults =
+    Congest.Faults.create ~seed:3
+      [ Congest.Faults.Drop_bernoulli 0.5; Congest.Faults.Crash_at [ (1, 4) ] ]
+  in
+  Congest.Faults.install net faults;
+  ignore (Congest.Primitives.flood_min net ~value:(fun v -> v) ~rounds:8);
+  Alcotest.(check (list int)) "node 4 crashed" [ 4 ]
+    (Congest.Faults.crashed_nodes faults);
+  Alcotest.(check bool) "drops happened" true (Congest.Faults.drops faults > 0);
+  (* reset_stats: counters go, adversary state stays (documented) *)
+  Net.reset_stats net;
+  Alcotest.(check int) "rounds zeroed" 0 (Net.rounds net);
+  Alcotest.(check (list int)) "crash survives reset_stats" [ 4 ]
+    (Congest.Faults.crashed_nodes faults);
+  Alcotest.(check bool) "fault telemetry survives reset_stats" true
+    (Congest.Faults.drops faults > 0);
+  (* replay_reset additionally rewinds the adversary *)
+  Net.replay_reset net;
+  Alcotest.(check (list int)) "crash rewound" []
+    (Congest.Faults.crashed_nodes faults);
+  Alcotest.(check int) "fault telemetry rewound" 0
+    (Congest.Faults.drops faults);
+  Alcotest.(check int) "events rewound" 0
+    (List.length (Congest.Faults.events faults));
+  Alcotest.(check bool) "hook still installed" true (Net.has_faults net)
+
+let test_replay_catches_smuggled_state () =
+  (* a protocol whose behaviour depends on how often it has run is
+     exactly what the sanitizer exists to reject *)
+  let g = Gen.harary ~k:4 ~n:12 in
+  let net = vnet g in
+  let calls = ref 0 in
+  let r =
+    Net.replay_check net (fun net ->
+        incr calls;
+        ignore
+          (Congest.Primitives.flood_min net
+             ~value:(fun v -> (v * !calls) + !calls)
+             ~rounds:4))
+  in
+  Alcotest.(check bool) "divergence reported" false (Net.deterministic r);
+  Alcotest.(check bool) "divergence names a field" true
+    (match r.Net.r_divergence with Some d -> String.length d > 0 | None -> false)
+
+let test_diff_telemetry_localizes_round () =
+  let g = Gen.cycle 8 in
+  let net = vnet g in
+  ignore (Congest.Primitives.flood_min net ~value:(fun v -> v) ~rounds:3);
+  let t1 = Net.telemetry net in
+  Net.replay_reset net;
+  ignore (Congest.Primitives.flood_min net ~value:(fun v -> 7 - v) ~rounds:3);
+  let t2 = Net.telemetry net in
+  let diffs = Net.diff_telemetry t1 t2 in
+  Alcotest.(check bool) "different runs diff" true (diffs <> []);
+  Alcotest.(check bool) "a round digest is named" true
+    (List.exists
+       (fun d ->
+         String.length d >= 5 && String.sub d 0 5 = "round")
+       diffs)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: same seed => bit-identical telemetry, per graph family *)
+
+let replay_deterministic g protocol =
+  let net = vnet g in
+  Net.deterministic (Net.replay_check net protocol)
+
+let prop_erdos_renyi =
+  QCheck.Test.make ~name:"replay determinism on Erdos-Renyi" ~count:10
+    QCheck.(pair (int_range 10 22) (int_range 0 999))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n |] in
+      let g = Gen.erdos_renyi rng ~n ~p:0.4 in
+      QCheck.assume (Traversal.is_connected g);
+      replay_deterministic g (pack_protocol ~seed g))
+
+let prop_random_regular =
+  QCheck.Test.make ~name:"replay determinism on random-regular" ~count:10
+    QCheck.(pair (int_range 8 18) (int_range 0 999))
+    (fun (n, seed) ->
+      let rng = Random.State.make [| seed; n; 2 |] in
+      let g = Gen.random_regular rng ~n ~d:4 in
+      QCheck.assume (Traversal.is_connected g);
+      replay_deterministic g (pack_protocol ~seed g))
+
+let prop_lollipop =
+  QCheck.Test.make ~name:"replay determinism on lollipop" ~count:10
+    QCheck.(triple (int_range 4 8) (int_range 1 6) (int_range 0 999))
+    (fun (clique, tail, seed) ->
+      let g = Gen.lollipop ~clique ~tail in
+      replay_deterministic g (pack_protocol ~seed g))
+
+let prop_lollipop_econgest =
+  QCheck.Test.make ~name:"replay determinism on lollipop (E-CONGEST)" ~count:6
+    QCheck.(triple (int_range 4 7) (int_range 1 4) (int_range 0 999))
+    (fun (clique, tail, seed) ->
+      let g = Gen.lollipop ~clique ~tail in
+      let net = Net.create Congest.Model.E_congest g in
+      let lambda = max 1 (Connectivity.edge_connectivity g) in
+      Net.deterministic
+        (Net.replay_check net (fun net ->
+             ignore (Spantree.Dist_packing.run_sampled ~seed net ~lambda))))
+
+let prop_faulty_gossip =
+  QCheck.Test.make ~name:"replay determinism under Bernoulli drops" ~count:8
+    QCheck.(pair (int_range 12 20) (int_range 0 999))
+    (fun (n, seed) ->
+      let g = Gen.harary ~k:4 ~n in
+      let net = vnet g in
+      let faults =
+        Congest.Faults.create ~seed [ Congest.Faults.Drop_bernoulli 0.25 ]
+      in
+      Congest.Faults.install net faults;
+      Net.deterministic
+        (Net.replay_check net (fun net ->
+             ignore
+               (Congest.Primitives.flood_min net ~value:(fun v -> v)
+                  ~rounds:(2 * n)))))
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "determinism"
+    [
+      ( "replay",
+        [
+          Alcotest.test_case "fresh net" `Quick test_replay_fresh_net;
+          Alcotest.test_case "under faults" `Quick test_replay_under_faults;
+          Alcotest.test_case "reset contracts" `Quick test_reset_contracts;
+          Alcotest.test_case "catches smuggled state" `Quick
+            test_replay_catches_smuggled_state;
+          Alcotest.test_case "diff localizes round" `Quick
+            test_diff_telemetry_localizes_round;
+        ] );
+      qsuite "qcheck"
+        [
+          prop_erdos_renyi;
+          prop_random_regular;
+          prop_lollipop;
+          prop_lollipop_econgest;
+          prop_faulty_gossip;
+        ];
+    ]

@@ -1,0 +1,180 @@
+(* congest-lint rule tests: every rule must fire on a known-bad inline
+   fixture and stay silent on the known-good twin, the "lint: allow"
+   escape hatch must suppress exactly one finding, and a dangling allow
+   must itself be reported. These run the analyzer as a library
+   (Lint_core.check_source) on source strings — no files involved. *)
+
+let rules_of src =
+  let findings, _ = Lint_core.check_source ~file:"fixture.ml" src in
+  List.map (fun f -> f.Lint_core.rule) findings
+
+let suppressed_of src = snd (Lint_core.check_source ~file:"fixture.ml" src)
+
+let check_fires rule src () =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires" rule)
+    true
+    (List.mem rule (rules_of src))
+
+let check_silent src () =
+  Alcotest.(check (list string)) "no findings" [] (rules_of src)
+
+(* --- nondet-random ------------------------------------------------- *)
+
+let bad_random = "let roll () = Random.int 6\n"
+let good_random = "let roll st = Random.State.int st 6\n"
+let bad_self_init = "let () = Random.self_init ()\n"
+
+(* --- nondet-clock -------------------------------------------------- *)
+
+let bad_clock = "let stamp () = Sys.time ()\n"
+let bad_unix = "let stamp () = Unix.gettimeofday ()\n"
+let good_clock = "let stamp counter = incr counter; !counter\n"
+
+(* --- nondet-hash --------------------------------------------------- *)
+
+let bad_hash = "let key x = Hashtbl.hash x\n"
+let good_hash = "let key (a, b) = (a * 65599) + b\n"
+
+(* --- hashtbl-order ------------------------------------------------- *)
+
+let bad_fold = "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"
+let bad_iter = "let send h f = Hashtbl.iter (fun k v -> f k v) h\n"
+
+let good_fold_piped =
+  "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort \
+   compare\n"
+
+let good_fold_direct =
+  "let keys h = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h \
+   [])\n"
+
+(* cardinality via List.length is order-blind and sanctioned *)
+let good_fold_length =
+  "let size h = List.length (Hashtbl.fold (fun k _ acc -> k :: acc) h [])\n"
+
+(* --- global-mutable-state ------------------------------------------ *)
+
+let bad_global_ref = "let counter = ref 0\nlet bump () = incr counter\n"
+let bad_global_table = "let cache = Hashtbl.create 16\n"
+let bad_global_in_module = "module M = struct\n  let buf = Buffer.create 64\nend\n"
+let good_local_ref = "let count xs =\n  let c = ref 0 in\n  List.iter (fun _ -> incr c) xs;\n  !c\n"
+let good_immutable = "let limit = 64\nlet name = \"net\"\n"
+
+(* --- obj-magic ----------------------------------------------------- *)
+
+let bad_obj = "let coerce (x : int) : string = Obj.magic x\n"
+
+(* --- physical-eq --------------------------------------------------- *)
+
+let bad_phys_eq = "let same a b = a == b\n"
+let bad_phys_neq = "let differ a b = a != b\n"
+let good_struct_eq = "let same a b = a = b\n"
+
+(* --- silenced-warning ---------------------------------------------- *)
+
+let bad_floating_attr = "[@@@warning \"-27\"]\nlet f x = 0\n"
+let bad_expr_attr = "let f x = (ignore x [@warning \"-27\"])\n"
+
+(* --- escape hatch -------------------------------------------------- *)
+
+let allowed_fold =
+  "(* lint: allow hashtbl-order — commutative min over entries *)\n\
+   let best h = Hashtbl.fold (fun _ v acc -> min v acc) h max_int\n"
+
+let allow_suppresses_only_its_rule =
+  "(* lint: allow hashtbl-order — wrong rule for this finding *)\n\
+   let roll () = Random.int 6\n"
+
+let unused_allow = "(* lint: allow nondet-random — nothing here *)\nlet x = 1\n"
+
+let stacked_allows =
+  "(* lint: allow hashtbl-order — first *)\n\
+   let a h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n\
+   (* lint: allow hashtbl-order — second *)\n\
+   let b h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"
+
+let test_allow_suppresses () =
+  Alcotest.(check (list string)) "no findings" [] (rules_of allowed_fold);
+  Alcotest.(check int) "one suppression" 1 (suppressed_of allowed_fold)
+
+let test_allow_rule_specific () =
+  Alcotest.(check bool) "nondet-random still fires" true
+    (List.mem "nondet-random" (rules_of allow_suppresses_only_its_rule));
+  Alcotest.(check bool) "dangling allow reported" true
+    (List.mem "unused-allow" (rules_of allow_suppresses_only_its_rule))
+
+let test_unused_allow () =
+  Alcotest.(check (list string)) "reported" [ "unused-allow" ]
+    (rules_of unused_allow)
+
+let test_stacked_allows () =
+  (* nearest-match binding: each allow claims the finding directly below
+     it, so two stacked pairs leave nothing unsuppressed and no unused *)
+  Alcotest.(check (list string)) "all suppressed" [] (rules_of stacked_allows);
+  Alcotest.(check int) "two suppressions" 2 (suppressed_of stacked_allows)
+
+(* --- parse-error --------------------------------------------------- *)
+
+let test_parse_error () =
+  Alcotest.(check bool) "unparsable source reported" true
+    (List.mem "parse-error" (rules_of "let let let = = ="))
+
+(* --- self-check: the shipped tree is clean ------------------------- *)
+
+let test_multiple_findings_counted () =
+  let src = "let a () = Random.int 2\nlet b () = Random.bool ()\n" in
+  Alcotest.(check int) "both sites reported" 2 (List.length (rules_of src))
+
+let fires rule src name = Alcotest.test_case name `Quick (check_fires rule src)
+let silent src name = Alcotest.test_case name `Quick (check_silent src)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fires-on-bad",
+        [
+          fires "nondet-random" bad_random "Random.int";
+          fires "nondet-random" bad_self_init "Random.self_init";
+          fires "nondet-clock" bad_clock "Sys.time";
+          fires "nondet-clock" bad_unix "Unix.gettimeofday";
+          fires "nondet-hash" bad_hash "Hashtbl.hash";
+          fires "hashtbl-order" bad_fold "bare fold";
+          fires "hashtbl-order" bad_iter "bare iter";
+          fires "global-mutable-state" bad_global_ref "toplevel ref";
+          fires "global-mutable-state" bad_global_table "toplevel Hashtbl";
+          fires "global-mutable-state" bad_global_in_module "ref inside module";
+          fires "obj-magic" bad_obj "Obj.magic";
+          fires "physical-eq" bad_phys_eq "(==)";
+          fires "physical-eq" bad_phys_neq "(!=)";
+          fires "silenced-warning" bad_floating_attr "floating attribute";
+          fires "silenced-warning" bad_expr_attr "expression attribute";
+        ] );
+      ( "silent-on-good",
+        [
+          silent good_random "Random.State";
+          silent good_clock "logical clock";
+          silent good_hash "explicit hash";
+          silent good_fold_piped "fold |> sort";
+          silent good_fold_direct "sort (fold ...)";
+          silent good_fold_length "List.length (fold ...)";
+          silent good_local_ref "function-local ref";
+          silent good_immutable "immutable toplevel";
+          silent good_struct_eq "structural equality";
+        ] );
+      ( "escape-hatch",
+        [
+          Alcotest.test_case "allow suppresses" `Quick test_allow_suppresses;
+          Alcotest.test_case "allow is rule-specific" `Quick
+            test_allow_rule_specific;
+          Alcotest.test_case "unused allow reported" `Quick test_unused_allow;
+          Alcotest.test_case "stacked allows bind nearest" `Quick
+            test_stacked_allows;
+        ] );
+      ( "parse",
+        [
+          Alcotest.test_case "parse error reported" `Quick test_parse_error;
+          Alcotest.test_case "multiple findings counted" `Quick
+            test_multiple_findings_counted;
+        ] );
+    ]

@@ -1,0 +1,39 @@
+(* Driver: walk the given files/directories, lint every .ml, print
+   findings, exit non-zero when any remain. Run as `dune build @lint`. *)
+
+let rec gather path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || (String.length entry > 0 && entry.[0] = '.')
+           then acc
+           else gather (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let roots =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as roots) -> roots
+    | _ -> [ "lib"; "bin" ]
+  in
+  let files = List.concat_map (fun r -> List.rev (gather r [])) roots in
+  if files = [] then begin
+    Format.eprintf "congest-lint: no .ml files under %s@."
+      (String.concat " " roots);
+    exit 2
+  end;
+  let findings, suppressed =
+    List.fold_left
+      (fun (fs, sup) file ->
+        let f, s = Lint_core.check_file file in
+        (fs @ f, sup + s))
+      ([], 0) files
+  in
+  List.iter (Format.printf "%a@." Lint_core.pp_finding) findings;
+  Format.printf
+    "congest-lint: %d file(s), %d finding(s), %d suppressed by lint: allow@."
+    (List.length files) (List.length findings) suppressed;
+  if findings <> [] then exit 1
