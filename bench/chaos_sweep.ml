@@ -1,0 +1,239 @@
+(* F3 — the chaos harness behind the self-healing pipeline: sweep
+   adversary schedules across graph families and race the two recovery
+   policies of Domtree.Reliable head to head.
+
+   Schedules:
+   - storm:     a seeded crash storm early in the run;
+   - mincut:    targeted fail-stop kills of all-but-one vertex of a
+                minimum vertex cut — redundancy attacked exactly where
+                it is thinnest, while the live graph stays connected (a
+                strict subset of a minimum cut is never a separator).
+                The Appendix G family reuses Lowerbound.Construction:
+                its intersecting instance pins the cut at {a,b,u_z,v_z}
+                (Lemma G.4, via cut_dichotomy);
+   - attrition: an adaptive greedy edge killer plus light Bernoulli
+                message drops for the whole run.
+
+   Every cell reports rounds-to-verified and classes retained, and the
+   output's Certificate is re-checked independently against the live
+   subgraph. Two invariants fail the sweep loudly:
+   - every certificate (degraded or not) must pass the check;
+   - wherever both policies verify, `Repair must charge no more rounds
+     than `Retry — the point of incremental repair.
+
+   Deterministic for a fixed seed. *)
+
+module Faults = Congest.Faults
+module Reliable = Domtree.Reliable
+module Certificate = Domtree.Certificate
+
+let header title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
+
+type family = {
+  fam : string;
+  graph : Graphs.Graph.t;
+  k : int;
+  cut : int list option;  (** a minimum vertex cut, when one is known *)
+}
+
+let families ~n ~k =
+  let mk fam graph k = { fam; graph; k; cut = Graphs.Connectivity.min_vertex_cut graph } in
+  let lowerbound =
+    (* Appendix G graph on an intersecting instance: Lemma G.4 pins the
+       minimum cut at exactly {a, b, u_z, v_z} *)
+    let rng = Random.State.make [| 5 |] in
+    let inst = Lowerbound.Disjointness.random_intersecting rng ~h:4 ~density:0.5 in
+    let c = Lowerbound.Construction.build inst ~ell:1 ~w:4 in
+    let vc, cut = Lowerbound.Construction.cut_dichotomy c in
+    { fam = "lowerbound"; graph = c.Lowerbound.Construction.graph; k = vc; cut }
+  in
+  [
+    mk "harary" (Graphs.Gen.harary ~k ~n) k;
+    mk "hypercube" (Graphs.Gen.hypercube 5) 5;
+    mk "clique_path" (Graphs.Gen.clique_path ~k:6 ~len:6) 6;
+    lowerbound;
+  ]
+
+(* A calibration run of the first attempt's packing, fault-free. Faults
+   scheduled {e after} its round count land inside the verification
+   window, breaking a packing that was already built — the case
+   incremental repair exists for. (Faults during packing are simply
+   absorbed: the pipeline is live-aware, so a packing grown on the
+   surviving graph verifies.) Because the chaos schedules only fire
+   after this point, the calibration memberships are exactly the first
+   attempt's memberships, so the adversary can aim. *)
+(* With the default (deep-layered) parameters the packing is fully
+   redundant — every vertex lands in every class and no crash short of
+   disconnecting the graph breaks anything. Chaos wants the sparse
+   regime, where classes have structure an adversary can break and a
+   repair can mend: more classes, shallow layers. *)
+let shape f =
+  let classes = max 2 (2 * f.k / 3) in
+  (classes, 2)
+
+let calibrate ~seed f =
+  let net = Congest.Net.create Congest.Model.V_congest f.graph in
+  let classes, layers = shape f in
+  let res = Domtree.Dist_packing.run ~seed net ~classes ~layers in
+  (Congest.Net.rounds net, Domtree.Cds_packing.real_classes res)
+
+(* The aimed kill: find a non-member of class 0 whose class-0 neighbors
+   are few — but not its whole neighborhood — and crash exactly those. A
+   guaranteed domination hole at that vertex, detected by the tester and
+   patched by one orphan reassignment (plus splices if the kill also
+   fragmented the class). Requiring a surviving non-class-0 neighbor
+   keeps the target attached to the live graph: isolating a vertex is a
+   different experiment (it disconnects the live graph, which no
+   distributed tester can see across — the certificate is the arbiter
+   there, and Repair rightly degrades). *)
+let orphan_kills ~after g per_real =
+  let n = Graphs.Graph.n g in
+  let in0 v = List.mem 0 per_real.(v) in
+  let best = ref None in
+  for v = 0 to n - 1 do
+    if not (in0 v) then begin
+      let nbrs = Array.to_list (Graphs.Graph.neighbors g v) in
+      let cover = List.filter in0 nbrs in
+      if cover <> [] && List.length cover < List.length nbrs then
+        match !best with
+        | Some (_, c) when List.length c <= List.length cover -> ()
+        | _ -> best := Some (v, cover)
+    end
+  done;
+  match !best with
+  | Some (_, cover) ->
+    [ Faults.Crash_at (List.map (fun u -> (after, u)) cover) ]
+  | None -> []
+
+let schedules ~after ~per_real f =
+  let n = Graphs.Graph.n f.graph in
+  let storm =
+    [
+      Faults.Crash_storm
+        { from_round = after; per_round = 4; storm_rounds = 3; universe = n };
+    ]
+  in
+  let mincut =
+    match f.cut with
+    | None | Some ([] | [ _ ]) -> []
+    | Some (_keep :: rest) ->
+      [ Faults.Crash_at (List.mapi (fun i v -> (after + (2 * i), v)) rest) ]
+  in
+  let orphan = orphan_kills ~after f.graph per_real in
+  let attrition =
+    [
+      Faults.Greedy_edge_kill { budget = f.k; period = 1; from_round = after };
+      Faults.Drop_bernoulli 0.01;
+    ]
+  in
+  [
+    ("storm", storm); ("mincut", mincut); ("orphan", orphan);
+    ("attrition", attrition);
+  ]
+
+type cell = {
+  verified : bool;
+  rounds : int;
+  retained : int;
+  requested : int;
+  attempts : int;
+  crashes : int;
+  degraded : bool;
+  cert_ok : bool;
+}
+
+let run_cell ~seed f specs policy =
+  let net = Congest.Net.create Congest.Model.V_congest f.graph in
+  let faults = Faults.create ~seed specs in
+  Faults.install net faults;
+  let classes, layers = shape f in
+  let r =
+    Reliable.run_verified_distributed ~seed ~policy ~k:f.k net ~classes ~layers
+  in
+  let cert = r.Reliable.certificate in
+  let cert_ok =
+    match
+      Certificate.check ~seed:(seed + 1) ~live:(Faults.alive faults) f.graph
+        ~memberships:(fun v -> r.Reliable.memberships.(v))
+        cert
+    with
+    | Ok () -> true
+    | Error _ -> false
+  in
+  {
+    verified = r.Reliable.verified;
+    rounds = r.Reliable.rounds_charged;
+    retained = r.Reliable.classes_retained;
+    requested = cert.Certificate.c_classes_requested;
+    attempts = List.length r.Reliable.attempts;
+    crashes = List.length (Faults.crashed_nodes faults);
+    degraded = r.Reliable.degraded;
+    cert_ok;
+  }
+
+let sweep ?(n = 48) ?(k = 8) ?(seed = 11) ?csv () =
+  header
+    (Printf.sprintf
+       "F3  chaos harness: repair vs retry under adversary schedules (n=%d \
+        k=%d seed=%d)"
+       n k seed);
+  Format.printf "%-12s %-10s %-7s | %5s %7s %9s %8s %7s %5s %5s@." "family"
+    "schedule" "policy" "ok" "rounds" "retained" "attempts" "crashes" "degr"
+    "cert";
+  let violations = ref [] in
+  let cert_failures = ref [] in
+  Csv_export.with_artifact ?path:csv
+    ~header:
+      "family,schedule,policy,verified,rounds,retained,requested,attempts,crashes,degraded,cert_ok"
+    (fun emit ->
+      List.iter
+        (fun f ->
+          let rounds, per_real = calibrate ~seed f in
+          let after = rounds + 2 in
+          List.iter
+            (fun (sname, specs) ->
+              if specs <> [] then begin
+                let retry = run_cell ~seed f specs `Retry in
+                let repair = run_cell ~seed f specs `Repair in
+                List.iter
+                  (fun (pname, c) ->
+                    Format.printf
+                      "%-12s %-10s %-7s | %5b %7d %6d/%-2d %8d %7d %5b %5b@."
+                      f.fam sname pname c.verified c.rounds c.retained
+                      c.requested c.attempts c.crashes c.degraded c.cert_ok;
+                    emit
+                      (Printf.sprintf "%s,%s,%s,%b,%d,%d,%d,%d,%d,%b,%b" f.fam
+                         sname pname c.verified c.rounds c.retained c.requested
+                         c.attempts c.crashes c.degraded c.cert_ok);
+                    if not c.cert_ok then
+                      cert_failures := (f.fam, sname, pname) :: !cert_failures)
+                  [ ("retry", retry); ("repair", repair) ];
+                if
+                  retry.verified && repair.verified
+                  && repair.rounds > retry.rounds
+                then violations := (f.fam, sname) :: !violations
+              end)
+            (schedules ~after ~per_real f))
+        (families ~n ~k));
+  (match !cert_failures with
+  | [] -> Format.printf "every output's certificate checks: OK@."
+  | l ->
+    List.iter
+      (fun (f, s, p) ->
+        Format.eprintf "certificate FAILED: %s/%s/%s@." f s p)
+      l;
+    failwith "chaos sweep: a certificate failed its independent check");
+  match !violations with
+  | [] ->
+    Format.printf
+      "repair verified in <= retry rounds wherever both succeed: OK@."
+  | l ->
+    List.iter
+      (fun (f, s) ->
+        Format.eprintf "round inversion: %s/%s repair cost more than retry@." f
+          s)
+      l;
+    failwith "chaos sweep: repair cost more rounds than retry"
+
+let all ?n ?k ?seed ?csv () = sweep ?n ?k ?seed ?csv ()

@@ -8,6 +8,26 @@
 let row exp x series value =
   Printf.printf "%s,%s,%s,%.6f\n" exp x series value
 
+(* File sink for the sweeps: [with_artifact ~path ~header f] hands [f]
+   an [emit] function that appends one CSV line per call; with no path,
+   emit is a no-op and the sweep only prints its tables. The file is
+   closed (and announced) even if [f] raises. *)
+let with_artifact ?path ~header f =
+  match path with
+  | None -> f (fun _ -> ())
+  | Some path ->
+    let oc = open_out path in
+    output_string oc header;
+    output_char oc '\n';
+    Fun.protect
+      ~finally:(fun () ->
+        close_out oc;
+        Format.printf "csv artifact: %s@." path)
+      (fun () ->
+        f (fun line ->
+            output_string oc line;
+            output_char oc '\n'))
+
 let lg n = log (float_of_int (max 2 n)) /. log 2.
 
 (* E1: packing size vs k *)

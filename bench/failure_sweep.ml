@@ -25,14 +25,26 @@ let run_pair ~seed ~per_node ~g ~packing specs =
   in
   (run `Packing, run `Naive)
 
-let pp_row label (r : Routing.Broadcast.ft_result) (faults : Faults.t) =
+let pp_row ?(emit = fun _ -> ()) label (r : Routing.Broadcast.ft_result)
+    (faults : Faults.t) =
   Format.printf
     "%-24s | %7d %9.3f %9.3f | %5d %5d %5d | %9d %5b@." label r.ft_rounds
     r.ft_throughput r.ft_coverage r.ft_survivors r.ft_dead_trees
     (Faults.edges_killed faults)
-    (Faults.drops faults) r.ft_converged
+    (Faults.drops faults) r.ft_converged;
+  emit
+    (Printf.sprintf "%s,%d,%.6f,%.6f,%d,%d,%d,%d,%b"
+       (String.concat " " (String.split_on_char ' ' label |> List.filter (( <> ) "")))
+       r.ft_rounds r.ft_throughput r.ft_coverage r.ft_survivors r.ft_dead_trees
+       (Faults.edges_killed faults)
+       (Faults.drops faults) r.ft_converged)
 
-let sweep ?(n = 96) ?(k = 24) ?(seed = 7) ?(per_node = 1) () =
+let sweep ?(n = 96) ?(k = 24) ?(seed = 7) ?(per_node = 1) ?csv () =
+  Csv_export.with_artifact ?path:csv
+    ~header:
+      "scenario,rounds,msgs_per_round,coverage,survivors,dead_trees,edges_killed,drops,converged"
+  @@ fun emit ->
+  let pp_row label r faults = pp_row ~emit label r faults in
   header
     (Printf.sprintf
        "F1  gossip under faults: CDS packing vs single BFS tree (n=%d k=%d \
@@ -97,4 +109,4 @@ let sweep ?(n = 96) ?(k = 24) ?(seed = 7) ?(per_node = 1) () =
                  tester's rounds and any@. backoff are charged to the CONGEST \
                  clock)@."
 
-let all ?n ?k ?seed () = sweep ?n ?k ?seed ()
+let all ?n ?k ?seed ?csv () = sweep ?n ?k ?seed ?csv ()

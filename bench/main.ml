@@ -93,7 +93,13 @@ let () =
     (* optional small-n override for CI smoke: `-- failures 48 12` *)
     let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 96 in
     let k = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 24 in
-    Failure_sweep.all ~n ~k ()
+    Failure_sweep.all ~n ~k ~csv:"failures.csv" ()
+  end
+  else if mode = "chaos" then begin
+    (* optional small-n override for CI smoke: `-- chaos 32 6` *)
+    let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 48 in
+    let k = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 8 in
+    Chaos_sweep.all ~n ~k ~csv:"chaos.csv" ()
   end
   else begin
     if mode = "tables" || mode = "all" then Experiments.all ();

@@ -246,13 +246,63 @@ let approx_vc_cmd =
        ~doc:"O(log n)-approximate vertex connectivity (Corollary 1.7)")
     Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection arguments, validated at parse time: a bad value is a
+   usage error with a clear message, not a crash mid-run *)
+
+let probability_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some p when p >= 0. && p <= 1. -> Ok p
+    | Some p ->
+      Error (`Msg (Printf.sprintf "probability %g is outside [0,1]" p))
+    | None -> Error (`Msg (Printf.sprintf "expected a probability, got %S" s))
+  in
+  Arg.conv ~docv:"P" (parse, Format.pp_print_float)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some b when b >= 0 -> Ok b
+    | Some b -> Error (`Msg (Printf.sprintf "%d is negative" b))
+    | None ->
+      Error (`Msg (Printf.sprintf "expected a non-negative integer, got %S" s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
+let fail_p_arg =
+  Arg.(value & opt probability_conv 0. & info [ "fail-p" ] ~docv:"P"
+         ~doc:"Per-message Bernoulli drop probability (in [0,1]).")
+
+let crash_arg =
+  Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"ROUND:NODE"
+         ~doc:"Fail-stop crash of NODE at ROUND (repeatable).")
+
+let kill_arg =
+  Arg.(value & opt nonneg_int_conv 0 & info [ "kill-budget" ] ~docv:"B"
+         ~doc:"Adaptive adversary kills the B most-loaded edges (B >= 0).")
+
+let storm_arg =
+  Arg.(value & opt (some string) None & info [ "storm" ] ~docv:"FROM:PER:LEN"
+         ~doc:"Crash storm: from round FROM, PER random crashes per round \
+               for LEN rounds.")
+
 let parse_crash spec =
   (* "round:node" *)
   match String.split_on_char ':' spec with
   | [ r; v ] -> (int_of_string (String.trim r), int_of_string (String.trim v))
   | _ -> failwith ("bad --crash spec (want ROUND:NODE): " ^ spec)
 
-let fault_specs ~fail_p ~crashes ~kill_budget =
+let parse_storm ~n spec =
+  match
+    String.split_on_char ':' spec |> List.map (fun s -> int_of_string (String.trim s))
+  with
+  | [ from_round; per_round; storm_rounds ]
+    when from_round >= 0 && per_round >= 0 && storm_rounds >= 0 ->
+    Congest.Faults.Crash_storm { from_round; per_round; storm_rounds; universe = n }
+  | _ -> failwith ("bad --storm spec (want FROM:PER:LEN, all >= 0): " ^ spec)
+
+let fault_specs ?storm ?n ~fail_p ~crashes ~kill_budget () =
   List.concat
     [
       (if fail_p > 0. then [ Congest.Faults.Drop_bernoulli fail_p ] else []);
@@ -265,6 +315,10 @@ let fault_specs ~fail_p ~crashes ~kill_budget =
              { budget = kill_budget; period = 4; from_round = 6 };
          ]
        else []);
+      (match (storm, n) with
+      | Some spec, Some n -> [ parse_storm ~n spec ]
+      | Some _, None -> assert false
+      | None, _ -> []);
     ]
 
 let gossip_cmd =
@@ -277,7 +331,7 @@ let gossip_cmd =
         ~layers:2
     in
     let p = Domtree.Tree_extract.of_cds_packing res in
-    let specs = fault_specs ~fail_p ~crashes ~kill_budget in
+    let specs = fault_specs ~fail_p ~crashes ~kill_budget () in
     if specs = [] then begin
       let net = Congest.Net.create Congest.Model.V_congest g in
       let rep = Routing.Gossip.all_to_all ~seed ~per_node net p ~k in
@@ -315,60 +369,93 @@ let gossip_cmd =
   let per_node_arg =
     Arg.(value & opt int 1 & info [ "per-node" ] ~doc:"Messages per node.")
   in
-  let fail_p_arg =
-    Arg.(value & opt float 0. & info [ "fail-p" ] ~docv:"P"
-           ~doc:"Per-message Bernoulli drop probability.")
-  in
-  let crash_arg =
-    Arg.(value & opt_all string [] & info [ "crash" ] ~docv:"ROUND:NODE"
-           ~doc:"Fail-stop crash of NODE at ROUND (repeatable).")
-  in
-  let kill_arg =
-    Arg.(value & opt int 0 & info [ "kill-budget" ] ~docv:"B"
-           ~doc:"Adaptive adversary kills the B most-loaded edges.")
-  in
   Cmd.v
     (Cmd.info "gossip" ~doc:"All-to-all broadcast via the decomposition (App. A)")
     Term.(const run $ gen_arg $ file_arg $ seed_arg $ per_node_arg $ fail_p_arg
           $ crash_arg $ kill_arg)
 
 let verified_cmd =
-  let run gen file seed distributed check max_retries =
+  let run gen file seed distributed check max_retries policy fail_p crashes
+      kill_budget storm =
     require_distributed ~check ~distributed;
     let g = load ~gen ~file in
+    let n = Graphs.Graph.n g in
     let k = max 1 (Graphs.Connectivity.vertex_connectivity g) in
+    let specs = fault_specs ?storm ~n ~fail_p ~crashes ~kill_budget () in
+    if specs <> [] && not distributed then
+      failwith "fault injection targets the CONGEST runtime; it requires \
+                --distributed";
+    let live = ref (fun _ -> true) in
     let r =
       if distributed then begin
         let net = Congest.Net.create Congest.Model.V_congest g in
+        (if specs <> [] then begin
+           let faults = Congest.Faults.create ~seed specs in
+           Congest.Faults.install net faults;
+           live := Congest.Faults.alive faults
+         end);
         let r =
           run_checked ~check net (fun net ->
               Domtree.Reliable.pack_verified_distributed ~seed ~max_retries
-                net ~k)
+                ~policy net ~k)
         in
-        Format.printf "rounds charged (packing + tester + backoff): %d@."
+        Format.printf
+          "rounds charged (packing + tester + repair + backoff): %d@."
           r.Domtree.Reliable.rounds_charged;
         r
       end
-      else Domtree.Reliable.pack_verified ~seed ~max_retries g ~k
+      else Domtree.Reliable.pack_verified ~seed ~max_retries ~policy g ~k
     in
     List.iteri
       (fun i (a : Domtree.Reliable.attempt) ->
         Format.printf "attempt %d (seed %d): pass=%b domination=%b \
-                       connectivity=%b@."
+                       connectivity=%b repaired=%b rounds=%d@."
           i a.Domtree.Reliable.attempt_seed a.outcome.Domtree.Tester.pass
           a.outcome.Domtree.Tester.domination_ok
-          a.outcome.Domtree.Tester.connectivity_ok)
+          a.outcome.Domtree.Tester.connectivity_ok
+          a.Domtree.Reliable.repaired a.Domtree.Reliable.attempt_rounds)
       r.Domtree.Reliable.attempts;
+    (match r.Domtree.Reliable.repair with
+    | Some rep -> Format.printf "repair: %a@." Domtree.Repair.pp rep
+    | None -> ());
+    let cert = r.Domtree.Reliable.certificate in
+    Format.printf "certificate: %a@." Domtree.Certificate.pp cert;
+    (match
+       Domtree.Certificate.check ~seed:(seed + 1) ~live:!live g
+         ~memberships:(fun v -> r.Domtree.Reliable.memberships.(v))
+         cert
+     with
+    | Ok () -> Format.printf "certificate check: OK@."
+    | Error errs ->
+      List.iter (Format.eprintf "certificate check: %s@.") errs;
+      exit 1);
     if not r.Domtree.Reliable.verified then begin
       Format.printf "FAILED: no verified decomposition in %d attempts@."
         (List.length r.Domtree.Reliable.attempts);
       exit 1
     end;
-    let p = Domtree.Tree_extract.of_cds_packing r.Domtree.Reliable.packing in
-    Format.printf
-      "verified decomposition after %d retries: %d trees, size %.3f@."
-      r.Domtree.Reliable.retries (Domtree.Packing.count p)
-      (Domtree.Packing.size p)
+    (match r.Domtree.Reliable.repair with
+    | None ->
+      let p = Domtree.Tree_extract.of_cds_packing r.Domtree.Reliable.packing in
+      Format.printf
+        "verified decomposition after %d retries: %d trees, size %.3f@."
+        r.Domtree.Reliable.retries (Domtree.Packing.count p)
+        (Domtree.Packing.size p)
+    | Some _ ->
+      Format.printf
+        "verified decomposition after %d retries: %d/%d classes retained \
+         (repaired)@."
+        r.Domtree.Reliable.retries r.Domtree.Reliable.classes_retained
+        cert.Domtree.Certificate.c_classes_requested);
+    if r.Domtree.Reliable.degraded then begin
+      (* distinct exit status: the output is certified correct but holds
+         fewer classes than requested — graceful degradation, not
+         success and not failure *)
+      Format.printf "DEGRADED: %d of %d requested classes retained@."
+        r.Domtree.Reliable.classes_retained
+        cert.Domtree.Certificate.c_classes_requested;
+      exit 4
+    end
   in
   let dist_arg =
     Arg.(value & flag & info [ "distributed" ]
@@ -378,11 +465,22 @@ let verified_cmd =
     Arg.(value & opt int Domtree.Reliable.default_max_retries
          & info [ "max-retries" ] ~doc:"Retry budget after the first attempt.")
   in
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("retry", `Retry); ("repair", `Repair) ]) `Retry
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"Recovery policy on a failed verification: $(b,retry) \
+                   re-runs from a fresh seed; $(b,repair) splices broken \
+                   classes locally, drops what it cannot fix, and certifies \
+                   the survivors (exit 4 if degraded).")
+  in
   Cmd.v
     (Cmd.info "verified"
-       ~doc:"Decompose under the verify-and-retry pipeline (Appendix E guard)")
+       ~doc:"Decompose under the verify-and-recover pipeline (Appendix E \
+             guard); exit 4 = verified but degraded")
     Term.(const run $ gen_arg $ file_arg $ seed_arg $ dist_arg $ check_arg
-          $ retries_arg)
+          $ retries_arg $ policy_arg $ fail_p_arg $ crash_arg $ kill_arg
+          $ storm_arg)
 
 let test_packing_cmd =
   let run gen file seed =

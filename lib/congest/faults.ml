@@ -17,6 +17,12 @@ type spec =
   | Drop_bernoulli of float
   | Kill_edges_at of (int * (int * int)) list
   | Greedy_edge_kill of { budget : int; period : int; from_round : int }
+  | Crash_storm of {
+      from_round : int;
+      per_round : int;
+      storm_rounds : int;
+      universe : int;
+    }
 
 type t = {
   seed : int;
@@ -25,6 +31,8 @@ type t = {
   crash_sched : (int * int) list; (* sorted by round *)
   kill_sched : (int * (int * int)) list; (* sorted by round *)
   greedy : (int * int * int) option; (* budget, period, from_round *)
+  storm : (int * int * int * int) option;
+      (* from_round, per_round, storm_rounds, universe *)
   mutable greedy_left : int;
   mutable round : int;
   crashed : (int, unit) Hashtbl.t;
@@ -67,6 +75,20 @@ let create ?(seed = 42) specs =
         | _ -> acc)
       None specs
   in
+  let storm =
+    List.fold_left
+      (fun acc -> function
+        | Crash_storm { from_round; per_round; storm_rounds; universe } ->
+          if per_round < 0 then
+            invalid_arg "Faults.create: negative storm intensity";
+          if storm_rounds < 0 then
+            invalid_arg "Faults.create: negative storm duration";
+          if universe < 1 then
+            invalid_arg "Faults.create: storm universe must be positive";
+          Some (from_round, per_round, storm_rounds, universe)
+        | _ -> acc)
+      None specs
+  in
   {
     seed;
     rng = Random.State.make [| seed; 0x0FA17 |];
@@ -74,6 +96,7 @@ let create ?(seed = 42) specs =
     crash_sched;
     kill_sched;
     greedy;
+    storm;
     greedy_left = (match greedy with Some (b, _, _) -> b | None -> 0);
     round = 0;
     crashed = Hashtbl.create 8;
@@ -155,6 +178,16 @@ let on_round_start t r =
     | rest -> rest
   in
   t.pending_kill <- fire_kills t.pending_kill;
+  (match t.storm with
+  | Some (from_round, per_round, storm_rounds, universe)
+    when r >= from_round && r < from_round + storm_rounds ->
+    (* [per_round] seeded draws over the universe; redrawing an already
+       crashed victim is a no-op, so a storm round crashes at most
+       [per_round] fresh nodes *)
+    for _ = 1 to per_round do
+      crash t ~round:r (Random.State.int t.rng universe)
+    done
+  | _ -> ());
   match t.greedy with
   | Some (_, period, from_round)
     when r >= from_round
@@ -196,12 +229,52 @@ let deliver t ~src ~dst (m : Net.msg) =
   end
   else true
 
+(* Refill [dst] with [src]'s bindings. Insertion order does not affect
+   Hashtbl lookup/membership semantics, and every consumer of these
+   tables canonicalizes (sorts) on read. *)
+let refill dst src =
+  Hashtbl.reset dst;
+  (* lint: allow hashtbl-order — refill of a set-like table; consumers
+     sort on read, so insertion order is unobservable *)
+  Hashtbl.iter (fun k v -> Hashtbl.replace dst k v) src
+
+(* Deep snapshot of the adversary's full state; the returned thunk
+   restores it. A restored adversary re-makes exactly the decisions it
+   made after the snapshot (same RNG state, same pending schedules, same
+   greedy budget), which is what lets Net.rollback discard a poisoned
+   region and re-execute it deterministically. *)
+let save t =
+  let rng = Random.State.copy t.rng in
+  let greedy_left = t.greedy_left in
+  let round = t.round in
+  let crashed = Hashtbl.copy t.crashed in
+  let killed = Hashtbl.copy t.killed in
+  let traffic = Hashtbl.copy t.traffic in
+  let pending_crash = t.pending_crash in
+  let pending_kill = t.pending_kill in
+  let events = t.events in
+  let drops = t.drops in
+  let words_lost = t.words_lost in
+  fun () ->
+    t.rng <- Random.State.copy rng;
+    t.greedy_left <- greedy_left;
+    t.round <- round;
+    refill t.crashed crashed;
+    refill t.killed killed;
+    refill t.traffic traffic;
+    t.pending_crash <- pending_crash;
+    t.pending_kill <- pending_kill;
+    t.events <- events;
+    t.drops <- drops;
+    t.words_lost <- words_lost
+
 let hook t =
   {
     Net.on_round_start = on_round_start t;
     node_alive = node_alive t;
     deliver = (fun ~src ~dst m -> deliver t ~src ~dst m);
     reset = (fun () -> reset t);
+    save = (fun () -> save t);
   }
 
 let install net t = Net.install_faults net (hook t)

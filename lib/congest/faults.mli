@@ -40,6 +40,18 @@ type spec =
   | Greedy_edge_kill of { budget : int; period : int; from_round : int }
       (** adaptively kill the most-loaded observed edge, every [period]
           rounds starting at [from_round], at most [budget] times *)
+  | Crash_storm of {
+      from_round : int;
+      per_round : int;
+      storm_rounds : int;
+      universe : int;
+    }
+      (** a burst of random fail-stop crashes: for [storm_rounds] rounds
+          starting at [from_round], draw [per_round] victims per round
+          from [\[0, universe)] with the adversary's seeded RNG
+          (redrawing an already-dead victim is a no-op, so each storm
+          round kills at most [per_round] fresh nodes). The chaos
+          harness's workhorse. *)
 
 type t
 
@@ -65,6 +77,13 @@ val uninstall : Net.t -> unit
     and telemetry clears. [Net.replay_reset] calls this through the
     installed hook so one adversary replays identically. *)
 val reset : t -> unit
+
+(** [save t] deep-snapshots the adversary (RNG, crashed/killed sets,
+    pending schedules, budgets, telemetry); the returned thunk restores
+    that state and may be invoked any number of times. This is the
+    adversary half of {!Net.barrier}: restore + identical re-execution
+    re-makes identical fault decisions. *)
+val save : t -> unit -> unit
 
 (** The raw hook, for callers managing installation themselves. *)
 val hook : t -> Net.fault_hook

@@ -36,6 +36,8 @@ type fault_hook = {
   node_alive : int -> bool;
   deliver : src:int -> dst:int -> msg -> bool;
   reset : unit -> unit;
+  save : unit -> unit -> unit;
+      (* snapshot adversary state; the returned thunk restores it *)
 }
 
 type t = {
@@ -254,6 +256,55 @@ type checkpoint = int
 
 let checkpoint net = net.rounds
 let rounds_since net cp = net.rounds - cp
+
+let node_alive net u = alive net u
+
+(* ------------------------------------------------------------------ *)
+(* Barriers: full-state snapshots for deterministic rollback *)
+
+type barrier = {
+  b_rounds : int;
+  b_messages : int;
+  b_words : int;
+  b_messages_lost : int;
+  b_words_lost : int;
+  b_max_node_load : int;
+  b_max_edge_load : int;
+  b_boundary_words : int;
+  b_round_digest : int;
+  b_digests_rev : int list;
+  b_restore_faults : (unit -> unit) option;
+}
+
+let barrier net =
+  {
+    b_rounds = net.rounds;
+    b_messages = net.messages;
+    b_words = net.words;
+    b_messages_lost = net.messages_lost;
+    b_words_lost = net.words_lost;
+    b_max_node_load = net.max_node_load;
+    b_max_edge_load = net.max_edge_load;
+    b_boundary_words = net.boundary_words;
+    b_round_digest = net.round_digest;
+    b_digests_rev = net.digests_rev;
+    b_restore_faults = Option.map (fun h -> h.save ()) net.faults;
+  }
+
+let rollback net b =
+  net.rounds <- b.b_rounds;
+  net.messages <- b.b_messages;
+  net.words <- b.b_words;
+  net.messages_lost <- b.b_messages_lost;
+  net.words_lost <- b.b_words_lost;
+  net.max_node_load <- b.b_max_node_load;
+  net.max_edge_load <- b.b_max_edge_load;
+  net.boundary_words <- b.b_boundary_words;
+  net.round_digest <- b.b_round_digest;
+  net.digests_rev <- b.b_digests_rev;
+  match b.b_restore_faults with Some restore -> restore () | None -> ()
+
+let discarded_since net b = net.rounds - b.b_rounds
 
 (* ------------------------------------------------------------------ *)
 (* Determinism sanitizer *)

@@ -79,11 +79,24 @@ type fault_hook = {
   node_alive : int -> bool;
   deliver : src:int -> dst:int -> msg -> bool;
   reset : unit -> unit;
+  save : unit -> unit -> unit;
+      (** [save ()] snapshots the adversary's full internal state (RNG,
+          crashed nodes, killed edges, pending schedules, telemetry) and
+          returns a thunk restoring it — the adversary half of a
+          {!barrier}. A restored adversary replays the exact fault
+          decisions it made after the snapshot, which is what makes
+          {!rollback} + re-execution deterministic. *)
 }
 
 val install_faults : t -> fault_hook -> unit
 val clear_faults : t -> unit
 val has_faults : t -> bool
+
+(** [node_alive net u] consults the installed fault hook ([true] when
+    none is installed) — how live-aware protocol layers (repair, the
+    live tester) learn which nodes the adversary has crashed without
+    threading the adversary itself. *)
+val node_alive : t -> int -> bool
 
 (** {1 Rounds} *)
 
@@ -155,6 +168,38 @@ type checkpoint
 
 val checkpoint : t -> checkpoint
 val rounds_since : t -> checkpoint -> int
+
+(** {1 Barriers and rollback}
+
+    A {!barrier} is a full-state snapshot — every counter, the round
+    digest trace, and (via the fault hook's [save]) the adversary's
+    internal state. {!rollback} rewinds the network to the barrier, so a
+    {e poisoned} region (rounds corrupted by faults mid-protocol) can be
+    discarded and re-executed deterministically: the restored adversary
+    re-makes identical decisions, so re-running the identical protocol
+    region reproduces the identical telemetry ({!replay_check}'s
+    contract, applied to a region instead of a whole run).
+
+    Rollback erases the discarded rounds from the clock; honest
+    accounting of the work a recovery {e actually} performed is the
+    caller's job (see [Domtree.Reliable]'s [rounds_charged], which adds
+    {!discarded_since} back in before rolling back). Node states are
+    owned by protocol code (per-node knowledge arrays), so protocol
+    layers snapshot their own arrays alongside the barrier. *)
+
+type barrier
+
+val barrier : t -> barrier
+
+(** [rollback net b] rewinds counters, digests, and adversary state to
+    [b]. Barriers don't expire, but rolling back to [b] after a
+    [reset_stats]/[replay_reset] (which zero the clock) would resurrect
+    pre-reset telemetry — take barriers inside one run only. *)
+val rollback : t -> barrier -> unit
+
+(** Rounds elapsed since the barrier — the amount a [rollback] would
+    discard. *)
+val discarded_since : t -> barrier -> int
 
 (** {1 Determinism sanitizer}
 

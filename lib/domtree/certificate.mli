@@ -1,0 +1,89 @@
+(** Machine-checkable certificates of (possibly degraded) CDS packings.
+
+    Theorem 1.1 promises Ω(k/log n) vertex-disjoint connected dominating
+    sets. After faults and repair, some classes may be gone — what
+    remains is a {e degraded} packing, and this module makes "what
+    remains" a proof-carrying claim instead of a log line. A certificate
+    bundles
+
+    - a {b witness spanning tree} per retained class — an explicit edge
+      set over the class's live members proving its connectivity
+      structurally (no randomness, no w.h.p. caveat);
+    - {b accounting}: classes requested vs. retained vs. the repo's
+      realization of the Ω(k/log n) floor ({!target});
+    - the {b live context} it was issued for (live-node count,
+      per-node membership load).
+
+    {!check} re-validates everything from scratch against the graph and
+    the memberships the certificate claims to certify: witness trees are
+    checked edge-by-edge (real edges, inside the class, spanning,
+    acyclic by count), the retained/dropped bookkeeping is re-derived,
+    and the retained classes are re-run through the Appendix E
+    {!Tester} on the live graph — so a certificate that passes [check]
+    is sound for domination, structurally sound for connectivity, and
+    honest about how much of the paper's guarantee survived. *)
+
+type witness = {
+  w_class : int;  (** class id in the original numbering *)
+  w_vertices : int list;  (** the class's live members, sorted *)
+  w_edges : (int * int) list;
+      (** spanning-tree edges over [w_vertices], [(min,max)] sorted;
+          [length w_edges = length w_vertices - 1] *)
+}
+
+type t = {
+  c_classes_requested : int;  (** classes the decomposition attempted *)
+  c_retained : int list;  (** class ids still connected + dominating *)
+  c_dropped : int list;  (** class ids lost to faults/repair *)
+  c_witnesses : witness list;  (** one per retained class, same order *)
+  c_k : int;  (** connectivity parameter the packing targeted *)
+  c_target : int;  (** {!target} [~k ~n] at issue time *)
+  c_live : int;  (** live nodes when issued *)
+  c_max_load : int;
+      (** max number of retained-class memberships on any live node *)
+}
+
+(** [target ~k ~n] is the repository's constant realization of the
+    Ω(k/log n) floor: [max 1 (k / (3 * ceil lg n))] — the number of
+    classes below which a degraded packing no longer witnesses the
+    theorem's asymptotic promise. *)
+val target : k:int -> n:int -> int
+
+(** [build ?live g ~memberships ~classes ~k] derives a certificate: a
+    class is {e retained} iff its live members are non-empty, connected
+    in the live graph, and dominate every live node; all others are
+    dropped. Witness trees are BFS trees inside each retained class
+    (deterministic: rooted at the smallest member, neighbors scanned in
+    sorted order). *)
+val build :
+  ?live:(int -> bool) ->
+  Graphs.Graph.t ->
+  memberships:(int -> int list) ->
+  classes:int ->
+  k:int ->
+  t
+
+(** [check ?seed ?live g ~memberships cert] re-validates [cert] against
+    the graph and memberships it claims to certify. Returns [Ok ()] or
+    [Error reasons] listing every violated clause: malformed or
+    non-spanning witnesses, wrong retained/dropped bookkeeping, stale
+    accounting fields, or a Tester failure on the retained classes.
+    [seed] feeds the Tester's randomized connectivity pass. *)
+val check :
+  ?seed:int ->
+  ?live:(int -> bool) ->
+  Graphs.Graph.t ->
+  memberships:(int -> int list) ->
+  t ->
+  (unit, string list) result
+
+(** A certificate is degraded iff it retains fewer classes than
+    requested. *)
+val degraded : t -> bool
+
+(** [meets_target cert] — does the retained count still witness the
+    Ω(k/log n) floor? *)
+val meets_target : t -> bool
+
+val retained_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,27 +1,70 @@
-(** Verify-and-retry decomposition pipeline.
+(** Verify-and-recover decomposition pipeline.
 
-    {!Cds_packing} succeeds w.h.p., not always: a run can leave a class
-    disconnected. This module guards every decomposition with the
-    Appendix E {!Tester} (Lemma E.1: a broken class is detected w.h.p.,
-    a valid partition always passes) and, on detected failure, re-runs
-    the decomposition with a fresh seed under a bounded retry policy.
-    The distributed variant charges an exponential backoff to the
-    CONGEST clock between attempts, so the expected cost of flakiness
-    is measured in rounds like everything else. *)
+    {!Cds_packing} succeeds w.h.p., not always — a run can leave a
+    class disconnected — and a fault adversary can crash nodes out of a
+    packing that {e was} valid. This module guards every decomposition
+    with the Appendix E {!Tester} (Lemma E.1) and recovers from
+    detected failure under one of two policies sharing one result type:
+
+    - [`Retry] (PR 1's behaviour): throw the packing away and re-run
+      from a decorrelated fresh seed, up to [max_retries] times, with
+      exponential backoff charged to the CONGEST clock;
+    - [`Repair]: hand the broken packing to {!Repair}, which fixes only
+      the broken classes (orphan reassignment + localized fragment
+      splicing) and drops what it cannot fix; the repaired packing is
+      re-verified, and only on {e that} failing does the pipeline fall
+      back to a reseeded retry. In the distributed variant the repair
+      region runs behind a {!Congest.Net.barrier} — a failed repair is
+      rolled back (network counters, digests, adversary state) so the
+      retry re-executes deterministically, while the discarded rounds
+      remain charged.
+
+    Every result carries a {!Certificate} for whatever survived, so
+    even a degraded output (classes dropped by repair) is a
+    machine-checkable claim, not a log line.
+
+    The distributed pipeline is live-aware: the tester runs with
+    [live = Congest.Net.node_alive net], so nodes the installed
+    adversary crashed hold no memberships and owe no coverage. With no
+    adversary installed this is the identity and the PR 1 semantics are
+    unchanged.
+
+    Accounting invariant (distributed): [rounds_charged] equals the sum
+    of every attempt's [attempt_rounds] (which includes rounds consumed
+    by rolled-back repair regions) plus the backoffs charged between
+    attempts. *)
+
+type policy = [ `Retry | `Repair ]
 
 type attempt = {
   attempt_seed : int;  (** seed this attempt ran with *)
   outcome : Tester.outcome;
+      (** the attempt's final verdict — the repaired packing's retest
+          when a repair was tried, the original test otherwise *)
+  attempt_rounds : int;
+      (** CONGEST rounds this attempt consumed: packing + test + any
+          repair and retest, rolled-back rounds included; 0 for
+          centralized runs *)
+  repaired : bool;  (** a repair was attempted during this attempt *)
 }
 
 type result = {
   packing : Cds_packing.t;  (** the last attempt's packing *)
+  memberships : int list array;
+      (** final per-real-node class lists: the repaired memberships
+          when a repair verified, the packing's own (live nodes only)
+          otherwise — what the certificate certifies *)
   attempts : attempt list;  (** chronological, ≥ 1 *)
-  verified : bool;  (** the returned packing passed the tester *)
+  verified : bool;  (** the returned memberships passed the tester *)
   retries : int;  (** attempts - 1 *)
   rounds_charged : int;
-      (** distributed runs: total rounds consumed including backoff;
-          centralized runs: 0 *)
+      (** distributed: rounds consumed including backoff and
+          rolled-back repair regions; centralized: 0 *)
+  repair : Repair.t option;
+      (** the repair that produced [memberships], when one verified *)
+  certificate : Certificate.t;  (** always present, even unverified *)
+  degraded : bool;  (** fewer classes retained than requested *)
+  classes_retained : int;
 }
 
 val default_max_retries : int
@@ -29,29 +72,56 @@ val default_max_retries : int
 (** Exponential: attempt [i] idles [2^i] rounds before retrying. *)
 val default_backoff : int -> int
 
-(** [run_verified ?seed ?max_retries ?jumpstart g ~classes ~layers]:
-    centralized packing + centralized tester, retried up to
-    [max_retries] times with decorrelated fresh seeds. If every attempt
-    fails the last packing is returned with [verified = false]. *)
+(** [run_verified ?seed ?max_retries ?jumpstart ?policy ?live ?k g
+    ~classes ~layers]: centralized packing + centralized tester +
+    centralized recovery. [live] (default: everyone) restricts
+    verification and repair to the surviving subgraph. [k] (default
+    [3 * classes]) feeds the certificate's Ω(k/log n) accounting. If
+    every attempt fails, the last packing is returned with
+    [verified = false]. *)
 val run_verified :
-  ?seed:int -> ?max_retries:int -> ?jumpstart:int ->
-  Graphs.Graph.t -> classes:int -> layers:int ->
+  ?seed:int ->
+  ?max_retries:int ->
+  ?jumpstart:int ->
+  ?policy:policy ->
+  ?live:(int -> bool) ->
+  ?k:int ->
+  Graphs.Graph.t ->
+  classes:int ->
+  layers:int ->
   result
 
-(** [pack_verified ?seed ?max_retries g ~k] is {!run_verified} with the
-    default parameters for connectivity(-estimate) [k]. *)
+(** [pack_verified ?seed ?max_retries ?policy g ~k] is {!run_verified}
+    with the default parameters for connectivity(-estimate) [k]. *)
 val pack_verified :
-  ?seed:int -> ?max_retries:int -> Graphs.Graph.t -> k:int -> result
+  ?seed:int ->
+  ?max_retries:int ->
+  ?policy:policy ->
+  Graphs.Graph.t ->
+  k:int ->
+  result
 
 (** Distributed packing + distributed tester over the CONGEST runtime;
     [backoff attempt] silent rounds are charged before retry
-    [attempt + 1]. *)
+    [attempt + 1]; liveness is taken from the installed fault
+    adversary via {!Congest.Net.node_alive}. *)
 val run_verified_distributed :
-  ?seed:int -> ?max_retries:int -> ?backoff:(int -> int) -> ?jumpstart:int ->
-  Congest.Net.t -> classes:int -> layers:int ->
+  ?seed:int ->
+  ?max_retries:int ->
+  ?backoff:(int -> int) ->
+  ?jumpstart:int ->
+  ?policy:policy ->
+  ?k:int ->
+  Congest.Net.t ->
+  classes:int ->
+  layers:int ->
   result
 
 val pack_verified_distributed :
-  ?seed:int -> ?max_retries:int -> ?backoff:(int -> int) ->
-  Congest.Net.t -> k:int ->
+  ?seed:int ->
+  ?max_retries:int ->
+  ?backoff:(int -> int) ->
+  ?policy:policy ->
+  Congest.Net.t ->
+  k:int ->
   result

@@ -14,9 +14,12 @@ let default_detection_rounds ~n =
 (* ------------------------------------------------------------------ *)
 (* Distributed tester *)
 
-let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
+let run_distributed ?(seed = 11) ?(live = fun _ -> true) net ~memberships
+    ~classes ~detection_rounds =
   let n = Net.n net in
   let rng = Random.State.make [| seed; n; classes |] in
+  (* a crashed node holds no memberships and owes no coverage *)
+  let memberships r = if live r then memberships r else [] in
   (* 0. the standard O(D) preprocessing gives a diameter bound for the
         failure-flag floods *)
   let tree = Congest.Primitives.bfs_tree net ~root:0 in
@@ -25,10 +28,12 @@ let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
   let received = Multiflood.membership_sweep net ~memberships ~payload:(fun _ _ -> []) in
   let domination_ok = ref true in
   for r = 0 to n - 1 do
-    let seen = Array.make classes false in
-    List.iter (fun i -> seen.(i) <- true) (memberships r);
-    List.iter (fun (_, i, _) -> seen.(i) <- true) received.(r);
-    if not (Array.for_all (fun b -> b) seen) then domination_ok := false
+    if live r then begin
+      let seen = Array.make classes false in
+      List.iter (fun i -> seen.(i) <- true) (memberships r);
+      List.iter (fun (_, i, _) -> seen.(i) <- true) received.(r);
+      if not (Array.for_all (fun b -> b) seen) then domination_ok := false
+    end
   done;
   if not !domination_ok then begin
     (* 'domination-failure' flood: Θ(D) rounds *)
@@ -71,10 +76,11 @@ let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
           [ cid r i ])
     in
     for r = 0 to n - 1 do
-      List.iter
-        (fun (_, i, payload) ->
-          match payload with [ c ] -> note r 0 i c | _ -> ())
-        received.(r)
+      if live r then
+        List.iter
+          (fun (_, i, payload) ->
+            match payload with [ c ] -> note r 0 i c | _ -> ())
+          received.(r)
     done;
     (* 4. random announcement rounds (Lemma E.1's detector-path process) *)
     for round = 1 to detection_rounds do
@@ -95,7 +101,8 @@ let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
             | None -> None)
       in
       for r = 0 to n - 1 do
-        List.iter (fun (_, m) -> note r round m.(0) m.(1)) inboxes.(r)
+        if live r then
+          List.iter (fun (_, m) -> note r round m.(0) m.(1)) inboxes.(r)
       done
     done;
     (* 5. failure-flag flood: Θ(D) rounds *)
@@ -113,9 +120,11 @@ let run_distributed ?(seed = 11) net ~memberships ~classes ~detection_rounds =
 (* ------------------------------------------------------------------ *)
 (* Centralized tester: same process without the message-passing layer *)
 
-let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
+let run_centralized ?(seed = 11) ?(live = fun _ -> true) g ~memberships
+    ~classes ~detection_rounds =
   let n = Graph.n g in
   let rng = Random.State.make [| seed; n; classes |] in
+  let memberships r = if live r then memberships r else [] in
   let member = Array.make_matrix classes n false in
   for r = 0 to n - 1 do
     List.iter (fun i -> member.(i).(r) <- true) (memberships r)
@@ -123,13 +132,14 @@ let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
   (* domination *)
   let domination_ok = ref true in
   for r = 0 to n - 1 do
-    for i = 0 to classes - 1 do
-      let covered =
-        member.(i).(r)
-        || Array.exists (fun u -> member.(i).(u)) (Graph.neighbors g r)
-      in
-      if not covered then domination_ok := false
-    done
+    if live r then
+      for i = 0 to classes - 1 do
+        let covered =
+          member.(i).(r)
+          || Array.exists (fun u -> member.(i).(u)) (Graph.neighbors g r)
+        in
+        if not covered then domination_ok := false
+      done
   done;
   if not !domination_ok then
     {
@@ -158,10 +168,12 @@ let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
       | Some c' -> if c' <> c then detect_at round
     in
     for r = 0 to n - 1 do
-      List.iter (fun i -> note r 0 i (cid r i)) (memberships r);
-      Array.iter
-        (fun u -> List.iter (fun i -> note r 0 i (cid u i)) (memberships u))
-        (Graph.neighbors g r)
+      if live r then begin
+        List.iter (fun i -> note r 0 i (cid r i)) (memberships r);
+        Array.iter
+          (fun u -> List.iter (fun i -> note r 0 i (cid u i)) (memberships u))
+          (Graph.neighbors g r)
+      end
     done;
     for round = 1 to detection_rounds do
       let choice =
@@ -175,12 +187,13 @@ let run_centralized ?(seed = 11) g ~memberships ~classes ~detection_rounds =
             | _ -> Some (List.nth ks (Random.State.int rng (List.length ks))))
       in
       for r = 0 to n - 1 do
-        Array.iter
-          (fun u ->
-            match choice.(u) with
-            | Some (i, c) -> note r round i c
-            | None -> ())
-          (Graph.neighbors g r)
+        if live r then
+          Array.iter
+            (fun u ->
+              match choice.(u) with
+              | Some (i, c) -> note r round i c
+              | None -> ())
+            (Graph.neighbors g r)
       done
     done;
     let connectivity_ok = !detection = None in

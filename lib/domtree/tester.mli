@@ -24,22 +24,32 @@ type outcome = {
       (** first random round at which a disconnect was detected *)
 }
 
-(** [run_distributed ?seed net ~memberships ~classes ~detection_rounds]
-    executes the test over the CONGEST runtime (rounds are charged,
-    including the final Θ(D) failure-flag flood). *)
+(** [run_distributed ?seed ?live net ~memberships ~classes
+    ~detection_rounds] executes the test over the CONGEST runtime
+    (rounds are charged, including the final Θ(D) failure-flag flood).
+
+    [live] (default: everyone) restricts the test to the surviving
+    graph: a node with [live r = false] holds no memberships, owes no
+    coverage (nobody must dominate the dead), and observes nothing —
+    the semantics under which a {e degraded} packing can still be
+    verified after crashes. Defaulting [live] from
+    [Congest.Net.node_alive] tests against the installed adversary's
+    crash set. *)
 val run_distributed :
   ?seed:int ->
+  ?live:(int -> bool) ->
   Congest.Net.t ->
   memberships:(int -> int list) ->
   classes:int ->
   detection_rounds:int ->
   outcome
 
-(** [run_centralized ?seed g ~memberships ~classes ~detection_rounds] is
-    the O(m log n)-step centralized counterpart simulating the same
-    random process. *)
+(** [run_centralized ?seed ?live g ~memberships ~classes
+    ~detection_rounds] is the O(m log n)-step centralized counterpart
+    simulating the same random process, with the same [live] semantics. *)
 val run_centralized :
   ?seed:int ->
+  ?live:(int -> bool) ->
   Graphs.Graph.t ->
   memberships:(int -> int list) ->
   classes:int ->

@@ -252,6 +252,94 @@ let test_invalid_drop_probability () =
     (Invalid_argument "Faults.create: drop probability outside [0,1]")
     (fun () -> ignore (F.create [ F.Drop_bernoulli 1.5 ]))
 
+let storm_spec =
+  F.Crash_storm { from_round = 2; per_round = 2; storm_rounds = 3; universe = 8 }
+
+let test_crash_storm_determinism () =
+  let run () =
+    let g = Gen.clique 8 in
+    let net = vnet g in
+    let faults = F.create ~seed:21 [ storm_spec ] in
+    F.install net faults;
+    for _ = 1 to 8 do
+      ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+    done;
+    (F.crashed_nodes faults, net_fingerprint net)
+  in
+  Alcotest.(check bool) "same seed, same storm" true (run () = run ())
+
+let test_crash_storm_bounds () =
+  let g = Gen.clique 8 in
+  let net = vnet g in
+  let faults = F.create ~seed:21 [ storm_spec ] in
+  F.install net faults;
+  (* before the storm window opens, nobody dies *)
+  ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]));
+  ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]));
+  Alcotest.(check (list int)) "quiet before from_round" []
+    (F.crashed_nodes faults);
+  for _ = 1 to 8 do
+    ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+  done;
+  let crashed = F.crashed_nodes faults in
+  (* per_round victims are drawn per storm round; redraws of an already
+     dead victim are no-ops, so the count is an upper bound *)
+  Alcotest.(check bool) "at most per_round * storm_rounds victims" true
+    (List.length crashed <= 2 * 3);
+  Alcotest.(check bool) "at least one victim" true (crashed <> []);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "victim within universe" true (v >= 0 && v < 8))
+    crashed;
+  (* storm window closed: further rounds kill nobody new *)
+  for _ = 1 to 4 do
+    ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+  done;
+  Alcotest.(check (list int)) "storm over" crashed (F.crashed_nodes faults)
+
+let test_barrier_rollback_deterministic () =
+  let g = Gen.random_connected (rng ()) ~n:12 ~extra:8 in
+  let net = vnet g in
+  let faults =
+    F.create ~seed:5
+      [
+        F.Drop_bernoulli 0.2;
+        F.Crash_storm
+          { from_round = 4; per_round = 1; storm_rounds = 2; universe = 12 };
+      ]
+  in
+  F.install net faults;
+  (* prefix: run into the middle of the fault schedule *)
+  for _ = 1 to 3 do
+    ignore (Congest.Net.broadcast_round net (fun u -> Some [| u |]))
+  done;
+  let b = Congest.Net.barrier net in
+  let crashed_at_barrier = F.crashed_nodes faults in
+  let segment () =
+    for _ = 1 to 5 do
+      ignore (Congest.Net.broadcast_round net (fun _ -> Some (Array.make 2 7)))
+    done;
+    Congest.Net.telemetry net
+  in
+  let t1 = segment () in
+  Alcotest.(check int) "discarded_since counts the segment" 5
+    (Congest.Net.discarded_since net b);
+  Congest.Net.rollback net b;
+  Alcotest.(check int) "clock rewound" 3 (Congest.Net.rounds net);
+  Alcotest.(check (list int)) "crash set restored" crashed_at_barrier
+    (F.crashed_nodes faults);
+  (* the restored adversary replays the exact fault pattern: the
+     re-executed segment is bit-identical *)
+  let t2 = segment () in
+  Alcotest.(check (list string)) "re-execution bit-identical" []
+    (Congest.Net.diff_telemetry t1 t2);
+  (* a barrier survives multiple rollbacks (the restore thunk is
+     reusable) *)
+  Congest.Net.rollback net b;
+  let t3 = segment () in
+  Alcotest.(check (list string)) "second rollback identical too" []
+    (Congest.Net.diff_telemetry t1 t3)
+
 (* ------------------------------------------------------------------ *)
 (* Primitives *)
 
@@ -720,6 +808,12 @@ let () =
             test_reset_stats_contract;
           Alcotest.test_case "invalid drop probability" `Quick
             test_invalid_drop_probability;
+          Alcotest.test_case "crash storm determinism" `Quick
+            test_crash_storm_determinism;
+          Alcotest.test_case "crash storm bounds" `Quick
+            test_crash_storm_bounds;
+          Alcotest.test_case "barrier rollback deterministic" `Quick
+            test_barrier_rollback_deterministic;
         ] );
       qsuite "faults.props" [ prop_null_adversary_bit_identical ];
       ( "primitives",

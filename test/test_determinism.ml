@@ -94,6 +94,31 @@ let test_replay_catches_smuggled_state () =
   Alcotest.(check bool) "divergence names a field" true
     (match r.Net.r_divergence with Some d -> String.length d > 0 | None -> false)
 
+let test_replay_repair_pipeline_under_storm () =
+  (* the full self-healing pipeline — packing, tester, barrier'd repair
+     with rollback on failure, retest — must be a pure function of its
+     seed even while a crash storm rages *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let faults =
+    Congest.Faults.create ~seed:13
+      [
+        Congest.Faults.Crash_storm
+          { from_round = 5; per_round = 1; storm_rounds = 3; universe = 48 };
+      ]
+  in
+  Congest.Faults.install net faults;
+  let r =
+    Net.replay_check net (fun net ->
+        ignore
+          (Domtree.Reliable.pack_verified_distributed ~seed:11 ~policy:`Repair
+             net ~k:8))
+  in
+  Alcotest.(check bool) "repair pipeline deterministic" true
+    (Net.deterministic r);
+  Alcotest.(check bool) "storm was active" true
+    (r.Net.r_second.Net.t_messages_lost > 0)
+
 let test_diff_telemetry_localizes_round () =
   let g = Gen.cycle 8 in
   let net = vnet g in
@@ -181,6 +206,8 @@ let () =
           Alcotest.test_case "reset contracts" `Quick test_reset_contracts;
           Alcotest.test_case "catches smuggled state" `Quick
             test_replay_catches_smuggled_state;
+          Alcotest.test_case "repair pipeline under storm" `Quick
+            test_replay_repair_pipeline_under_storm;
           Alcotest.test_case "diff localizes round" `Quick
             test_diff_telemetry_localizes_round;
         ] );

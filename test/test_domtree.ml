@@ -848,6 +848,330 @@ let test_reliable_distributed_backoff () =
     r.Reliable.rounds_charged
 
 (* ------------------------------------------------------------------ *)
+(* Reliable edge cases *)
+
+let test_reliable_max_retries_zero () =
+  (* max_retries = 0: exactly one attempt, no retry even on failure *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let r = Reliable.run_verified ~seed:7 ~max_retries:0 g ~classes:10 ~layers:2 in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check int) "single attempt" 1 (List.length r.Reliable.attempts);
+  Alcotest.(check int) "no retries" 0 r.Reliable.retries
+
+let test_reliable_all_fail_keeps_last_packing () =
+  (* every attempt fails: the last packing is returned, and the result's
+     memberships are exactly that packing's live view *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let r =
+    Reliable.run_verified ~seed:7 ~max_retries:2 g ~classes:10 ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check int) "attempts" 3 (List.length r.Reliable.attempts);
+  let per_real = Cds_packing.real_classes r.Reliable.packing in
+  Array.iteri
+    (fun v ls ->
+      Alcotest.(check (list int))
+        "memberships mirror the last packing" (List.sort_uniq compare per_real.(v))
+        ls)
+    r.Reliable.memberships
+
+let test_reliable_rounds_exact_accounting () =
+  (* rounds_charged = sum of attempt rounds + sum of backoffs, exactly *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let r =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:2 net ~classes:10
+      ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  let attempt_sum =
+    List.fold_left (fun a x -> a + x.Reliable.attempt_rounds) 0
+      r.Reliable.attempts
+  in
+  let backoff_sum =
+    (* backoff fires after each failed attempt except the last *)
+    List.init r.Reliable.retries Reliable.default_backoff
+    |> List.fold_left ( + ) 0
+  in
+  Alcotest.(check int) "rounds = attempts + backoffs"
+    (attempt_sum + backoff_sum) r.Reliable.rounds_charged;
+  Alcotest.(check int) "clock delta matches" (Congest.Net.rounds net)
+    r.Reliable.rounds_charged
+
+(* ------------------------------------------------------------------ *)
+(* Repair *)
+
+let test_repair_fixes_split_class () =
+  (* class 0 is dominating but split in two fragments at distance 3:
+     repair must splice it without touching the healthy class 1 *)
+  let g, memberships = split_class_instance () in
+  let rep = Repair.run_centralized g ~memberships ~classes:2 in
+  Alcotest.(check bool) "class 0 repaired" true
+    (rep.Repair.r_status.(0) = Repair.Repaired);
+  Alcotest.(check bool) "class 1 healthy" true
+    (rep.Repair.r_status.(1) = Repair.Healthy);
+  Alcotest.(check (list int)) "both retained" [ 0; 1 ] rep.Repair.r_retained;
+  Alcotest.(check bool) "splices happened" true (rep.Repair.r_splices > 0);
+  let o =
+    Tester.run_centralized g
+      ~memberships:(fun r -> rep.Repair.r_memberships.(r))
+      ~classes:2 ~detection_rounds:24
+  in
+  Alcotest.(check bool) "repaired packing passes the tester" true
+    o.Tester.pass
+
+let test_repair_distributed_matches_and_charges () =
+  let g, memberships = split_class_instance () in
+  let net = vnet g in
+  let rep = Repair.run_distributed net ~memberships ~classes:2 in
+  Alcotest.(check (list int)) "both retained" [ 0; 1 ] rep.Repair.r_retained;
+  Alcotest.(check bool) "rounds charged" true (rep.Repair.r_rounds > 0);
+  Alcotest.(check int) "rounds match the clock" (Congest.Net.rounds net)
+    rep.Repair.r_rounds;
+  let o =
+    Tester.run_centralized g
+      ~memberships:(fun r -> rep.Repair.r_memberships.(r))
+      ~classes:2 ~detection_rounds:24
+  in
+  Alcotest.(check bool) "repaired packing passes the tester" true o.Tester.pass
+
+let test_repair_healthy_untouched () =
+  (* a valid packing must come back byte-identical: no orphans, no
+     splices, every class Healthy *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let rep =
+    Repair.run_centralized g
+      ~memberships:(fun r -> per_real.(r))
+      ~classes:res.Cds_packing.classes
+  in
+  Alcotest.(check int) "no orphans" 0 rep.Repair.r_orphans;
+  Alcotest.(check int) "no splices" 0 rep.Repair.r_splices;
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "healthy" true (s = Repair.Healthy))
+    rep.Repair.r_status;
+  Array.iteri
+    (fun v ls ->
+      Alcotest.(check (list int))
+        "memberships unchanged" (List.sort_uniq compare per_real.(v)) ls)
+    rep.Repair.r_memberships
+
+let test_repair_under_crashes () =
+  (* crash a handful of nodes out of a verified packing; repair must
+     yield classes that pass the live tester *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let victims = [ 3; 17; 29 ] in
+  let live u = not (List.mem u victims) in
+  let rep =
+    Repair.run_centralized ~live g
+      ~memberships:(fun r -> per_real.(r))
+      ~classes:res.Cds_packing.classes
+  in
+  Alcotest.(check bool) "something retained" true
+    (rep.Repair.r_retained <> []);
+  List.iter
+    (fun v ->
+      Alcotest.(check (list int)) "victims hold nothing" []
+        rep.Repair.r_memberships.(v))
+    victims;
+  (* retest the retained classes, remapped, on the live graph *)
+  let retained = rep.Repair.r_retained in
+  let idx = Array.make res.Cds_packing.classes (-1) in
+  List.iteri (fun j i -> idx.(i) <- j) retained;
+  let memfn r =
+    List.filter_map
+      (fun i -> if idx.(i) >= 0 then Some idx.(i) else None)
+      rep.Repair.r_memberships.(r)
+  in
+  let o =
+    Tester.run_centralized ~live g ~memberships:memfn
+      ~classes:(List.length retained) ~detection_rounds:24
+  in
+  Alcotest.(check bool) "retained classes pass the live tester" true
+    o.Tester.pass
+
+let test_repair_drops_unfixable () =
+  (* kill the whole middle block of a 3-block clique path: the live
+     graph is disconnected, so no class can stay a connected dominating
+     set — graceful degradation must drop them all, not loop *)
+  let k = 6 in
+  let g = Gen.clique_path ~k ~len:3 in
+  let memberships v = if v / k = 1 then [ 1 ] else [ 0; 1 ] in
+  let live v = v / k <> 1 in
+  let rep = Repair.run_centralized ~live g ~memberships ~classes:2 in
+  Alcotest.(check (list int)) "all dropped" [ 0; 1 ] rep.Repair.r_dropped;
+  Alcotest.(check (list int)) "nothing retained" [] rep.Repair.r_retained;
+  Array.iter
+    (fun ls -> Alcotest.(check (list int)) "memberships emptied" [] ls)
+    rep.Repair.r_memberships
+
+(* ------------------------------------------------------------------ *)
+(* Certificates *)
+
+let test_certificate_valid_roundtrip () =
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let memfn r = per_real.(r) in
+  let cert =
+    Certificate.build g ~memberships:memfn ~classes:res.Cds_packing.classes
+      ~k:8
+  in
+  Alcotest.(check int) "all classes retained" res.Cds_packing.classes
+    (Certificate.retained_count cert);
+  Alcotest.(check bool) "not degraded" false (Certificate.degraded cert);
+  Alcotest.(check bool) "meets the floor" true (Certificate.meets_target cert);
+  match Certificate.check g ~memberships:memfn cert with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "check rejected: %s" (String.concat "; " es)
+
+let test_certificate_rejects_mutations () =
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let memfn r = per_real.(r) in
+  let cert =
+    Certificate.build g ~memberships:memfn ~classes:res.Cds_packing.classes
+      ~k:8
+  in
+  let rejects label cert' =
+    match Certificate.check g ~memberships:memfn cert' with
+    | Ok () -> Alcotest.failf "%s: mutation accepted" label
+    | Error _ -> ()
+  in
+  (* a witness loses an edge: no longer spanning *)
+  (match cert.Certificate.c_witnesses with
+  | w :: rest ->
+    rejects "edge removed"
+      {
+        cert with
+        Certificate.c_witnesses =
+          { w with Certificate.w_edges = List.tl w.Certificate.w_edges }
+          :: rest;
+      }
+  | [] -> Alcotest.fail "no witnesses");
+  (* claim a class retained that the memberships do not support *)
+  rejects "phantom class"
+    {
+      cert with
+      Certificate.c_retained =
+        cert.Certificate.c_retained @ [ cert.Certificate.c_classes_requested ];
+      Certificate.c_classes_requested = cert.Certificate.c_classes_requested + 1;
+    };
+  (* dishonest accounting *)
+  rejects "wrong load"
+    { cert with Certificate.c_max_load = cert.Certificate.c_max_load + 1 };
+  rejects "wrong live count"
+    { cert with Certificate.c_live = cert.Certificate.c_live - 1 }
+
+let test_certificate_degraded_accounting () =
+  (* certify a repair that dropped nothing vs. one after crashes *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let res = Cds_packing.pack ~seed:7 g ~k:8 in
+  let per_real = Cds_packing.real_classes res in
+  let victims = [ 3; 17; 29 ] in
+  let live u = not (List.mem u victims) in
+  let rep =
+    Repair.run_centralized ~live g
+      ~memberships:(fun r -> per_real.(r))
+      ~classes:res.Cds_packing.classes
+  in
+  let memfn r = rep.Repair.r_memberships.(r) in
+  let cert =
+    Certificate.build ~live g ~memberships:memfn
+      ~classes:res.Cds_packing.classes ~k:8
+  in
+  Alcotest.(check int) "cert agrees with repair on retained classes"
+    (List.length rep.Repair.r_retained)
+    (Certificate.retained_count cert);
+  Alcotest.(check int) "live count" (48 - List.length victims)
+    cert.Certificate.c_live;
+  (match Certificate.check ~live g ~memberships:memfn cert with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "check rejected: %s" (String.concat "; " es));
+  (* the degraded flag tracks retained < requested *)
+  Alcotest.(check bool) "degraded iff classes were dropped"
+    (rep.Repair.r_dropped <> [])
+    (Certificate.degraded cert)
+
+(* ------------------------------------------------------------------ *)
+(* Repair policy end-to-end *)
+
+let test_reliable_repair_policy_rescues () =
+  (* 10 classes on a k=8 graph always fails the tester; the `Repair
+     policy fixes it in-place (connectors may overlap) instead of
+     burning every retry *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let r =
+    Reliable.run_verified ~seed:7 ~max_retries:3 ~policy:`Repair g ~classes:10
+      ~layers:2
+  in
+  Alcotest.(check bool) "verified via repair" true r.Reliable.verified;
+  Alcotest.(check bool) "repair recorded" true (r.Reliable.repair <> None);
+  Alcotest.(check bool) "last attempt repaired" true
+    (match List.rev r.Reliable.attempts with
+    | a :: _ -> a.Reliable.repaired
+    | [] -> false);
+  match
+    Certificate.check g
+      ~memberships:(fun v -> r.Reliable.memberships.(v))
+      r.Reliable.certificate
+  with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "certificate rejected: %s" (String.concat "; " es)
+
+let test_reliable_repair_cheaper_than_retry () =
+  (* same failing configuration, same seeds: the repair policy must
+     verify, and in no more rounds than the retry policy burns *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let run policy =
+    let net = vnet g in
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:2 ~policy net
+      ~classes:10 ~layers:2
+  in
+  let retry = run `Retry in
+  let repair = run `Repair in
+  Alcotest.(check bool) "retry exhausts unverified" false
+    retry.Reliable.verified;
+  Alcotest.(check bool) "repair verifies" true repair.Reliable.verified;
+  Alcotest.(check bool)
+    (Printf.sprintf "repair rounds (%d) <= retry rounds (%d)"
+       repair.Reliable.rounds_charged retry.Reliable.rounds_charged)
+    true
+    (repair.Reliable.rounds_charged <= retry.Reliable.rounds_charged)
+
+let test_reliable_repair_under_storm () =
+  (* a seeded crash storm mid-run: the repair policy must converge to a
+     verified (possibly degraded) packing whose certificate checks out
+     against the live graph *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let faults =
+    Congest.Faults.create ~seed:3
+      [
+        Congest.Faults.Crash_storm
+          { from_round = 5; per_round = 1; storm_rounds = 3; universe = 48 };
+      ]
+  in
+  Congest.Faults.install net faults;
+  let r = Reliable.pack_verified_distributed ~seed:7 ~policy:`Repair net ~k:8 in
+  Alcotest.(check bool) "verified under the storm" true r.Reliable.verified;
+  Alcotest.(check bool) "some nodes actually died" true
+    (Congest.Faults.crashes faults > 0);
+  let live u = Congest.Faults.alive faults u in
+  match
+    Certificate.check ~live g
+      ~memberships:(fun v -> r.Reliable.memberships.(v))
+      r.Reliable.certificate
+  with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "certificate rejected: %s" (String.concat "; " es)
+
+(* ------------------------------------------------------------------ *)
 (* Distributed packing *)
 
 let test_dist_pack_valid () =
@@ -1060,6 +1384,40 @@ let () =
             test_reliable_distributed_charges_rounds;
           Alcotest.test_case "distributed backoff" `Quick
             test_reliable_distributed_backoff;
+          Alcotest.test_case "max_retries = 0" `Quick
+            test_reliable_max_retries_zero;
+          Alcotest.test_case "all-fail keeps last packing" `Quick
+            test_reliable_all_fail_keeps_last_packing;
+          Alcotest.test_case "exact rounds accounting" `Quick
+            test_reliable_rounds_exact_accounting;
+          Alcotest.test_case "repair policy rescues" `Quick
+            test_reliable_repair_policy_rescues;
+          Alcotest.test_case "repair cheaper than retry" `Quick
+            test_reliable_repair_cheaper_than_retry;
+          Alcotest.test_case "repair under crash storm" `Quick
+            test_reliable_repair_under_storm;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "fixes split class" `Quick
+            test_repair_fixes_split_class;
+          Alcotest.test_case "distributed matches and charges" `Quick
+            test_repair_distributed_matches_and_charges;
+          Alcotest.test_case "healthy untouched" `Quick
+            test_repair_healthy_untouched;
+          Alcotest.test_case "repairs after crashes" `Quick
+            test_repair_under_crashes;
+          Alcotest.test_case "drops unfixable classes" `Quick
+            test_repair_drops_unfixable;
+        ] );
+      ( "certificate",
+        [
+          Alcotest.test_case "valid roundtrip" `Quick
+            test_certificate_valid_roundtrip;
+          Alcotest.test_case "rejects mutations" `Quick
+            test_certificate_rejects_mutations;
+          Alcotest.test_case "degraded accounting" `Quick
+            test_certificate_degraded_accounting;
         ] );
       ( "dist_packing",
         [
