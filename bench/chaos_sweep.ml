@@ -21,14 +21,17 @@
    - wherever both policies verify, `Repair must charge no more rounds
      than `Retry — the point of incremental repair.
 
-   Deterministic for a fixed seed. *)
+   Deterministic for a fixed seed. The grid is 4 families x 4 schedules;
+   each cell is one self-contained Exec.Job (it rebuilds its family by
+   name and re-runs calibration inside the closure, so a warm cache
+   skips every bit of computation). The two grid invariants are checked
+   after the pool drains, from the structured meta facts each cell
+   returns — they need the whole grid, so they cannot live inside any
+   single job. *)
 
 module Faults = Congest.Faults
 module Reliable = Domtree.Reliable
 module Certificate = Domtree.Certificate
-
-let header title =
-  Format.printf "@.%s@.%s@." title (String.make (String.length title) '-')
 
 type family = {
   fam : string;
@@ -37,23 +40,30 @@ type family = {
   cut : int list option;  (** a minimum vertex cut, when one is known *)
 }
 
-let families ~n ~k =
-  let mk fam graph k = { fam; graph; k; cut = Graphs.Connectivity.min_vertex_cut graph } in
-  let lowerbound =
+let family_names = [ "harary"; "hypercube"; "clique_path"; "lowerbound" ]
+
+(* Rebuild one family from its name — called inside job closures so each
+   cell owns its graph. Deterministic: the lowerbound instance derives
+   from a fixed-seed state. *)
+let family_of_name ~n ~k name =
+  let mk fam graph k =
+    { fam; graph; k; cut = Graphs.Connectivity.min_vertex_cut graph }
+  in
+  match name with
+  | "harary" -> mk "harary" (Graphs.Gen.harary ~k ~n) k
+  | "hypercube" -> mk "hypercube" (Graphs.Gen.hypercube 5) 5
+  | "clique_path" -> mk "clique_path" (Graphs.Gen.clique_path ~k:6 ~len:6) 6
+  | "lowerbound" ->
     (* Appendix G graph on an intersecting instance: Lemma G.4 pins the
        minimum cut at exactly {a, b, u_z, v_z} *)
     let rng = Random.State.make [| 5 |] in
-    let inst = Lowerbound.Disjointness.random_intersecting rng ~h:4 ~density:0.5 in
+    let inst =
+      Lowerbound.Disjointness.random_intersecting rng ~h:4 ~density:0.5
+    in
     let c = Lowerbound.Construction.build inst ~ell:1 ~w:4 in
     let vc, cut = Lowerbound.Construction.cut_dichotomy c in
     { fam = "lowerbound"; graph = c.Lowerbound.Construction.graph; k = vc; cut }
-  in
-  [
-    mk "harary" (Graphs.Gen.harary ~k ~n) k;
-    mk "hypercube" (Graphs.Gen.hypercube 5) 5;
-    mk "clique_path" (Graphs.Gen.clique_path ~k:6 ~len:6) 6;
-    lowerbound;
-  ]
+  | other -> invalid_arg ("chaos family: " ^ other)
 
 (* A calibration run of the first attempt's packing, fault-free. Faults
    scheduled {e after} its round count land inside the verification
@@ -106,31 +116,28 @@ let orphan_kills ~after g per_real =
     [ Faults.Crash_at (List.map (fun u -> (after, u)) cover) ]
   | None -> []
 
-let schedules ~after ~per_real f =
+let schedule_names = [ "storm"; "mincut"; "orphan"; "attrition" ]
+
+let schedule_of_name ~after ~per_real f name =
   let n = Graphs.Graph.n f.graph in
-  let storm =
+  match name with
+  | "storm" ->
     [
       Faults.Crash_storm
         { from_round = after; per_round = 4; storm_rounds = 3; universe = n };
     ]
-  in
-  let mincut =
+  | "mincut" -> (
     match f.cut with
     | None | Some ([] | [ _ ]) -> []
     | Some (_keep :: rest) ->
-      [ Faults.Crash_at (List.mapi (fun i v -> (after + (2 * i), v)) rest) ]
-  in
-  let orphan = orphan_kills ~after f.graph per_real in
-  let attrition =
+      [ Faults.Crash_at (List.mapi (fun i v -> (after + (2 * i), v)) rest) ])
+  | "orphan" -> orphan_kills ~after f.graph per_real
+  | "attrition" ->
     [
       Faults.Greedy_edge_kill { budget = f.k; period = 1; from_round = after };
       Faults.Drop_bernoulli 0.01;
     ]
-  in
-  [
-    ("storm", storm); ("mincut", mincut); ("orphan", orphan);
-    ("attrition", attrition);
-  ]
+  | other -> invalid_arg ("chaos schedule: " ^ other)
 
 type cell = {
   verified : bool;
@@ -172,59 +179,116 @@ let run_cell ~seed f specs policy =
     cert_ok;
   }
 
-let sweep ?(n = 48) ?(k = 8) ?(seed = 11) ?csv () =
-  header
-    (Printf.sprintf
-       "F3  chaos harness: repair vs retry under adversary schedules (n=%d \
-        k=%d seed=%d)"
-       n k seed);
-  Format.printf "%-12s %-10s %-7s | %5s %7s %9s %8s %7s %5s %5s@." "family"
-    "schedule" "policy" "ok" "rounds" "retained" "attempts" "crashes" "degr"
-    "cert";
-  let violations = ref [] in
+let csv_header =
+  "family,schedule,policy,verified,rounds,retained,requested,attempts,crashes,degraded,cert_ok"
+
+(* One chaos cell: both policies on one (family, schedule) pair. An
+   empty schedule (e.g. a missing min cut) yields an empty payload with
+   meta empty=true, so the post-run checks skip it. *)
+let cell_job ~n ~k ~seed fname sname =
+  Exec.Sweep.Job
+    (Exec.Job.make ~algo:"chaos"
+       ~params:
+         [
+           ("family", fname);
+           ("schedule", sname);
+           ("n", string_of_int n);
+           ("k", string_of_int k);
+         ]
+       ~seed
+       (fun () ->
+         let f = family_of_name ~n ~k fname in
+         let rounds, per_real = calibrate ~seed f in
+         let after = rounds + 2 in
+         let specs = schedule_of_name ~after ~per_real f sname in
+         if specs = [] then Exec.Job.payload ~meta:[ ("empty", "true") ] ""
+         else begin
+           let retry = run_cell ~seed f specs `Retry in
+           let repair = run_cell ~seed f specs `Repair in
+           let b = Buffer.create 256 in
+           let ppf = Format.formatter_of_buffer b in
+           let rows =
+             List.map
+               (fun (pname, c) ->
+                 Format.fprintf ppf
+                   "%-12s %-10s %-7s | %5b %7d %6d/%-2d %8d %7d %5b %5b@."
+                   f.fam sname pname c.verified c.rounds c.retained c.requested
+                   c.attempts c.crashes c.degraded c.cert_ok;
+                 Printf.sprintf "%s,%s,%s,%b,%d,%d,%d,%d,%d,%b,%b" f.fam sname
+                   pname c.verified c.rounds c.retained c.requested c.attempts
+                   c.crashes c.degraded c.cert_ok)
+               [ ("retry", retry); ("repair", repair) ]
+           in
+           Format.pp_print_flush ppf ();
+           Exec.Job.payload ~rows
+             ~meta:
+               [
+                 ("family", f.fam);
+                 ("schedule", sname);
+                 ("retry_verified", string_of_bool retry.verified);
+                 ("repair_verified", string_of_bool repair.verified);
+                 ("retry_rounds", string_of_int retry.rounds);
+                 ("repair_rounds", string_of_int repair.rounds);
+                 ("retry_cert_ok", string_of_bool retry.cert_ok);
+                 ("repair_cert_ok", string_of_bool repair.cert_ok);
+               ]
+             (Buffer.contents b)
+         end))
+
+let items ?(n = 48) ?(k = 8) ?(seed = 11) () =
+  let text = Exec.Sweep.text in
+  let title =
+    Printf.sprintf
+      "F3  chaos harness: repair vs retry under adversary schedules (n=%d \
+       k=%d seed=%d)"
+      n k seed
+  in
+  text "@.%s@.%s@." title (String.make (String.length title) '-')
+  :: text "%-12s %-10s %-7s | %5s %7s %9s %8s %7s %5s %5s@." "family"
+       "schedule" "policy" "ok" "rounds" "retained" "attempts" "crashes"
+       "degr" "cert"
+  :: List.concat_map
+       (fun fname ->
+         List.map (fun sname -> cell_job ~n ~k ~seed fname sname)
+           schedule_names)
+       family_names
+
+(* The grid invariants, reconstructed from each cell's meta facts. *)
+let check_invariants outcomes =
   let cert_failures = ref [] in
-  Csv_export.with_artifact ?path:csv
-    ~header:
-      "family,schedule,policy,verified,rounds,retained,requested,attempts,crashes,degraded,cert_ok"
-    (fun emit ->
-      List.iter
-        (fun f ->
-          let rounds, per_real = calibrate ~seed f in
-          let after = rounds + 2 in
-          List.iter
-            (fun (sname, specs) ->
-              if specs <> [] then begin
-                let retry = run_cell ~seed f specs `Retry in
-                let repair = run_cell ~seed f specs `Repair in
-                List.iter
-                  (fun (pname, c) ->
-                    Format.printf
-                      "%-12s %-10s %-7s | %5b %7d %6d/%-2d %8d %7d %5b %5b@."
-                      f.fam sname pname c.verified c.rounds c.retained
-                      c.requested c.attempts c.crashes c.degraded c.cert_ok;
-                    emit
-                      (Printf.sprintf "%s,%s,%s,%b,%d,%d,%d,%d,%d,%b,%b" f.fam
-                         sname pname c.verified c.rounds c.retained c.requested
-                         c.attempts c.crashes c.degraded c.cert_ok);
-                    if not c.cert_ok then
-                      cert_failures := (f.fam, sname, pname) :: !cert_failures)
-                  [ ("retry", retry); ("repair", repair) ];
-                if
-                  retry.verified && repair.verified
-                  && repair.rounds > retry.rounds
-                then violations := (f.fam, sname) :: !violations
-              end)
-            (schedules ~after ~per_real f))
-        (families ~n ~k));
-  (match !cert_failures with
+  let violations = ref [] in
+  List.iter
+    (fun (_, outcome) ->
+      match outcome with
+      | `Failed msg -> failwith ("chaos sweep: cell failed: " ^ msg)
+      | `Ok p when Exec.Job.meta p "empty" = Some "true" -> ()
+      | `Ok p ->
+        let get key =
+          match Exec.Job.meta p key with
+          | Some v -> v
+          | None -> failwith ("chaos sweep: cell missing meta " ^ key)
+        in
+        let fam = get "family" and sname = get "schedule" in
+        List.iter
+          (fun pname ->
+            if get (pname ^ "_cert_ok") <> "true" then
+              cert_failures := (fam, sname, pname) :: !cert_failures)
+          [ "retry"; "repair" ];
+        if
+          get "retry_verified" = "true"
+          && get "repair_verified" = "true"
+          && int_of_string (get "repair_rounds")
+             > int_of_string (get "retry_rounds")
+        then violations := (fam, sname) :: !violations)
+    outcomes;
+  (match List.rev !cert_failures with
   | [] -> Format.printf "every output's certificate checks: OK@."
   | l ->
     List.iter
-      (fun (f, s, p) ->
-        Format.eprintf "certificate FAILED: %s/%s/%s@." f s p)
+      (fun (f, s, p) -> Format.eprintf "certificate FAILED: %s/%s/%s@." f s p)
       l;
     failwith "chaos sweep: a certificate failed its independent check");
-  match !violations with
+  match List.rev !violations with
   | [] ->
     Format.printf
       "repair verified in <= retry rounds wherever both succeed: OK@."
@@ -236,4 +300,10 @@ let sweep ?(n = 48) ?(k = 8) ?(seed = 11) ?csv () =
       l;
     failwith "chaos sweep: repair cost more rounds than retry"
 
-let all ?n ?k ?seed ?csv () = sweep ?n ?k ?seed ?csv ()
+let all ?n ?k ?seed ?csv ?jobs ?cache () =
+  let _stats, outcomes =
+    Exec.Sweep.run ~name:"chaos" ?jobs ?cache ?csv ~csv_header
+      ~bench_json:"BENCH_chaos.json"
+      (items ?n ?k ?seed ())
+  in
+  check_invariants outcomes

@@ -3,129 +3,142 @@
 
      dune exec bench/main.exe -- csv > results.csv
 
-   Format: experiment,x,series,value — one row per measured point. *)
+   Format: experiment,x,series,value — one row per measured point.
 
-let row exp x series value =
-  Printf.printf "%s,%s,%s,%.6f\n" exp x series value
+   Each series is a grid of Exec.Job cells (one job per x-point), so the
+   export shards across domains and memoizes like every other sweep;
+   Exec.Sweep prints the payloads in item order, which keeps the stdout
+   stream byte-identical to the sequential version. File-sink artifact
+   writing lives in Exec.Artifact (atomic tmp-file rename) — the old
+   [with_artifact] streaming sink is gone. *)
 
-(* File sink for the sweeps: [with_artifact ~path ~header f] hands [f]
-   an [emit] function that appends one CSV line per call; with no path,
-   emit is a no-op and the sweep only prints its tables. The file is
-   closed (and announced) even if [f] raises. *)
-let with_artifact ?path ~header f =
-  match path with
-  | None -> f (fun _ -> ())
-  | Some path ->
-    let oc = open_out path in
-    output_string oc header;
-    output_char oc '\n';
-    Fun.protect
-      ~finally:(fun () ->
-        close_out oc;
-        Format.printf "csv artifact: %s@." path)
-      (fun () ->
-        f (fun line ->
-            output_string oc line;
-            output_char oc '\n'))
+let buf f =
+  let b = Buffer.create 256 in
+  f (fun exp x series value ->
+      Buffer.add_string b (Printf.sprintf "%s,%s,%s,%.6f\n" exp x series value));
+  Buffer.contents b
 
+let job ~algo ?params ?seed f =
+  Exec.Sweep.Job
+    (Exec.Job.make ~algo ?params ?seed (fun () -> Exec.Job.payload (buf f)))
+
+let i2s = string_of_int
 let lg n = log (float_of_int (max 2 n)) /. log 2.
 
 (* E1: packing size vs k *)
 let e1 () =
-  List.iter
+  List.map
     (fun (n, k) ->
-      let g = Graphs.Gen.harary ~k ~n in
-      let res =
-        Domtree.Cds_packing.run ~seed:1 g ~classes:(2 * k / 3) ~layers:2
-      in
-      let p = Domtree.Tree_extract.of_cds_packing res in
-      row "E1" (string_of_int k) "size" (Domtree.Packing.size p);
-      row "E1" (string_of_int k) "k_over_lg_n" (float_of_int k /. lg n))
+      job ~algo:"csv-e1" ~params:[ ("n", i2s n); ("k", i2s k) ] ~seed:1
+        (fun row ->
+          let g = Graphs.Gen.harary ~k ~n in
+          let res =
+            Domtree.Cds_packing.run ~seed:1 g ~classes:(2 * k / 3) ~layers:2
+          in
+          let p = Domtree.Tree_extract.of_cds_packing res in
+          row "E1" (i2s k) "size" (Domtree.Packing.size p);
+          row "E1" (i2s k) "k_over_lg_n" (float_of_int k /. lg n)))
     [ (48, 12); (64, 16); (96, 24); (128, 32); (192, 48); (256, 64) ]
 
 (* E2: distributed packing rounds vs n *)
 let e2 () =
-  List.iter
+  List.map
     (fun n ->
-      let g = Graphs.Gen.harary ~k:8 ~n in
-      let d = Graphs.Traversal.diameter g in
-      let net = Congest.Net.create Congest.Model.V_congest g in
-      let _ = Domtree.Dist_packing.pack ~seed:2 net ~k:8 in
-      row "E2" (string_of_int n) "rounds"
-        (float_of_int (Congest.Net.rounds net));
-      row "E2" (string_of_int n) "budget"
-        ((float_of_int d +. sqrt (float_of_int n)) *. (lg n ** 3.)))
+      job ~algo:"csv-e2" ~params:[ ("n", i2s n) ] ~seed:2 (fun row ->
+          let g = Graphs.Gen.harary ~k:8 ~n in
+          let d = Graphs.Traversal.diameter g in
+          let net = Congest.Net.create Congest.Model.V_congest g in
+          let _ = Domtree.Dist_packing.pack ~seed:2 net ~k:8 in
+          row "E2" (i2s n) "rounds" (float_of_int (Congest.Net.rounds net));
+          row "E2" (i2s n) "budget"
+            ((float_of_int d +. sqrt (float_of_int n)) *. (lg n ** 3.))))
     [ 32; 64; 128; 256 ]
 
 (* E3: spanning packing size ratio vs lambda *)
 let e3 () =
-  List.iter
+  List.map
     (fun (n, lambda) ->
-      let g = Graphs.Gen.harary ~k:lambda ~n in
-      let r = Spantree.Lagrangian.run g ~lambda in
-      let target = float_of_int (Spantree.Lagrangian.target ~lambda) in
-      row "E3" (string_of_int lambda) "size_ratio"
-        (Spantree.Spacking.size r.Spantree.Lagrangian.packing /. target))
+      job ~algo:"csv-e3"
+        ~params:[ ("n", i2s n); ("lambda", i2s lambda) ]
+        (fun row ->
+          let g = Graphs.Gen.harary ~k:lambda ~n in
+          let r = Spantree.Lagrangian.run g ~lambda in
+          let target = float_of_int (Spantree.Lagrangian.target ~lambda) in
+          row "E3" (i2s lambda) "size_ratio"
+            (Spantree.Spacking.size r.Spantree.Lagrangian.packing /. target)))
     [ (48, 4); (48, 8); (64, 16); (64, 32) ]
 
 (* E5: throughput vs k, decomposition vs baseline *)
 let e5 () =
-  List.iter
+  List.map
     (fun k ->
-      let n = 2 * k in
-      let g = Graphs.Gen.harary ~k ~n in
-      let res =
-        Domtree.Cds_packing.run ~seed:4 g ~classes:(2 * k / 3) ~layers:2
-      in
-      let p = Domtree.Tree_extract.of_cds_packing res in
-      let sources = List.init n (fun v -> (v, 4)) in
-      let net = Congest.Net.create Congest.Model.V_congest g in
-      let r = Routing.Broadcast.via_dominating_trees ~seed:4 net p ~sources in
-      let net2 = Congest.Net.create Congest.Model.V_congest g in
-      let naive = Routing.Broadcast.naive_single_tree net2 ~sources in
-      row "E5" (string_of_int k) "trees" r.Routing.Broadcast.throughput;
-      row "E5" (string_of_int k) "naive" naive.Routing.Broadcast.throughput)
+      job ~algo:"csv-e5" ~params:[ ("k", i2s k) ] ~seed:4 (fun row ->
+          let n = 2 * k in
+          let g = Graphs.Gen.harary ~k ~n in
+          let res =
+            Domtree.Cds_packing.run ~seed:4 g ~classes:(2 * k / 3) ~layers:2
+          in
+          let p = Domtree.Tree_extract.of_cds_packing res in
+          let sources = List.init n (fun v -> (v, 4)) in
+          let net = Congest.Net.create Congest.Model.V_congest g in
+          let r =
+            Routing.Broadcast.via_dominating_trees ~seed:4 net p ~sources
+          in
+          let net2 = Congest.Net.create Congest.Model.V_congest g in
+          let naive = Routing.Broadcast.naive_single_tree net2 ~sources in
+          row "E5" (i2s k) "trees" r.Routing.Broadcast.throughput;
+          row "E5" (i2s k) "naive" naive.Routing.Broadcast.throughput))
     [ 16; 24; 32; 48 ]
 
 (* E7: runtimes vs n *)
 let e7 () =
-  List.iter
+  List.map
     (fun n ->
-      let g = Graphs.Gen.harary ~k:8 ~n in
-      let t0 = Sys.time () in
-      let _ = Graphs.Connectivity.vertex_connectivity g in
-      row "E7" (string_of_int n) "exact_s" (Sys.time () -. t0);
-      let t1 = Sys.time () in
-      let _ = Domtree.Vc_approx.centralized ~seed:6 g in
-      row "E7" (string_of_int n) "approx_s" (Sys.time () -. t1))
+      job ~algo:"csv-e7" ~params:[ ("n", i2s n) ] ~seed:6 (fun row ->
+          let g = Graphs.Gen.harary ~k:8 ~n in
+          let t0 = Sys.time () in
+          let _ = Graphs.Connectivity.vertex_connectivity g in
+          row "E7" (i2s n) "exact_s" (Sys.time () -. t0);
+          let t1 = Sys.time () in
+          let _ = Domtree.Vc_approx.centralized ~seed:6 g in
+          row "E7" (i2s n) "approx_s" (Sys.time () -. t1)))
     [ 64; 128; 256 ]
 
 (* E15: coding vs trees throughput vs N *)
 let e15 () =
-  let k = 16 and n = 32 in
-  let g = Graphs.Gen.harary ~k ~n in
-  let res = Domtree.Cds_packing.run ~seed:15 g ~classes:(2 * k / 3) ~layers:2 in
-  let p = Domtree.Tree_extract.of_cds_packing res in
-  List.iter
+  List.map
     (fun total ->
-      let per = max 1 (total / n) in
-      let sources = List.init n (fun v -> (v, per)) in
-      let netc = Congest.Net.create Congest.Model.V_congest g in
-      let rl =
-        Routing.Coding.rlnc_broadcast ~seed:15 ~coeff_words_per_round:2 netc
-          ~sources
-      in
-      let nett = Congest.Net.create Congest.Model.V_congest g in
-      let tr = Routing.Broadcast.via_dominating_trees ~seed:15 nett p ~sources in
-      row "E15" (string_of_int total) "rlnc" rl.Routing.Coding.throughput;
-      row "E15" (string_of_int total) "trees" tr.Routing.Broadcast.throughput)
+      job ~algo:"csv-e15" ~params:[ ("N", i2s total) ] ~seed:15 (fun row ->
+          let k = 16 and n = 32 in
+          let g = Graphs.Gen.harary ~k ~n in
+          let res =
+            Domtree.Cds_packing.run ~seed:15 g ~classes:(2 * k / 3) ~layers:2
+          in
+          let p = Domtree.Tree_extract.of_cds_packing res in
+          let per = max 1 (total / n) in
+          let sources = List.init n (fun v -> (v, per)) in
+          let netc = Congest.Net.create Congest.Model.V_congest g in
+          let rl =
+            Routing.Coding.rlnc_broadcast ~seed:15 ~coeff_words_per_round:2
+              netc ~sources
+          in
+          let nett = Congest.Net.create Congest.Model.V_congest g in
+          let tr =
+            Routing.Broadcast.via_dominating_trees ~seed:15 nett p ~sources
+          in
+          row "E15" (i2s total) "rlnc" rl.Routing.Coding.throughput;
+          row "E15" (i2s total) "trees" tr.Routing.Broadcast.throughput))
     [ 32; 64; 128; 256 ]
 
-let all () =
-  print_endline "experiment,x,series,value";
-  e1 ();
-  e2 ();
-  e3 ();
-  e5 ();
-  e7 ();
-  e15 ()
+let items () =
+  Exec.Sweep.text "experiment,x,series,value@."
+  :: List.concat [ e1 (); e2 (); e3 (); e5 (); e7 (); e15 () ]
+
+let all ?jobs ?cache () =
+  let stats, _ =
+    Exec.Sweep.run ~name:"csv" ?jobs ?cache ~progress:false
+      ~bench_json:"BENCH_csv.json" (items ())
+  in
+  if stats.Exec.Sweep.failed > 0 then
+    failwith
+      (Printf.sprintf "csv export: %d cell(s) failed" stats.Exec.Sweep.failed)

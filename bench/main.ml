@@ -1,13 +1,24 @@
 (* Benchmark entry point.
 
    Running `dune exec bench/main.exe` produces:
-   1. the experiment tables E1..E13 (DESIGN.md §3) — the paper's
+   1. the experiment tables E1..E15 (DESIGN.md §3) — the paper's
       quantitative claims, paper-reference vs measured;
    2. a bechamel microbenchmark suite over the hot kernels behind each
       experiment family (one Test.make per family).
 
    `dune exec bench/main.exe -- tables` / `-- micro` runs one half;
-   `-- csv` emits the headline series in machine-readable form. *)
+   `-- csv` emits the headline series in machine-readable form;
+   `-- failures` / `-- chaos` run the fault sweeps.
+
+   Every sweep (everything except `micro`, which is timing-sensitive and
+   stays sequential) executes its grid on the lib/exec domain pool:
+
+     -j N | --jobs N | --jobs=N   worker domains
+                                  (default: recommended_domain_count - 1)
+     --no-cache                   bypass the _cache/ memo store
+
+   Each sweep also writes a BENCH_<sweep>.json run report (wall clock,
+   jobs, cache hits, estimated speedup vs -j 1); see DESIGN.md §9. *)
 
 open Bechamel
 open Toolkit
@@ -86,23 +97,75 @@ let run_micro () =
         results)
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) kernel_tests)
 
+(* CLI: flags (-j N / --jobs N / --jobs=N / --no-cache) may appear
+   anywhere; the remaining positionals are [mode [n [k]]]. *)
+type cli = { mode : string; pos : int list; jobs : int option; cache : bool }
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [all|tables|micro|csv|failures|chaos] [n [k]] [-j N | \
+     --jobs N] [--no-cache]";
+  exit 2
+
+let parse_cli argv =
+  let cli = ref { mode = "all"; pos = []; jobs = None; cache = true } in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some j when j >= 1 -> cli := { !cli with jobs = Some j }
+    | _ -> usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--no-cache" :: rest ->
+      cli := { !cli with cache = false };
+      go rest
+    | ("-j" | "--jobs") :: v :: rest ->
+      set_jobs v;
+      go rest
+    | [ ("-j" | "--jobs") ] -> usage ()
+    | a :: rest when String.length a > 7 && String.sub a 0 7 = "--jobs=" ->
+      set_jobs (String.sub a 7 (String.length a - 7));
+      go rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+      set_jobs (String.sub a 2 (String.length a - 2));
+      go rest
+    | a :: rest -> (
+      match int_of_string_opt a with
+      | Some p ->
+        cli := { !cli with pos = !cli.pos @ [ p ] };
+        go rest
+      | None ->
+        if !cli.mode <> "all" && !cli.mode <> a then usage ();
+        cli := { !cli with mode = a };
+        go rest)
+  in
+  go (List.tl (Array.to_list argv));
+  !cli
+
 let () =
-  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  if mode = "csv" then Csv_export.all ()
-  else if mode = "failures" then begin
+  let cli = parse_cli Sys.argv in
+  let jobs = cli.jobs in
+  let cache =
+    if cli.cache then Some (Exec.Cache.open_dir Exec.Cache.default_dir)
+    else None
+  in
+  let pos i default =
+    match List.nth_opt cli.pos i with Some v -> v | None -> default
+  in
+  match cli.mode with
+  | "csv" -> Sweeps.Csv_export.all ?jobs ?cache ()
+  | "failures" ->
     (* optional small-n override for CI smoke: `-- failures 48 12` *)
-    let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 96 in
-    let k = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 24 in
-    Failure_sweep.all ~n ~k ~csv:"failures.csv" ()
-  end
-  else if mode = "chaos" then begin
+    Sweeps.Failure_sweep.all ~n:(pos 0 96) ~k:(pos 1 24) ~csv:"failures.csv"
+      ?jobs ?cache ()
+  | "chaos" ->
     (* optional small-n override for CI smoke: `-- chaos 32 6` *)
-    let n = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 48 in
-    let k = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 8 in
-    Chaos_sweep.all ~n ~k ~csv:"chaos.csv" ()
-  end
-  else begin
-    if mode = "tables" || mode = "all" then Experiments.all ();
-    if mode = "micro" || mode = "all" then run_micro ();
-    if mode = "all" then Failure_sweep.all ()
-  end
+    Sweeps.Chaos_sweep.all ~n:(pos 0 48) ~k:(pos 1 8) ~csv:"chaos.csv" ?jobs
+      ?cache ()
+  | "tables" | "experiments" -> Sweeps.Experiments.all ?jobs ?cache ()
+  | "micro" -> run_micro ()
+  | "all" ->
+    Sweeps.Experiments.all ?jobs ?cache ();
+    run_micro ();
+    Sweeps.Failure_sweep.all ?jobs ?cache ()
+  | _ -> usage ()

@@ -1,0 +1,98 @@
+let default_dir = "_cache"
+let format_version = 1
+let magic = "EXEC-CACHE"
+
+type t = {
+  root : string;  (** the versioned subdirectory entries live in *)
+  version : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir ?(version = format_version) dir =
+  let root = Filename.concat dir (Printf.sprintf "v%d" version) in
+  mkdir_p root;
+  { root; version; hits = Atomic.make 0; misses = Atomic.make 0 }
+
+let dir t = t.root
+let entry_path t ~key = Filename.concat t.root key
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Entry encoding: magic NL version NL hex-digest-of-data NL data,
+   where data is the marshalled payload. Any structural or digest
+   mismatch is corruption: delete and miss. *)
+let decode s =
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i1 -> (
+    if String.sub s 0 i1 <> magic then None
+    else
+      match String.index_from_opt s (i1 + 1) '\n' with
+      | None -> None
+      | Some i2 -> (
+        match String.index_from_opt s (i2 + 1) '\n' with
+        | None -> None
+        | Some i3 ->
+          let digest = String.sub s (i2 + 1) (i3 - i2 - 1) in
+          let data = String.sub s (i3 + 1) (String.length s - i3 - 1) in
+          if Digest.to_hex (Digest.string data) <> digest then None
+          else
+            match (Marshal.from_string data 0 : Job.payload) with
+            | p -> Some p
+            | exception _ -> None))
+
+let find t ~key =
+  let path = entry_path t ~key in
+  let entry =
+    if not (Sys.file_exists path) then None
+    else
+      match decode (read_file path) with
+      | Some p -> Some p
+      | None | (exception Sys_error _) ->
+        (* corrupt or unreadable: drop it so the recomputed result can
+           take its place *)
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+  in
+  (match entry with
+  | Some _ -> Atomic.incr t.hits
+  | None -> Atomic.incr t.misses);
+  entry
+
+let store t ~key payload =
+  let path = entry_path t ~key in
+  let data = Marshal.to_string payload [] in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" path (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc magic;
+     output_char oc '\n';
+     output_string oc (string_of_int t.version);
+     output_char oc '\n';
+     output_string oc (Digest.to_hex (Digest.string data));
+     output_char oc '\n';
+     output_string oc data;
+     close_out oc;
+     Sys.rename tmp path
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
+
+let hits t = Atomic.get t.hits
+let misses t = Atomic.get t.misses

@@ -1,0 +1,40 @@
+(** Disk-backed memoization of job payloads, keyed by {!Job.key}.
+
+    Layout: one file per entry at [<dir>/v<version>/<key>]. Bumping the
+    version changes the directory, so every old entry becomes invisible
+    at once — versioned invalidation without a scan. Entries carry a
+    magic header and a digest of the marshalled payload; a read that
+    fails the magic, the digest, or unmarshalling is treated as a miss
+    and the corrupt file is deleted (recompute-and-overwrite recovery).
+
+    Writes go through a per-domain temporary file renamed into place, so
+    a killed run never leaves a truncated entry, and concurrent stores
+    of the same key resolve to one complete file (last rename wins).
+    [find]/[store] are safe to call from any {!Pool} domain. *)
+
+type t
+
+(** The default cache root, [_cache/] (gitignored). *)
+val default_dir : string
+
+(** The engine's entry-format version. Bump when {!Job.payload} or the
+    entry encoding changes shape. *)
+val format_version : int
+
+(** [open_dir ?version dir] creates [<dir>/v<version>/] if needed.
+    [version] defaults to {!format_version}. *)
+val open_dir : ?version:int -> string -> t
+
+val dir : t -> string
+
+(** [find t ~key] is the cached payload, or [None] on miss/corruption. *)
+val find : t -> key:string -> Job.payload option
+
+(** [store t ~key p] persists [p] atomically. Never called for failed
+    jobs — only successful payloads are cacheable. *)
+val store : t -> key:string -> Job.payload -> unit
+
+(** Hit/miss counters since [open_dir] (every [find] increments one). *)
+val hits : t -> int
+
+val misses : t -> int

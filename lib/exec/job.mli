@@ -1,0 +1,51 @@
+(** Experiment jobs: pure closures with content-addressed identity.
+
+    A job is one cell of a sweep grid — it builds all of its own state
+    (graph, [Congest.Net.t], seeded [Random.State.t]) inside its closure
+    and returns a {!payload}: the formatted table text destined for
+    stdout, the machine-readable artifact rows (CSV lines), and a bag of
+    structured facts for post-run invariant checks. Because a job owns
+    every piece of mutable state it touches, jobs are safe to execute on
+    any domain of the {!Pool}; because results are strings, a job's
+    output replays bit-identically from the {!Cache}.
+
+    The {!key} is derived from the algorithm id, the (canonically
+    sorted) parameters, and the seed — the complete input of a
+    deterministic job — so it content-addresses the result: two jobs
+    with equal keys must compute equal payloads. *)
+
+type payload = {
+  out : string;  (** table text, printed verbatim in job order *)
+  rows : string list;  (** artifact (CSV) rows, appended in job order *)
+  meta : (string * string) list;
+      (** structured facts for invariant checks across the grid *)
+}
+
+type t
+
+(** [make ~algo ?params ?seed run] declares a job. [algo] names the
+    algorithm/experiment family; [params] are the grid coordinates;
+    [seed] is the root of all randomness the closure may consult.
+    [label] defaults to ["algo(k=v,...)#seed"]. *)
+val make :
+  algo:string ->
+  ?params:(string * string) list ->
+  ?seed:int ->
+  ?label:string ->
+  (unit -> payload) ->
+  t
+
+(** Content-addressed key: a hex digest of (algo, sorted params, seed).
+    Stable across processes and OCaml versions. *)
+val key : t -> string
+
+val label : t -> string
+
+(** Execute the closure (no caching, no containment — see {!Pool}). *)
+val run : t -> payload
+
+(** [payload out] builds a payload; [rows] and [meta] default to []. *)
+val payload : ?rows:string list -> ?meta:(string * string) list -> string -> payload
+
+(** Lookup in a payload's meta list. *)
+val meta : payload -> string -> string option

@@ -1,0 +1,390 @@
+(* The multicore experiment engine (lib/exec): determinism of the
+   domain pool, the content-addressed memo cache (hit / version bump /
+   corruption recovery), crash containment, sweep rendering, and the
+   chaos grid's -j N ≡ -j 1 digest equality. Plus the Graphs.Source
+   regression: the verify-and-retry pipeline must construct its graph
+   exactly once however many attempts it burns. *)
+
+module Job = Exec.Job
+module Cache = Exec.Cache
+module Pool = Exec.Pool
+module Sweep = Exec.Sweep
+
+(* ------------------------------------------------------------------ *)
+(* Job keys *)
+
+let test_key_param_order_insensitive () =
+  let f () = Job.payload "x" in
+  let a = Job.make ~algo:"a" ~params:[ ("n", "4"); ("k", "2") ] ~seed:1 f in
+  let b = Job.make ~algo:"a" ~params:[ ("k", "2"); ("n", "4") ] ~seed:1 f in
+  Alcotest.(check string) "sorted params, same key" (Job.key a) (Job.key b)
+
+let test_key_separates_inputs () =
+  let f () = Job.payload "x" in
+  let mk ~algo ~params ~seed = Job.key (Job.make ~algo ~params ~seed f) in
+  let base = mk ~algo:"a" ~params:[ ("n", "4") ] ~seed:1 in
+  Alcotest.(check bool) "seed changes key" true
+    (base <> mk ~algo:"a" ~params:[ ("n", "4") ] ~seed:2);
+  Alcotest.(check bool) "algo changes key" true
+    (base <> mk ~algo:"b" ~params:[ ("n", "4") ] ~seed:1);
+  Alcotest.(check bool) "param changes key" true
+    (base <> mk ~algo:"a" ~params:[ ("n", "5") ] ~seed:1);
+  (* concatenation ambiguity: ("ab","c")+("d","") vs ("a","bc")+("d","") *)
+  Alcotest.(check bool) "no field-boundary collisions" true
+    (mk ~algo:"a" ~params:[ ("ab", "cd") ] ~seed:1
+    <> mk ~algo:"a" ~params:[ ("abc", "d") ] ~seed:1)
+
+(* ------------------------------------------------------------------ *)
+(* Pool: parallel ≡ sequential bit-identity on random grids *)
+
+(* A deterministic pseudo-payload: every byte derives from the job's
+   own integers, never from schedule, domain id, or time. *)
+let synth_payload tag n =
+  let st = Random.State.make [| 97; tag; n |] in
+  String.init (16 + (n mod 48)) (fun _ ->
+      Char.chr (32 + Random.State.int st 95))
+
+let test_pool_matches_sequential =
+  QCheck.Test.make ~name:"pool: domains=4 outcomes = domains=1 outcomes"
+    ~count:30
+    QCheck.(list_of_size Gen.(int_range 0 25) (int_bound 1000))
+    (fun tags ->
+      let tasks =
+        Array.of_list
+          (List.mapi (fun i tag () -> synth_payload tag i) tags)
+      in
+      let seq = Pool.run ~domains:1 tasks in
+      let par = Pool.run ~domains:4 tasks in
+      seq.Pool.results = par.Pool.results)
+
+let test_pool_preserves_index_order () =
+  let tasks = Array.init 50 (fun i () -> i * i) in
+  let r = Pool.run ~domains:4 tasks in
+  Array.iteri
+    (fun i o ->
+      Alcotest.(check bool)
+        (Printf.sprintf "slot %d holds task %d" i i)
+        true
+        (o = `Ok (i * i)))
+    r.Pool.results
+
+let test_pool_contains_crashes () =
+  let tasks =
+    Array.init 8 (fun i () ->
+        if i = 3 then failwith "boom-3"
+        else if i = 6 then invalid_arg "boom-6"
+        else i)
+  in
+  let r = Pool.run ~domains:4 tasks in
+  Array.iteri
+    (fun i o ->
+      match (i, o) with
+      | 3, `Failed msg ->
+        Alcotest.(check bool) "task 3 message" true
+          (String.length msg > 0)
+      | 6, `Failed _ -> ()
+      | (3 | 6), `Ok _ -> Alcotest.fail "crashing task reported Ok"
+      | _, `Ok v -> Alcotest.(check int) "healthy task unaffected" i v
+      | _, `Failed m -> Alcotest.fail ("healthy task failed: " ^ m))
+    r.Pool.results
+
+let test_pool_empty_and_oversubscribed () =
+  let r = Pool.run ~domains:4 [||] in
+  Alcotest.(check int) "empty grid" 0 (Array.length r.Pool.results);
+  (* more domains than tasks must not wedge or duplicate *)
+  let r = Pool.run ~domains:16 (Array.init 3 (fun i () -> i)) in
+  Alcotest.(check bool) "3 tasks, 16 domains" true
+    (r.Pool.results = [| `Ok 0; `Ok 1; `Ok 2 |])
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+let fresh_cache_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d = Printf.sprintf "_test_cache_%d_%d" (Unix.getpid ()) !n in
+    if Sys.file_exists d then
+      Array.iter
+        (fun sub ->
+          let subp = Filename.concat d sub in
+          Array.iter
+            (fun f -> Sys.remove (Filename.concat subp f))
+            (Sys.readdir subp))
+        (Sys.readdir d);
+    d
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let with_cache_dir f =
+  let dir = fresh_cache_dir () in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let payload_eq : Job.payload Alcotest.testable =
+  Alcotest.testable
+    (fun ppf (p : Job.payload) -> Format.fprintf ppf "%S" p.Job.out)
+    ( = )
+
+let test_cache_roundtrip () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  let p =
+    Job.payload ~rows:[ "a,1"; "b,2" ] ~meta:[ ("k", "v") ] "table text\n"
+  in
+  Alcotest.(check (option payload_eq)) "cold miss" None (Cache.find c ~key:"k1");
+  Cache.store c ~key:"k1" p;
+  Alcotest.(check (option payload_eq)) "hit after store" (Some p)
+    (Cache.find c ~key:"k1");
+  Alcotest.(check int) "one hit" 1 (Cache.hits c);
+  Alcotest.(check int) "one miss" 1 (Cache.misses c)
+
+let test_cache_version_bump_invalidates () =
+  with_cache_dir @@ fun dir ->
+  let c1 = Cache.open_dir ~version:1 dir in
+  Cache.store c1 ~key:"k" (Job.payload "old");
+  let c2 = Cache.open_dir ~version:2 dir in
+  Alcotest.(check (option payload_eq)) "bumped version misses" None
+    (Cache.find c2 ~key:"k");
+  (* the old generation is untouched — rollback still hits *)
+  let c1' = Cache.open_dir ~version:1 dir in
+  Alcotest.(check bool) "old version still hits" true
+    (Cache.find c1' ~key:"k" <> None)
+
+let test_cache_corruption_recovers () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  let p = Job.payload ~rows:[ "r" ] "good" in
+  Cache.store c ~key:"kc" p;
+  let path = Filename.concat (Cache.dir c) "kc" in
+  Alcotest.(check bool) "entry on disk" true (Sys.file_exists path);
+  (* truncate/garble the entry *)
+  let oc = open_out_bin path in
+  output_string oc "EXEC-CACHE\ngarbage";
+  close_out oc;
+  Alcotest.(check (option payload_eq)) "corrupt entry is a miss" None
+    (Cache.find c ~key:"kc");
+  Alcotest.(check bool) "corrupt file deleted" false (Sys.file_exists path);
+  (* recompute-and-overwrite, then hit again *)
+  Cache.store c ~key:"kc" p;
+  Alcotest.(check (option payload_eq)) "recovered" (Some p)
+    (Cache.find c ~key:"kc")
+
+let test_cache_ignores_foreign_magic () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  let path = Filename.concat (Cache.dir c) "kf" in
+  let oc = open_out_bin path in
+  output_string oc "NOT-A-CACHE-ENTRY\nwhatever\n";
+  close_out oc;
+  Alcotest.(check (option payload_eq)) "foreign file is a miss" None
+    (Cache.find c ~key:"kf")
+
+(* ------------------------------------------------------------------ *)
+(* Sweep: rendering order, caching, failure accounting *)
+
+(* counters are bumped from pool domains — Atomic, not ref *)
+let counting_job ~algo ~seed counter out =
+  Sweep.Job
+    (Job.make ~algo ~seed (fun () ->
+         Atomic.incr counter;
+         Job.payload ~rows:[ out ^ ",row" ] (out ^ "\n")))
+
+let test_sweep_renders_in_item_order () =
+  with_cache_dir @@ fun dir ->
+  let cache = Cache.open_dir dir in
+  let ran = Atomic.make 0 in
+  let items =
+    [
+      Sweep.text "head@.";
+      counting_job ~algo:"s1" ~seed:1 ran "alpha";
+      Sweep.text "mid@.";
+      counting_job ~algo:"s2" ~seed:2 ran "beta";
+    ]
+  in
+  let run () =
+    Sweep.run ~name:"t" ~jobs:4 ~cache ~progress:false items
+  in
+  let stats, outcomes = run () in
+  Alcotest.(check int) "both jobs ran" 2 (Atomic.get ran);
+  Alcotest.(check int) "jobs" 2 stats.Sweep.jobs;
+  Alcotest.(check int) "cold misses" 2 stats.Sweep.cache_misses;
+  Alcotest.(check (list string)) "outcome labels in item order"
+    [ "s1#1"; "s2#2" ]
+    (List.map fst outcomes);
+  (* warm rerun: same stats content, zero executions *)
+  let stats2, _ = run () in
+  Alcotest.(check int) "warm rerun executes nothing" 2 (Atomic.get ran);
+  Alcotest.(check int) "warm hits" 2 stats2.Sweep.cache_hits;
+  Alcotest.(check string) "digests agree" stats.Sweep.rows_digest
+    stats2.Sweep.rows_digest
+
+let test_sweep_counts_failures_and_never_caches_them () =
+  with_cache_dir @@ fun dir ->
+  let cache = Cache.open_dir dir in
+  let attempts = Atomic.make 0 in
+  let items =
+    [
+      Sweep.Job
+        (Job.make ~algo:"flaky" ~seed:3 (fun () ->
+             Atomic.incr attempts;
+             failwith "injected"));
+    ]
+  in
+  let stats, outcomes =
+    Sweep.run ~name:"t" ~jobs:2 ~cache ~progress:false items
+  in
+  Alcotest.(check int) "failed counted" 1 stats.Sweep.failed;
+  (match outcomes with
+  | [ (_, `Failed msg) ] ->
+    Alcotest.(check bool) "message kept" true
+      (String.length msg > 0)
+  | _ -> Alcotest.fail "expected one failed outcome");
+  let _ = Sweep.run ~name:"t" ~jobs:2 ~cache ~progress:false items in
+  Alcotest.(check int) "failure was not cached: reran" 2 (Atomic.get attempts)
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance property on a real grid: every chaos cell computes
+   the same payload under -j 4 as under -j 1 *)
+
+let digest_outcomes report =
+  let b = Buffer.create 4096 in
+  Array.iter
+    (fun o ->
+      match o with
+      | `Ok (p : Job.payload) ->
+        Buffer.add_string b p.Job.out;
+        List.iter (Buffer.add_string b) p.Job.rows;
+        List.iter
+          (fun (k, v) ->
+            Buffer.add_string b k;
+            Buffer.add_string b v)
+          p.Job.meta
+      | `Failed msg -> Buffer.add_string b ("FAILED:" ^ msg))
+    report.Pool.results;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let test_chaos_grid_j4_matches_j1 () =
+  let tasks () =
+    Sweeps.Chaos_sweep.items ~n:32 ~k:6 ~seed:11 ()
+    |> List.filter_map (function
+         | Sweep.Job j -> Some (fun () -> Job.run j)
+         | Sweep.Text _ -> None)
+    |> Array.of_list
+  in
+  Alcotest.(check int) "full 4x4 grid" 16 (Array.length (tasks ()));
+  let d1 = digest_outcomes (Pool.run ~domains:1 (tasks ())) in
+  let d4 = digest_outcomes (Pool.run ~domains:4 (tasks ())) in
+  Alcotest.(check string) "chaos digest: -j 4 = -j 1" d1 d4
+
+(* ------------------------------------------------------------------ *)
+(* Graphs.Source + the decompose regression: attempts ≥ 2, parses = 1 *)
+
+let test_source_parse_kv () =
+  Alcotest.(check (pair string (list (pair string int))))
+    "spec with args"
+    ("harary", [ ("k", 8); ("n", 64) ])
+    (Graphs.Source.parse_kv "harary:k=8,n=64");
+  Alcotest.(check (pair string (list (pair string int))))
+    "bare name" ("hypercube", [])
+    (Graphs.Source.parse_kv "hypercube");
+  Alcotest.check_raises "malformed arg" (Failure "bad generator argument: k")
+    (fun () -> ignore (Graphs.Source.parse_kv "harary:k"))
+
+let test_source_gen_matches_direct () =
+  let a = Graphs.Source.gen_graph "harary:k=8,n=48" in
+  let b = Graphs.Gen.harary ~k:8 ~n:48 in
+  Alcotest.(check int) "n" (Graphs.Graph.n b) (Graphs.Graph.n a);
+  Alcotest.(check int) "m" (Graphs.Graph.m b) (Graphs.Graph.m a)
+
+let test_source_load_requires_one_source () =
+  Alcotest.check_raises "both"
+    (Failure "exactly one of --gen or --file is required") (fun () ->
+      ignore
+        (Graphs.Source.load ~gen:(Some "clique:n=4") ~file:(Some "x") ()));
+  Alcotest.check_raises "neither"
+    (Failure "exactly one of --gen or --file is required") (fun () ->
+      ignore (Graphs.Source.load ~gen:None ~file:None ()))
+
+let test_verified_pipeline_parses_once () =
+  (* the decompose `verified` flow: build the graph through
+     Graphs.Source, then run a configuration that burns the whole retry
+     budget (10 classes / 2 layers on a k=8 graph never verifies). The
+     graph must be constructed exactly once — attempts re-seed the
+     packing, not the parser. *)
+  let loads = ref 0 in
+  let g =
+    Graphs.Source.load
+      ~on_load:(fun () -> incr loads)
+      ~gen:(Some "harary:k=8,n=48") ~file:None ()
+  in
+  let r =
+    Domtree.Reliable.run_verified ~seed:7 ~max_retries:3 g ~classes:10
+      ~layers:2
+  in
+  Alcotest.(check int) "attempts exceed one" 4
+    (List.length r.Domtree.Reliable.attempts);
+  Alcotest.(check int) "graph constructed exactly once" 1 !loads
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "job-keys",
+        [
+          Alcotest.test_case "param order insensitive" `Quick
+            test_key_param_order_insensitive;
+          Alcotest.test_case "inputs separate keys" `Quick
+            test_key_separates_inputs;
+        ] );
+      qsuite "pool-determinism" [ test_pool_matches_sequential ];
+      ( "pool",
+        [
+          Alcotest.test_case "index order preserved" `Quick
+            test_pool_preserves_index_order;
+          Alcotest.test_case "crash containment" `Quick
+            test_pool_contains_crashes;
+          Alcotest.test_case "empty and oversubscribed" `Quick
+            test_pool_empty_and_oversubscribed;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "roundtrip + counters" `Quick test_cache_roundtrip;
+          Alcotest.test_case "version bump invalidates" `Quick
+            test_cache_version_bump_invalidates;
+          Alcotest.test_case "corruption recovers" `Quick
+            test_cache_corruption_recovers;
+          Alcotest.test_case "foreign magic is a miss" `Quick
+            test_cache_ignores_foreign_magic;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "renders in item order, memoizes" `Quick
+            test_sweep_renders_in_item_order;
+          Alcotest.test_case "failures counted, never cached" `Quick
+            test_sweep_counts_failures_and_never_caches_them;
+        ] );
+      ( "chaos-grid",
+        [
+          Alcotest.test_case "-j 4 digest = -j 1 digest" `Slow
+            test_chaos_grid_j4_matches_j1;
+        ] );
+      ( "graph-source",
+        [
+          Alcotest.test_case "parse_kv" `Quick test_source_parse_kv;
+          Alcotest.test_case "gen matches direct" `Quick
+            test_source_gen_matches_direct;
+          Alcotest.test_case "exactly one source" `Quick
+            test_source_load_requires_one_source;
+          Alcotest.test_case "verified pipeline parses once" `Slow
+            test_verified_pipeline_parses_once;
+        ] );
+    ]

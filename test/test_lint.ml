@@ -76,6 +76,51 @@ let good_struct_eq = "let same a b = a = b\n"
 let bad_floating_attr = "[@@@warning \"-27\"]\nlet f x = 0\n"
 let bad_expr_attr = "let f x = (ignore x [@warning \"-27\"])\n"
 
+(* --- domain-spawn -------------------------------------------------- *)
+
+let bad_spawn = "let fork f = Domain.spawn f\n"
+
+let good_domain_query =
+  "let width () = Domain.recommended_domain_count () - 1\n"
+
+(* --- scoped exemption (lib/exec) ----------------------------------- *)
+
+let exec_like =
+  "let time_it f =\n\
+  \  let t0 = Unix.gettimeofday () in\n\
+  \  let d = Domain.spawn f in\n\
+  \  let r = Domain.join d in\n\
+  \  (r, Unix.gettimeofday () -. t0)\n"
+
+let test_exempt_drops_scoped_rules () =
+  let findings, _ =
+    Lint_core.check_source ~file:"lib/exec/pool.ml"
+      ~exempt:[ "domain-spawn"; "nondet-clock" ]
+      exec_like
+  in
+  Alcotest.(check (list string)) "scope-exempt rules dropped" []
+    (List.map (fun f -> f.Lint_core.rule) findings)
+
+let test_exempt_is_rule_specific () =
+  (* the exemption must not blanket-silence the file: a different rule
+     in an exempted file still fires *)
+  let findings, _ =
+    Lint_core.check_source ~file:"lib/exec/pool.ml"
+      ~exempt:[ "domain-spawn"; "nondet-clock" ]
+      (exec_like ^ "let roll () = Random.int 6\n")
+  in
+  Alcotest.(check (list string)) "other rules still fire" [ "nondet-random" ]
+    (List.map (fun f -> f.Lint_core.rule) findings)
+
+let test_allow_works_on_domain_spawn () =
+  let src =
+    "(* lint: allow domain-spawn — test fixture *)\nlet fork f = Domain.spawn \
+     f\n"
+  in
+  Alcotest.(check (list string)) "allow suppresses domain-spawn" []
+    (rules_of src);
+  Alcotest.(check int) "one suppression" 1 (suppressed_of src)
+
 (* --- escape hatch -------------------------------------------------- *)
 
 let allowed_fold =
@@ -149,6 +194,7 @@ let () =
           fires "physical-eq" bad_phys_neq "(!=)";
           fires "silenced-warning" bad_floating_attr "floating attribute";
           fires "silenced-warning" bad_expr_attr "expression attribute";
+          fires "domain-spawn" bad_spawn "Domain.spawn";
         ] );
       ( "silent-on-good",
         [
@@ -161,6 +207,7 @@ let () =
           silent good_local_ref "function-local ref";
           silent good_immutable "immutable toplevel";
           silent good_struct_eq "structural equality";
+          silent good_domain_query "Domain.recommended_domain_count";
         ] );
       ( "escape-hatch",
         [
@@ -170,6 +217,15 @@ let () =
           Alcotest.test_case "unused allow reported" `Quick test_unused_allow;
           Alcotest.test_case "stacked allows bind nearest" `Quick
             test_stacked_allows;
+          Alcotest.test_case "allow works on domain-spawn" `Quick
+            test_allow_works_on_domain_spawn;
+        ] );
+      ( "scoped-exemption",
+        [
+          Alcotest.test_case "exempt drops scoped rules" `Quick
+            test_exempt_drops_scoped_rules;
+          Alcotest.test_case "exempt is rule-specific" `Quick
+            test_exempt_is_rule_specific;
         ] );
       ( "parse",
         [

@@ -25,11 +25,20 @@
      [physical-eq]     == / != on values that are not known to be
                        physically canonical
      [silenced-warning] [@warning "-..."] / [@@@warning "-..."] attributes
+   L4 — parallelism containment:
+     [domain-spawn]    Domain.spawn anywhere but the lib/exec pool: the
+                       CONGEST simulator and every protocol layer must
+                       stay single-domain deterministic; multicore
+                       sharding happens one whole simulation per domain,
+                       never inside one
 
    Escape hatch: a comment of the form "lint: allow <rule> — reason" on
    the finding's line or up to three lines above suppresses it. An allow
    that suppresses nothing is itself reported ([unused-allow]) so stale
-   annotations cannot accumulate. *)
+   annotations cannot accumulate. Subsystems whose whole purpose is an
+   otherwise-forbidden effect (lib/exec: domains and the wall clock) get
+   a scoped exemption via [check_file]'s [?exempt] instead of per-line
+   allows — the scope, not each line, is what is justified. *)
 
 type finding = {
   file : string;
@@ -49,6 +58,7 @@ let rules =
     ("obj-magic", "Obj.* breaks type soundness");
     ("physical-eq", "physical equality on structural data");
     ("silenced-warning", "warning silenced by attribute");
+    ("domain-spawn", "Domain.spawn outside the lib/exec pool");
     ("unused-allow", "lint: allow annotation suppresses no finding");
     ("parse-error", "source file does not parse");
   ]
@@ -173,6 +183,11 @@ let check_structure ~file source =
           report (pos_of e) "nondet-hash"
             "polymorphic Hashtbl.hash is not canonical across \
              representations; hash an explicit canonical key"
+        | [ "Domain"; "spawn" ] | [ "Stdlib"; "Domain"; "spawn" ] ->
+          report (pos_of e) "domain-spawn"
+            "Domain.spawn here breaks the single-domain determinism of \
+             the simulator; dispatch whole jobs through the lib/exec \
+             pool instead"
         | _ -> ())
       | Pexp_apply (f, args) -> (
         (* Sanction `List.sort cmp (Hashtbl.fold ...)` and
@@ -334,10 +349,16 @@ let apply_allows ~file ~allows findings =
   in
   (kept @ unused, Hashtbl.length used)
 
-(* [check_source ~file source] is [(findings, suppressed_count)]. *)
-let check_source ~file source =
+(* [check_source ~file ?exempt source] is [(findings, suppressed_count)].
+   [exempt] names rules scope-exempted for this file (e.g. lib/exec's
+   domain-spawn / nondet-clock): their findings are dropped before
+   allow-matching, so a scoped exemption never needs per-line allows. *)
+let check_source ~file ?(exempt = []) source =
   let allows = scan_allows source in
-  let raw = check_structure ~file source in
+  let raw =
+    check_structure ~file source
+    |> List.filter (fun f -> not (List.mem f.rule exempt))
+  in
   let kept, suppressed = apply_allows ~file ~allows raw in
   (List.sort compare_findings kept, suppressed)
 
@@ -347,4 +368,4 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let check_file path = check_source ~file:path (read_file path)
+let check_file ?exempt path = check_source ~file:path ?exempt (read_file path)
