@@ -103,8 +103,8 @@ type cli = { mode : string; pos : int list; jobs : int option; cache : bool }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|micro|csv|failures|chaos] [n [k]] [-j N | \
-     --jobs N] [--no-cache]";
+    "usage: main.exe [all|tables|micro|csv|failures|chaos|perf] [n [k]] [-j N \
+     | --jobs N] [--no-cache]";
   exit 2
 
 let parse_cli argv =
@@ -162,6 +162,11 @@ let () =
     (* optional small-n override for CI smoke: `-- chaos 32 6` *)
     Sweeps.Chaos_sweep.all ~n:(pos 0 48) ~k:(pos 1 8) ~csv:"chaos.csv" ?jobs
       ?cache ()
+  | "perf" ->
+    (* optional size cap for CI smoke: `-- perf 256`. Timings are never
+       cached (the sweep ignores _cache/ by construction). *)
+    ignore cache;
+    Sweeps.Perf_sweep.all ?n_cap:(List.nth_opt cli.pos 0) ?jobs ()
   | "tables" | "experiments" -> Sweeps.Experiments.all ?jobs ?cache ()
   | "micro" -> run_micro ()
   | "all" ->

@@ -1,0 +1,213 @@
+(* Perf sweep (`bench/main.exe -- perf [n_cap]`): throughput of the
+   CONGEST round engine itself — rounds/sec and words/sec — on the
+   workload families the experiments drive, at several sizes. This is
+   the trajectory artifact for the simulator hot path: every PR that
+   touches lib/graph or lib/congest can be judged against the previous
+   BENCH_perf.json.
+
+   Two engine drivers:
+   - [broadcast]: V-CONGEST, every node locally broadcasts a 3-word
+     message each round (the Net.broadcast_round inner loop, neighbor
+     fan-out and per-message accounting included);
+   - [edge]: E-CONGEST, every node sends a 1-word message over each
+     incident edge direction (the Net.edge_round inner loop, non-edge /
+     duplicate-direction checks included).
+   Caller-side allocations are hoisted (messages and out-lists are
+   prebuilt and reused), so the measurement isolates the engine.
+
+   Timing jobs are never memoized — a replayed timing is a lie — so this
+   sweep ignores `_cache/` entirely; and it defaults to one worker
+   domain (`-j 1`) so concurrent jobs do not contend for cores while the
+   clock runs. Each job also records its telemetry run digest, so a
+   perf regression hunt can confirm on the spot that an engine change
+   left traffic bit-identical.
+
+   BENCH_perf.json schema (written by this module, not Exec.Sweep):
+     { "sweep": "perf", "jobs": N, "wall_s": W,
+       "rows": [ { "workload": "er|rr|lollipop", "driver":
+                   "broadcast|edge", "n", "m", "rounds",
+                   "rounds_per_sec", "words_per_sec", "run_digest" } ] }
+*)
+
+module Graph = Graphs.Graph
+module Net = Congest.Net
+
+let now () = Unix.gettimeofday ()
+
+(* Deterministic round count per workload: enough rounds to dominate
+   setup noise, capped so the largest sizes stay interactive. *)
+let rounds_for ~m = max 16 (min 512 (400_000 / max 1 m))
+
+(* V-CONGEST driver: every node broadcasts a small message each round.
+   Messages are preallocated and mutated in place (round tag), so the
+   only per-round work outside the engine is O(n) stores. *)
+let drive_broadcast net ~rounds =
+  let n = Net.n net in
+  let msgs = Array.init n (fun u -> [| u land 63; 0; (u * 7) land 63 |]) in
+  for r = 1 to rounds do
+    let tag = r land 63 in
+    for u = 0 to n - 1 do
+      msgs.(u).(1) <- tag
+    done;
+    ignore (Net.broadcast_round net (fun u -> Some msgs.(u)))
+  done
+
+(* E-CONGEST driver: every node loads every incident edge direction with
+   a 1-word message. Out-lists are prebuilt once and reused verbatim. *)
+let drive_edge net ~rounds =
+  let n = Net.n net in
+  let g = Net.graph net in
+  let outs =
+    Array.init n (fun u ->
+        Array.to_list
+          (Array.map (fun v -> (v, [| u land 63 |])) (Graph.neighbors g u)))
+  in
+  for _ = 1 to rounds do
+    ignore (Net.edge_round net (fun u -> outs.(u)))
+  done
+
+type spec = {
+  workload : string;
+  driver : string;
+  n : int;
+  gen : unit -> Graph.t;
+}
+
+let specs n_cap =
+  let sizes = List.filter (fun n -> n <= n_cap) [ 256; 1024; 2048 ] in
+  List.concat_map
+    (fun n ->
+      [
+        {
+          workload = "er";
+          driver = "broadcast";
+          n;
+          gen =
+            (fun () ->
+              let rng = Random.State.make [| 0xE5; n |] in
+              Graphs.Gen.erdos_renyi rng ~n ~p:(8.0 /. float_of_int n));
+        };
+        {
+          workload = "rr";
+          driver = "edge";
+          n;
+          gen =
+            (fun () ->
+              (* d = 4: the configuration model is rejection-sampled and
+                 its acceptance rate decays like exp(-d^2/4) *)
+              let rng = Random.State.make [| 0x55; n |] in
+              Graphs.Gen.random_regular rng ~n ~d:4);
+        };
+        {
+          workload = "lollipop";
+          driver = "broadcast";
+          n;
+          gen =
+            (fun () ->
+              let c = n / 8 in
+              Graphs.Gen.lollipop ~clique:c ~tail:(n - c));
+        };
+      ])
+    sizes
+
+let run_spec s () =
+  let g = s.gen () in
+  let m = Graph.m g in
+  let rounds = rounds_for ~m in
+  let model, drive =
+    match s.driver with
+    | "edge" -> (Congest.Model.E_congest, drive_edge)
+    | _ -> (Congest.Model.V_congest, drive_broadcast)
+  in
+  let net = Net.create model g in
+  (* warmup: heat caches and the minor heap, then measure from a clean
+     counter state so words/sec covers exactly the timed rounds *)
+  drive net ~rounds:(max 4 (rounds / 4));
+  Net.reset_stats net;
+  let t0 = now () in
+  drive net ~rounds;
+  let dt = now () -. t0 in
+  let dt = if dt > 0. then dt else 1e-9 in
+  let words = Net.words_sent net in
+  let rps = float_of_int rounds /. dt in
+  let wps = float_of_int words /. dt in
+  let digest = Printf.sprintf "%x" (Net.run_digest (Net.telemetry net)) in
+  let out =
+    Printf.sprintf "%-9s %-9s %6d %7d %7d | %12.0f %14.0f  %s\n" s.workload
+      s.driver s.n m rounds rps wps digest
+  in
+  let row =
+    Printf.sprintf "%s,%s,%d,%d,%d,%.0f,%.0f" s.workload s.driver s.n m rounds
+      rps wps
+  in
+  Exec.Job.payload ~rows:[ row ]
+    ~meta:
+      [
+        ("workload", s.workload);
+        ("driver", s.driver);
+        ("n", string_of_int s.n);
+        ("m", string_of_int m);
+        ("rounds", string_of_int rounds);
+        ("rounds_per_sec", Printf.sprintf "%.0f" rps);
+        ("words_per_sec", Printf.sprintf "%.0f" wps);
+        ("run_digest", digest);
+      ]
+    out
+
+let all ?n_cap ?jobs () =
+  let n_cap = match n_cap with Some c -> c | None -> 2048 in
+  (* timing wants an uncontended core: default to one worker domain *)
+  let jobs = match jobs with Some j -> j | None -> 1 in
+  let items =
+    Exec.Sweep.text "@.== round-engine perf sweep (n <= %d) ==@." n_cap
+    :: Exec.Sweep.text "%-9s %-9s %6s %7s %7s | %12s %14s  %s@." "workload"
+         "driver" "n" "m" "rounds" "rounds/sec" "words/sec" "digest"
+    :: List.map
+         (fun s ->
+           Exec.Sweep.Job
+             (Exec.Job.make ~algo:"perf"
+                ~params:
+                  [
+                    ("workload", s.workload);
+                    ("driver", s.driver);
+                    ("n", string_of_int s.n);
+                  ]
+                (run_spec s)))
+         (specs n_cap)
+  in
+  let t0 = now () in
+  let stats, outcomes = Exec.Sweep.run ~name:"perf" ~jobs items in
+  let wall = now () -. t0 in
+  let rows =
+    List.filter_map
+      (fun (_, outcome) ->
+        match outcome with
+        | `Failed _ -> None
+        | `Ok p ->
+          let f k = match Exec.Job.meta p k with Some v -> v | None -> "" in
+          let int k = Exec.Artifact.Int (int_of_string (f k)) in
+          let num k = Exec.Artifact.Float (float_of_string (f k)) in
+          Some
+            (Exec.Artifact.Obj
+               [
+                 ("workload", Exec.Artifact.String (f "workload"));
+                 ("driver", Exec.Artifact.String (f "driver"));
+                 ("n", int "n");
+                 ("m", int "m");
+                 ("rounds", int "rounds");
+                 ("rounds_per_sec", num "rounds_per_sec");
+                 ("words_per_sec", num "words_per_sec");
+                 ("run_digest", Exec.Artifact.String (f "run_digest"));
+               ]))
+      outcomes
+  in
+  Exec.Artifact.write_json ~path:"BENCH_perf.json"
+    (Exec.Artifact.Obj
+       [
+         ("sweep", Exec.Artifact.String "perf");
+         ("jobs", Exec.Artifact.Int stats.Exec.Sweep.jobs);
+         ("failed", Exec.Artifact.Int stats.Exec.Sweep.failed);
+         ("wall_s", Exec.Artifact.Float wall);
+         ("rows", Exec.Artifact.List rows);
+       ]);
+  if stats.Exec.Sweep.failed > 0 then exit 1

@@ -151,7 +151,10 @@ let identify_hybrid ?cap ?(seed = 1) net ~active ~edge_active =
         let final = Hashtbl.find class_min (Graphs.Union_find.find root_uf l) in
         [| l; final |] :: acc)
       involved []
-    |> List.sort compare
+    |> List.sort (fun (a : Net.msg) b ->
+           match Int.compare a.(0) b.(0) with
+           | 0 -> Int.compare a.(1) b.(1)
+           | c -> c)
   in
   (* phase 3: pipelined downcast of the mapping; fragments not involved in
      any crossing edge already carry their component's minimum *)

@@ -1,6 +1,12 @@
 module Graph = Graphs.Graph
 
 let no_edge = (max_int, max_int, max_int)
+let is_no_edge w a b = w = max_int && a = max_int && b = max_int
+
+(* Forest edges are canonical (min, max) int pairs; compare them without
+   caml_compare. Ordering matches polymorphic compare on (int * int). *)
+let compare_edge (u1, v1) (u2, v2) =
+  match Int.compare u1 u2 with 0 -> Int.compare v1 v2 | c -> c
 
 (* Flood minimum (w, a, b) triples inside fragments (over forest edges)
    until stable; one round past stabilization, as in Components. *)
@@ -14,7 +20,7 @@ let flood_triples net ~active ~in_fragment ~init =
       Net.broadcast_round net (fun u ->
           if active u then
             let w, a, b = best.(u) in
-            if (w, a, b) = no_edge then None else Some [| w; a; b |]
+            if is_no_edge w a b then None else Some [| w; a; b |]
           else None)
     in
     for v = 0 to n - 1 do
@@ -106,7 +112,7 @@ let minimum_spanning_forest_on net ~active ~edge_active ~weight =
     if not !merged then continue := false
   done;
   Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) forest []
-  |> List.sort compare
+  |> List.sort compare_edge
 
 let minimum_spanning_forest net ~weight =
   minimum_spanning_forest_on net
@@ -175,6 +181,13 @@ let minimum_spanning_forest_hybrid ?cap net ~weight =
         let inboxes =
           Net.broadcast_round net (fun u -> Some [| labels.(u) |])
         in
+        (* drain the inbox arena now: [local_best] is consulted again
+           (via [declares]) after [flood_triples] and the declaration
+           round have both overwritten it *)
+        let neighbor_label =
+          Array.init n (fun u ->
+              List.map (fun (s, (m : Net.msg)) -> (s, m.(0))) inboxes.(u))
+        in
         let local_best u =
           List.fold_left
             (fun acc (v, lv) ->
@@ -183,8 +196,7 @@ let minimum_spanning_forest_hybrid ?cap net ~weight =
                 match acc with Some b when b <= cand -> acc | _ -> Some cand
               end
               else acc)
-            None
-            (List.map (fun (s, (m : Net.msg)) -> (s, m.(0))) inboxes.(u))
+            None neighbor_label.(u)
         in
         let init u =
           match local_best u with Some t -> t | None -> no_edge
@@ -250,12 +262,14 @@ let minimum_spanning_forest_hybrid ?cap net ~weight =
         | None -> []
       in
       let better (x : Net.msg) (y : Net.msg) =
-        (x.(0), x.(1), x.(2)) < (y.(0), y.(1), y.(2))
+        if x.(0) <> y.(0) then x.(0) < y.(0)
+        else if x.(1) <> y.(1) then x.(1) < y.(1)
+        else x.(2) < y.(2)
       in
       let winners = Primitives.pipelined_converge net tree ~values ~better in
       let edges =
         List.map (fun (_, m) -> (m.(1), m.(2))) winners
-        |> List.sort_uniq compare
+        |> List.sort_uniq compare_edge
       in
       if edges = [] then continue := false
       else begin
@@ -266,4 +280,4 @@ let minimum_spanning_forest_hybrid ?cap net ~weight =
     end
   done;
   Hashtbl.fold (fun (u, v) () acc -> (u, v) :: acc) forest []
-  |> List.sort compare
+  |> List.sort compare_edge

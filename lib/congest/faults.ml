@@ -47,6 +47,11 @@ type t = {
 
 let norm (u, v) = (min u v, max u v)
 
+(* Schedules and reports hold int pairs; order them without caml_compare.
+   Ordering matches polymorphic compare on (int * int). *)
+let compare_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let create ?(seed = 42) specs =
   let p_drop =
     List.fold_left
@@ -60,12 +65,13 @@ let create ?(seed = 42) specs =
   in
   let crash_sched =
     List.concat_map (function Crash_at l -> l | _ -> []) specs
-    |> List.sort compare
+    |> List.sort compare_pair
   in
   let kill_sched =
     List.concat_map (function Kill_edges_at l -> l | _ -> []) specs
     |> List.map (fun (r, e) -> (r, norm e))
-    |> List.sort compare
+    |> List.sort (fun (r1, e1) (r2, e2) ->
+           match Int.compare r1 r2 with 0 -> compare_pair e1 e2 | c -> c)
   in
   let greedy =
     List.fold_left
@@ -284,10 +290,10 @@ let alive t u = node_alive t u
 let crashed t u = Hashtbl.mem t.crashed u
 
 let crashed_nodes t =
-  Hashtbl.fold (fun u () acc -> u :: acc) t.crashed [] |> List.sort compare
+  Hashtbl.fold (fun u () acc -> u :: acc) t.crashed [] |> List.sort Int.compare
 
 let killed_edges t =
-  Hashtbl.fold (fun e () acc -> e :: acc) t.killed [] |> List.sort compare
+  Hashtbl.fold (fun e () acc -> e :: acc) t.killed [] |> List.sort compare_pair
 
 let edge_killed t (u, v) = Hashtbl.mem t.killed (norm (u, v))
 let events t = List.rev t.events

@@ -42,6 +42,13 @@ type fault_hook = {
 
 type t = {
   graph : Graph.t;
+  (* CSR views of [graph], captured once: the round loops walk adjacency
+     slots directly, and [csr_ids.(s)] hands each message its edge index
+     without the per-message binary search the seed implementation paid
+     in [account]. *)
+  csr_off : int array;
+  csr_adj : int array;
+  csr_ids : int array;
   model : Model.t;
   words_budget : int;
   max_word : int;
@@ -54,6 +61,15 @@ type t = {
   mutable max_edge_load : int;
   node_load : int array; (* scratch: words received this round *)
   edge_load : int array; (* scratch: words over each edge this round *)
+  inboxes : (int * msg) list array;
+      (* scratch arena returned by broadcast_round/edge_round; refilled
+         with [] at the start of every round, so its contents are valid
+         only until the next round on the same net *)
+  stamp : int array; (* scratch: duplicate-edge-direction check *)
+  mutable stamp_token : int;
+      (* one fresh token per sender per round; [stamp.(v) = token] iff
+         this sender already loaded edge direction (u,v) this round —
+         the per-node Hashtbl of the seed implementation, flattened *)
   mutable boundary : (int -> bool) option;
       (* Alice/Bob side predicate for two-party simulation accounting *)
   mutable boundary_words : int;
@@ -70,6 +86,9 @@ let create ?words_budget model g =
   in
   {
     graph = g;
+    csr_off = Graph.csr_offsets g;
+    csr_adj = Graph.csr_neighbors g;
+    csr_ids = Graph.csr_edge_ids g;
     model;
     words_budget = budget;
     max_word = Model.max_word ~n;
@@ -82,6 +101,9 @@ let create ?words_budget model g =
     max_edge_load = 0;
     node_load = Array.make n 0;
     edge_load = Array.make (Graph.m g) 0;
+    inboxes = Array.make n [];
+    stamp = Array.make n 0;
+    stamp_token = 0;
     boundary = None;
     boundary_words = 0;
     faults = None;
@@ -153,7 +175,10 @@ let delivered net ~src ~dst m =
   | None -> true
   | Some h -> h.deliver ~src ~dst m
 
-let account net ~src ~dst m =
+(* [ei] is the message's edge index, read off the CSR slot table by the
+   round loops — the seed implementation recomputed it here with an
+   O(log m) polymorphic binary search per message. *)
+let account net ~src ~dst ~ei m =
   let len = Array.length m in
   digest_msg net ~tag:1 ~src ~dst m;
   net.messages <- net.messages + 1;
@@ -163,7 +188,6 @@ let account net ~src ~dst m =
   | Some side -> if side src <> side dst then
       net.boundary_words <- net.boundary_words + len
   | None -> ());
-  let ei = Graph.edge_index net.graph src dst in
   net.edge_load.(ei) <- net.edge_load.(ei) + len
 
 let lose net ~src ~dst m =
@@ -171,25 +195,55 @@ let lose net ~src ~dst m =
   net.messages_lost <- net.messages_lost + 1;
   net.words_lost <- net.words_lost + Array.length m
 
+(* Both round engines reuse [net.inboxes] as the result arena: refilled
+   with [] here, cons'd into during the sweep, returned to the caller.
+   Valid until the next round on the same net (documented in the .mli);
+   every protocol layer drains its inboxes before the next round.
+
+   Iteration order — senders [nn-1 downto 0], each sender's neighbors
+   ascending — is the seed implementation's order exactly: it is what
+   makes inboxes list senders increasing, and what the round digests
+   (folded per message, in delivery order) certify byte-for-byte. *)
+let fresh_inboxes net =
+  let inboxes = net.inboxes in
+  Array.fill inboxes 0 (Array.length inboxes) [];
+  inboxes
+
 let broadcast_round net send =
   begin_round net;
   let nn = n net in
-  let inboxes = Array.make nn [] in
-  for u = nn - 1 downto 0 do
-    if alive net u then
+  let inboxes = fresh_inboxes net in
+  let off = net.csr_off and adj = net.csr_adj and ids = net.csr_ids in
+  (match net.faults with
+  | None ->
+    (* fault-free fast path: no liveness or delivery consultation *)
+    for u = nn - 1 downto 0 do
       match send u with
       | None -> ()
       | Some m ->
         check_msg ~node:u net m;
-        Array.iter
-          (fun v ->
-            if delivered net ~src:u ~dst:v m then begin
-              account net ~src:u ~dst:v m;
+        for s = off.(u) to off.(u + 1) - 1 do
+          let v = adj.(s) in
+          account net ~src:u ~dst:v ~ei:ids.(s) m;
+          inboxes.(v) <- (u, m) :: inboxes.(v)
+        done
+    done
+  | Some h ->
+    for u = nn - 1 downto 0 do
+      if h.node_alive u then
+        match send u with
+        | None -> ()
+        | Some m ->
+          check_msg ~node:u net m;
+          for s = off.(u) to off.(u + 1) - 1 do
+            let v = adj.(s) in
+            if h.deliver ~src:u ~dst:v m then begin
+              account net ~src:u ~dst:v ~ei:ids.(s) m;
               inboxes.(v) <- (u, m) :: inboxes.(v)
             end
-            else lose net ~src:u ~dst:v m)
-          (Graph.neighbors net.graph u)
-  done;
+            else lose net ~src:u ~dst:v m
+          done
+    done);
   end_round net;
   inboxes
 
@@ -198,23 +252,31 @@ let edge_round net send =
     violate net "edge_round: per-edge messages illegal in V-CONGEST";
   begin_round net;
   let nn = n net in
-  let inboxes = Array.make nn [] in
+  let inboxes = fresh_inboxes net in
+  let stamp = net.stamp in
   for u = nn - 1 downto 0 do
     if alive net u then begin
       let outs = send u in
-      let seen = Hashtbl.create (List.length outs) in
+      net.stamp_token <- net.stamp_token + 1;
+      let token = net.stamp_token in
       List.iter
         (fun (v, m) ->
-          if not (Graph.mem_edge net.graph u v) then
-            violate net ~node:u ~edge:(u, v)
-              "edge_round: message along a non-edge";
-          if Hashtbl.mem seen v then
+          (* one edge_index search yields both the non-edge check and
+             the edge id the seed recomputed later in [account] *)
+          let ei =
+            match Graph.edge_index net.graph u v with
+            | ei -> ei
+            | exception Not_found ->
+              violate net ~node:u ~edge:(u, v)
+                "edge_round: message along a non-edge"
+          in
+          if stamp.(v) = token then
             violate net ~node:u ~edge:(u, v)
               "edge_round: two messages on one edge direction";
-          Hashtbl.add seen v ();
+          stamp.(v) <- token;
           check_msg ~node:u net m;
           if delivered net ~src:u ~dst:v m then begin
-            account net ~src:u ~dst:v m;
+            account net ~src:u ~dst:v ~ei m;
             inboxes.(v) <- (u, m) :: inboxes.(v)
           end
           else lose net ~src:u ~dst:v m)

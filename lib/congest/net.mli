@@ -104,12 +104,18 @@ val node_alive : t -> int -> bool
     locally broadcasts [send u] (or stays silent on [None]).
     [inboxes.(v)] lists [(sender, message)] in increasing sender order.
     Legal in both models.
+
+    The returned array is a per-net scratch arena, refilled on every
+    round: its contents are valid only until the next
+    [broadcast_round]/[edge_round] on the same net. Drain it (or copy
+    it) before driving another round.
     @raise Protocol_violation on oversized or over-wide messages. *)
 val broadcast_round : t -> (int -> msg option) -> (int * msg) list array
 
 (** [edge_round net send] performs one round in which node [u] sends
     [send u], a list of [(neighbor, message)] pairs, at most one message
-    per incident edge.
+    per incident edge. The returned array is the same per-net scratch
+    arena as {!broadcast_round}'s — valid only until the next round.
     @raise Protocol_violation under [V_congest], on non-edges, or on
     duplicate targets. *)
 val edge_round : t -> (int -> (int * msg) list) -> (int * msg) list array

@@ -233,7 +233,7 @@ let pipelined_converge net tree ~values ~better =
   (* per node: own pending values sorted by key *)
   let own =
     Array.init n (fun u ->
-        ref (List.sort (fun (a, _) (b, _) -> compare a b) (values u)))
+        ref (List.sort (fun (a, _) (b, _) -> Int.compare a b) (values u)))
   in
   (* per node: best payload per key merged so far, and per-child stream
      progress (the largest key fully delivered by that child) *)
@@ -271,7 +271,10 @@ let pipelined_converge net tree ~values ~better =
   in
   let all_children_closed u =
     List.for_all
-      (fun c -> Hashtbl.find_opt progress.(u) c = Some end_key)
+      (fun c ->
+        match Hashtbl.find_opt progress.(u) c with
+        | Some p -> p = end_key
+        | None -> false)
       children.(u)
   in
   let root_result = ref [] in

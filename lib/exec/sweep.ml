@@ -73,14 +73,24 @@ let run ~name ?jobs ?cache ?csv ?csv_header ?bench_json ?progress items =
   in
   let on_progress = if progress then Some (stderr_meter ~name ()) else None in
   let report = Pool.run ~domains ?on_progress tasks in
-  (* Render the document in item order. *)
+  (* Render the document in item order, mirroring every byte into the
+     digest buffer: text items, each payload's [out] and [rows] —
+     payloads replayed from cache included — and failure lines. The
+     digest is the sweep's document identity, what CI compares across
+     warm/cold and -j N runs; it must not depend on whether a payload
+     was executed or replayed, and it must not be vacuous for sweeps
+     whose jobs emit no CSV rows (the seed digested only the rows, so a
+     rows-free sweep reported the MD5 of the empty string). *)
+  let doc = Buffer.create 4096 in
   let csv_lines = ref [] in
   let idx = ref 0 in
   let outcomes = ref [] in
   List.iter
     (fun item ->
       match item with
-      | Text s -> print_string s
+      | Text s ->
+        print_string s;
+        Buffer.add_string doc s
       | Job job ->
         let i = !idx in
         incr idx;
@@ -89,9 +99,16 @@ let run ~name ?jobs ?cache ?csv ?csv_header ?bench_json ?progress items =
         (match outcome with
         | `Ok p ->
           print_string p.Job.out;
-          List.iter (fun r -> csv_lines := r :: !csv_lines) p.Job.rows
+          Buffer.add_string doc p.Job.out;
+          List.iter
+            (fun r ->
+              Buffer.add_string doc r;
+              Buffer.add_char doc '\n';
+              csv_lines := r :: !csv_lines)
+            p.Job.rows
         | `Failed msg ->
-          Format.printf "FAILED %s: %s@." (Job.label job) msg))
+          Format.printf "FAILED %s: %s@." (Job.label job) msg;
+          Buffer.add_string doc (Printf.sprintf "FAILED %s: %s\n" (Job.label job) msg)))
     items;
   flush stdout;
   let outcomes = List.rev !outcomes in
@@ -128,9 +145,7 @@ let run ~name ?jobs ?cache ?csv ?csv_header ?bench_json ?progress items =
         Array.map
           (fun b -> if wall > 0. then b /. wall else 0.)
           report.Pool.busy_s;
-      rows_digest =
-        Digest.to_hex
-          (Digest.string (String.concat "\n" (List.rev !csv_lines)));
+      rows_digest = Digest.to_hex (Digest.string (Buffer.contents doc));
     }
   in
   (match bench_json with

@@ -19,7 +19,8 @@
     [~bench_json] is given): the machine-readable perf trajectory of the
     sweep — wall-clock, job counts, cache hits, estimated speedup vs
     [-j 1] (sum of per-domain busy seconds over wall seconds), and a
-    digest of the CSV content for cross-run byte-identity checks. *)
+    digest of the rendered document for cross-run byte-identity
+    checks. *)
 
 type item = Text of string | Job of Job.t
 
@@ -37,7 +38,11 @@ type stats = {
   cpu_s : float;  (** sum of in-task busy seconds across domains *)
   speedup_est : float;  (** [cpu_s /. wall_s] — speedup vs [-j 1] *)
   utilization : float array;  (** per-domain busy fraction *)
-  rows_digest : string;  (** hex digest of the emitted CSV rows *)
+  rows_digest : string;
+      (** hex digest of the fully rendered document — text items, every
+          payload's [out] and [rows] (cache replays included), failure
+          lines — so warm/cold and [-j N] byte-identity checks compare
+          real content even for sweeps whose jobs emit no CSV rows *)
 }
 
 (** Default domain count for the [-j] flag:

@@ -1,5 +1,9 @@
 (* Hopcroft–Tarjan lowpoint DFS (recursive; fine at simulator scale). *)
 
+(* Edge pairs, ordered as polymorphic compare would order (int * int). *)
+let compare_pair (a1, b1) (a2, b2) =
+  match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c
+
 let run_dfs g ~on_articulation ~on_bridge ~on_component =
   let n = Graph.n g in
   let disc = Array.make n (-1) in
@@ -15,7 +19,7 @@ let run_dfs g ~on_articulation ~on_bridge ~on_component =
       comp := e :: !comp;
       if e = until then continue := false
     done;
-    if !comp <> [] then on_component (List.sort compare !comp)
+    if !comp <> [] then on_component (List.sort compare_pair !comp)
   in
   let rec dfs u parent =
     disc.(u) <- !time;
@@ -59,7 +63,7 @@ let articulation_points g =
     ~on_articulation:(fun v -> acc := v :: !acc)
     ~on_bridge:(fun _ -> ())
     ~on_component:(fun _ -> ());
-  List.sort compare !acc
+  List.sort Int.compare !acc
 
 let bridges g =
   let acc = ref [] in
@@ -67,7 +71,7 @@ let bridges g =
     ~on_articulation:(fun _ -> ())
     ~on_bridge:(fun e -> acc := e :: !acc)
     ~on_component:(fun _ -> ());
-  List.sort compare !acc
+  List.sort compare_pair !acc
 
 let biconnected_components g =
   let acc = ref [] in

@@ -204,5 +204,5 @@ let all_min_vertex_cuts g =
         done
     in
     choose 0 0;
-    List.sort compare !cuts
+    List.sort (List.compare Int.compare) !cuts
   end

@@ -32,7 +32,7 @@ let is_dominating_tree g vs es =
   List.iter
     (fun v -> if v >= 0 && v < n then in_set.(v) <- true)
     vs;
-  let vertex_count = List.length (List.sort_uniq compare vs) in
+  let vertex_count = List.length (List.sort_uniq Int.compare vs) in
   let edges_ok =
     List.for_all
       (fun (u, v) ->

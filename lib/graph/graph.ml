@@ -1,86 +1,144 @@
+(* CSR (compressed sparse row) graph core.
+
+   The adjacency of all n vertices lives in one flat [adj : int array]
+   of length 2m, sliced by [off : int array] of length n+1: vertex [u]'s
+   neighbors are [adj.(off.(u)) .. adj.(off.(u+1) - 1)], sorted
+   ascending. A parallel [slot_edge : int array] maps every adjacency
+   slot to the index of its undirected edge in the canonical edge order,
+   so the simulator's per-message accounting ([edge_index]) is one
+   O(log deg) monomorphic int search — or free when a caller iterates
+   slots directly via [iter_incident] / the [csr_*] accessors.
+
+   Canonical edge order is unchanged from the seed implementation:
+   edges as (min, max) pairs sorted lexicographically. Everything
+   downstream (edge ids in packing certificates, broadcast congestion
+   tables, Net edge loads) depends on that order being stable.
+
+   The per-vertex [nbr] views exist so [neighbors] keeps its historical
+   contract — the same physical sorted array on every call, owned by
+   the graph — without exposing the flat CSR arrays to mutation. *)
+
 type t = {
   n : int;
-  adj : int array array;
-  edges : (int * int) array;
+  off : int array;  (* n+1 offsets into adj/slot_edge *)
+  adj : int array;  (* flat neighbor lists, each slice sorted *)
+  slot_edge : int array;  (* adjacency slot -> edge index *)
+  nbr : int array array;  (* per-vertex neighbor views (aliases of adj data) *)
+  edges : (int * int) array;  (* canonical (min,max), lex-sorted *)
 }
 
-let canonical u v = if u < v then (u, v) else (v, u)
-
 let build ~n pairs =
-  let seen = Hashtbl.create (List.length pairs) in
-  let keep =
-    List.filter
-      (fun (u, v) ->
-        if u = v then invalid_arg "Graph: self-loop";
-        if u < 0 || v < 0 || u >= n || v >= n then
-          invalid_arg "Graph: endpoint out of range";
-        let e = canonical u v in
-        if Hashtbl.mem seen e then false
-        else begin
-          Hashtbl.add seen e ();
-          true
-        end)
-      (List.map (fun (u, v) -> canonical u v) pairs)
+  (* validate in list order, with the seed's exact messages *)
+  List.iter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Graph: self-loop";
+      if u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Graph: endpoint out of range")
+    pairs;
+  (* encode canonical pairs as u*n+v keys: dedup and lex-sort become
+     monomorphic int operations *)
+  let keys =
+    Array.of_list (List.map (fun (u, v) -> (min u v * n) + max u v) pairs)
   in
-  let edges = Array.of_list keep in
-  Array.sort compare edges;
+  Array.sort Int.compare keys;
+  let m =
+    (* count distinct keys *)
+    let c = ref 0 in
+    Array.iteri (fun i k -> if i = 0 || keys.(i - 1) <> k then incr c) keys;
+    !c
+  in
+  let eu = Array.make m 0 and ev = Array.make m 0 in
+  let w = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if i = 0 || keys.(i - 1) <> k then begin
+        eu.(!w) <- k / n;
+        ev.(!w) <- k mod n;
+        incr w
+      end)
+    keys;
   let deg = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      deg.(u) <- deg.(u) + 1;
-      deg.(v) <- deg.(v) + 1)
-    edges;
-  let adj = Array.init n (fun u -> Array.make deg.(u) 0) in
+  for i = 0 to m - 1 do
+    deg.(eu.(i)) <- deg.(eu.(i)) + 1;
+    deg.(ev.(i)) <- deg.(ev.(i)) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + deg.(u)
+  done;
+  let adj = Array.make (2 * m) 0 in
+  let slot_edge = Array.make (2 * m) 0 in
   let fill = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      adj.(u).(fill.(u)) <- v;
-      fill.(u) <- fill.(u) + 1;
-      adj.(v).(fill.(v)) <- u;
-      fill.(v) <- fill.(v) + 1)
-    edges;
-  Array.iter (fun a -> Array.sort compare a) adj;
-  { n; adj; edges }
+  let put w v i =
+    let s = off.(w) + fill.(w) in
+    adj.(s) <- v;
+    slot_edge.(s) <- i;
+    fill.(w) <- fill.(w) + 1
+  in
+  (* Two passes over the lex-ordered edges leave every slice sorted
+     without a sort: pass 1 appends each edge's smaller endpoint to the
+     larger one's slice (ascending, all < w), pass 2 appends the larger
+     endpoint to the smaller one's slice (ascending, all > w). *)
+  for i = 0 to m - 1 do
+    put ev.(i) eu.(i) i
+  done;
+  for i = 0 to m - 1 do
+    put eu.(i) ev.(i) i
+  done;
+  let nbr = Array.init n (fun u -> Array.sub adj off.(u) deg.(u)) in
+  let edges = Array.init m (fun i -> (eu.(i), ev.(i))) in
+  { n; off; adj; slot_edge; nbr; edges }
 
 let of_edges ~n edges = build ~n edges
 let of_edge_array ~n edges = build ~n (Array.to_list edges)
 
 let n g = g.n
 let m g = Array.length g.edges
-let neighbors g u = g.adj.(u)
-let degree g u = Array.length g.adj.(u)
+let neighbors g u = g.nbr.(u)
+let degree g u = g.off.(u + 1) - g.off.(u)
 
 let min_degree g =
   if g.n = 0 then max_int
-  else Array.fold_left (fun acc a -> min acc (Array.length a)) max_int g.adj
+  else begin
+    let best = ref max_int in
+    for u = 0 to g.n - 1 do
+      let d = g.off.(u + 1) - g.off.(u) in
+      if d < !best then best := d
+    done;
+    !best
+  end
+
+(* adjacency slot of [v] inside [u]'s sorted slice, or -1 *)
+let slot_of g u v =
+  let lo = ref g.off.(u) and hi = ref g.off.(u + 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = g.adj.(mid) in
+    if w = v then found := mid else if w < v then lo := mid + 1 else hi := mid
+  done;
+  !found
 
 let mem_edge g u v =
   if u = v || u < 0 || v < 0 || u >= g.n || v >= g.n then false
-  else begin
-    let a = g.adj.(u) in
-    let rec search lo hi =
-      if lo >= hi then false
-      else
-        let mid = (lo + hi) / 2 in
-        if a.(mid) = v then true
-        else if a.(mid) < v then search (mid + 1) hi
-        else search lo mid
-    in
-    search 0 (Array.length a)
-  end
+  else slot_of g u v >= 0
 
 let edges g = g.edges
 
 let edge_index g u v =
-  let e = canonical u v in
-  let rec search lo hi =
-    if lo >= hi then raise Not_found
-    else
-      let mid = (lo + hi) / 2 in
-      let c = compare g.edges.(mid) e in
-      if c = 0 then mid else if c < 0 then search (mid + 1) hi else search lo mid
-  in
-  search 0 (Array.length g.edges)
+  if u = v || u < 0 || v < 0 || u >= g.n || v >= g.n then raise Not_found;
+  let s = slot_of g u v in
+  if s < 0 then raise Not_found;
+  g.slot_edge.(s)
+
+let csr_offsets g = g.off
+let csr_neighbors g = g.adj
+let csr_edge_ids g = g.slot_edge
+
+let iter_incident g u f =
+  for s = g.off.(u) to g.off.(u + 1) - 1 do
+    f g.adj.(s) g.slot_edge.(s)
+  done
 
 let iter_edges f g = Array.iter (fun (u, v) -> f u v) g.edges
 let fold_edges f acc g = Array.fold_left (fun acc (u, v) -> f acc u v) acc g.edges

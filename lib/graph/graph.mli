@@ -1,9 +1,11 @@
 (** Compact undirected simple graphs on vertices [0 .. n-1].
 
-    The representation is immutable after construction: per-vertex sorted
-    adjacency arrays plus a canonical edge list (each undirected edge
-    appears once, as [(u, v)] with [u < v]). Self-loops are rejected and
-    parallel edges are collapsed at construction. *)
+    The representation is immutable after construction: a CSR
+    (compressed sparse row) adjacency — one flat sorted neighbor array
+    sliced by offsets, with a parallel slot→edge-index table — plus a
+    canonical edge list (each undirected edge appears once, as
+    [(u, v)] with [u < v], in lexicographic order). Self-loops are
+    rejected and parallel edges are collapsed at construction. *)
 
 type t
 
@@ -45,6 +47,30 @@ val edges : t -> (int * int) array
 (** [edge_index g u v] is the index of edge [{u,v}] in [edges g].
     @raise Not_found if absent. *)
 val edge_index : t -> int -> int -> int
+
+(** {1 CSR access}
+
+    Zero-cost views of the underlying representation, for hot loops
+    (the CONGEST round engine) that cannot afford per-call closures or
+    bounds-checked double indirection. All returned arrays are owned by
+    the graph and must not be mutated. *)
+
+(** [csr_offsets g] has length [n g + 1]; vertex [u]'s adjacency slots
+    are [csr_offsets g.(u) .. csr_offsets g.(u+1) - 1]. *)
+val csr_offsets : t -> int array
+
+(** [csr_neighbors g] is the flat neighbor array of length [2 * m g];
+    each vertex's slice is sorted ascending. *)
+val csr_neighbors : t -> int array
+
+(** [csr_edge_ids g] maps each adjacency slot to the index of its
+    undirected edge in [edges g]. *)
+val csr_edge_ids : t -> int array
+
+(** [iter_incident g u f] calls [f v ei] for every neighbor [v] of [u]
+    in ascending order, where [ei = edge_index g u v] — without the
+    O(log deg) lookup. *)
+val iter_incident : t -> int -> (int -> int -> unit) -> unit
 
 (** {1 Iteration} *)
 

@@ -5,8 +5,8 @@ let kruskal ~n edges =
   let order = Array.init (Array.length arr) (fun i -> i) in
   Array.sort
     (fun i j ->
-      let c = compare arr.(i).w arr.(j).w in
-      if c <> 0 then c else compare i j)
+      let c = Float.compare arr.(i).w arr.(j).w in
+      if c <> 0 then c else Int.compare i j)
     order;
   let uf = Union_find.create n in
   let chosen = ref [] in
@@ -73,7 +73,8 @@ let minimum_spanning_tree g ~weight =
   let parent = prim g ~weight in
   tree_edges_of_parents parent
   |> List.map (fun (a, b) -> if a < b then (a, b) else (b, a))
-  |> List.sort compare
+  |> List.sort (fun (a1, b1) (a2, b2) ->
+         match Int.compare a1 a2 with 0 -> Int.compare b1 b2 | c -> c)
 
 let spanning_tree_cost g ~weight =
   minimum_spanning_tree g ~weight

@@ -54,7 +54,7 @@ let groups uf =
     Hashtbl.replace tbl r (x :: members)
   done;
   Hashtbl.fold (fun r members acc -> (r, members) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
 
 let copy uf =
   {

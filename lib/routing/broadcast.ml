@@ -22,6 +22,17 @@ let expand_sources sources =
     sources;
   (List.rev !acc, !id)
 
+(* Edge-congestion accounting, shared by every scheme: [record_crossing]
+   charges one unit to edge [ei]; [record_broadcast_crossings] charges
+   every edge incident to [v] — a V-CONGEST local broadcast physically
+   crosses all of them — walking the CSR slot table so no per-edge
+   [edge_index] search is paid. *)
+let record_crossing edge_crossings ei =
+  edge_crossings.(ei) <- edge_crossings.(ei) + 1
+
+let record_broadcast_crossings g edge_crossings v =
+  Graph.iter_incident g v (fun _u ei -> record_crossing edge_crossings ei)
+
 let finish net start ~messages ~relays ~edge_crossings =
   let rounds = max 1 (Net.rounds_since net start) in
   {
@@ -161,11 +172,7 @@ let via_dominating_trees ?(seed = 42) ?(schedule = `Round_robin) net
       (match choice.(v) with
       | Some _ ->
         relays.(v) <- relays.(v) + 1;
-        Array.iter
-          (fun u ->
-            let ei = Graph.edge_index g v u in
-            edge_crossings.(ei) <- edge_crossings.(ei) + 1)
-          (Graph.neighbors g v)
+        record_broadcast_crossings g edge_crossings v
       | None -> ());
       List.iter
         (fun (sender, m) ->
@@ -276,8 +283,7 @@ let via_spanning_trees ?(seed = 42) net (packing : Spantree.Spacking.t)
       List.iter
         (fun (u, (_ : Net.msg)) ->
           relays.(v) <- relays.(v) + 1;
-          let ei = Graph.edge_index g v u in
-          edge_crossings.(ei) <- edge_crossings.(ei) + 1)
+          record_crossing edge_crossings (Graph.edge_index g v u))
         outgoing.(v);
       List.iter
         (fun (sender, m) -> learn v m.(0) m.(1) ~from:sender)
@@ -722,12 +728,7 @@ let naive_single_tree net ~sources =
       (match choice.(v) with
       | Some _ ->
         relays.(v) <- relays.(v) + 1;
-        (* V-CONGEST broadcast physically crosses every incident edge *)
-        Array.iter
-          (fun u ->
-            let ei = Graph.edge_index g v u in
-            edge_crossings.(ei) <- edge_crossings.(ei) + 1)
-          (Graph.neighbors g v)
+        record_broadcast_crossings g edge_crossings v
       | None -> ());
       List.iter
         (fun (sender, m) -> if List.mem sender adj.(v) then learn v m.(0))

@@ -136,6 +136,59 @@ let test_diff_telemetry_localizes_round () =
        diffs)
 
 (* ------------------------------------------------------------------ *)
+(* Pinned-digest regressions: the exact traffic the round engine moves
+   on a seeded ER graph, captured once under the seed implementation.
+   Any graph-core or engine change that reorders one message, alters one
+   delivered word, or misses one violation flips these constants — this
+   is the byte-identity contract that lets the hot path be rebuilt. *)
+
+let pinned_er_graph () =
+  let rng = Random.State.make [| 0xD16; 64 |] in
+  Gen.erdos_renyi rng ~n:64 ~p:0.15
+
+let pinned_broadcast_protocol net =
+  for r = 1 to 12 do
+    ignore
+      (Net.broadcast_round net (fun u ->
+           if (u + r) mod 3 = 0 then None
+           else Some [| u land 63; r land 63 |]))
+  done;
+  ignore
+    (Congest.Primitives.flood_min net ~value:(fun v -> (v * 5) land 63)
+       ~rounds:8)
+
+let pinned_edge_protocol net =
+  let g = Net.graph net in
+  for r = 1 to 8 do
+    ignore
+      (Net.edge_round net (fun u ->
+           Array.to_list
+             (Array.map
+                (fun v -> (v, [| (u + v + r) land 63 |]))
+                (Graph.neighbors g u))))
+  done
+
+let test_pinned_broadcast_digest () =
+  let net = vnet (pinned_er_graph ()) in
+  let r = Net.replay_check net pinned_broadcast_protocol in
+  Alcotest.(check bool) "deterministic" true (Net.deterministic r);
+  Alcotest.(check int) "rounds" 20 r.Net.r_second.Net.t_rounds;
+  Alcotest.(check int) "messages" 9248 r.Net.r_second.Net.t_messages;
+  Alcotest.(check int) "words" 13872 r.Net.r_second.Net.t_words;
+  Alcotest.(check string) "run digest" "1b2a4ab14466792"
+    (Printf.sprintf "%x" (Net.run_digest r.Net.r_second))
+
+let test_pinned_edge_digest () =
+  let net = Net.create Congest.Model.E_congest (pinned_er_graph ()) in
+  let r = Net.replay_check net pinned_edge_protocol in
+  Alcotest.(check bool) "deterministic" true (Net.deterministic r);
+  Alcotest.(check int) "rounds" 8 r.Net.r_second.Net.t_rounds;
+  Alcotest.(check int) "messages" 4624 r.Net.r_second.Net.t_messages;
+  Alcotest.(check int) "words" 4624 r.Net.r_second.Net.t_words;
+  Alcotest.(check string) "run digest" "3aaee12c3814a68"
+    (Printf.sprintf "%x" (Net.run_digest r.Net.r_second))
+
+(* ------------------------------------------------------------------ *)
 (* QCheck: same seed => bit-identical telemetry, per graph family *)
 
 let replay_deterministic g protocol =
@@ -210,6 +263,13 @@ let () =
             test_replay_repair_pipeline_under_storm;
           Alcotest.test_case "diff localizes round" `Quick
             test_diff_telemetry_localizes_round;
+        ] );
+      ( "pinned digests",
+        [
+          Alcotest.test_case "broadcast engine traffic" `Quick
+            test_pinned_broadcast_digest;
+          Alcotest.test_case "edge engine traffic" `Quick
+            test_pinned_edge_digest;
         ] );
       qsuite "qcheck"
         [

@@ -224,6 +224,30 @@ let test_sweep_renders_in_item_order () =
   Alcotest.(check string) "digests agree" stats.Sweep.rows_digest
     stats2.Sweep.rows_digest
 
+let test_sweep_digest_covers_cached_payloads () =
+  with_cache_dir @@ fun dir ->
+  let cache = Cache.open_dir dir in
+  (* rows-free jobs (like the experiments sweep): the seed implementation
+     digested only CSV rows, so this sweep reported the MD5 of the empty
+     string on cold AND warm runs — a vacuous byte-identity check. The
+     digest must cover replayed cached payloads. *)
+  let items =
+    [
+      Sweep.text "header@.";
+      Sweep.Job
+        (Job.make ~algo:"norows" ~seed:9 (fun () ->
+             Job.payload "table-line\n"));
+    ]
+  in
+  let run () = Sweep.run ~name:"t" ~jobs:2 ~cache ~progress:false items in
+  let cold, _ = run () in
+  let warm, _ = run () in
+  Alcotest.(check int) "warm run is fully cached" 1 warm.Sweep.cache_hits;
+  Alcotest.(check bool) "digest is not the empty-string MD5" true
+    (cold.Sweep.rows_digest <> Digest.to_hex (Digest.string ""));
+  Alcotest.(check string) "warm digest covers replayed payloads"
+    cold.Sweep.rows_digest warm.Sweep.rows_digest
+
 let test_sweep_counts_failures_and_never_caches_them () =
   with_cache_dir @@ fun dir ->
   let cache = Cache.open_dir dir in
@@ -369,6 +393,8 @@ let () =
         [
           Alcotest.test_case "renders in item order, memoizes" `Quick
             test_sweep_renders_in_item_order;
+          Alcotest.test_case "digest covers cached payloads" `Quick
+            test_sweep_digest_covers_cached_payloads;
           Alcotest.test_case "failures counted, never cached" `Quick
             test_sweep_counts_failures_and_never_caches_them;
         ] );

@@ -113,6 +113,140 @@ let test_spanning_subgraph () =
     sub
 
 (* ------------------------------------------------------------------ *)
+(* CSR vs reference model: the CSR core must agree, query by query,
+   with a naive tuple-list implementation of the same contract —
+   canonical (min,max) edges, first-class lex order, sorted neighbor
+   lists. Random multigraph-ish input (duplicates, both orientations)
+   exercises the dedup path too. *)
+
+module Tuple_model = struct
+  type t = { n : int; edges : (int * int) list }
+      (* canonical, lex-sorted, deduped *)
+
+  let lex (a, b) (c, d) = if a <> c then Int.compare a c else Int.compare b d
+
+  let build ~n pairs =
+    let canon = List.map (fun (u, v) -> (min u v, max u v)) pairs in
+    { n; edges = List.sort_uniq lex canon }
+
+  let neighbors t u =
+    List.filter_map
+      (fun (a, b) ->
+        if a = u then Some b else if b = u then Some a else None)
+      t.edges
+    |> List.sort Int.compare
+
+  let mem_edge t u v = List.mem (min u v, max u v) t.edges
+
+  let edge_index t u v =
+    let e = (min u v, max u v) in
+    let rec go i = function
+      | [] -> raise Not_found
+      | x :: tl -> if x = e then i else go (i + 1) tl
+    in
+    go 0 t.edges
+end
+
+(* (n, raw pair list) -> simple-graph edge list over [0..n-1] *)
+let mk_pairs n raw =
+  List.filter_map
+    (fun (a, b) ->
+      let u = a mod n and v = b mod n in
+      if u = v then None else Some (u, v))
+    raw
+
+let graph_model_gen =
+  QCheck.(pair (int_range 2 24) (list (pair (int_bound 127) (int_bound 127))))
+
+let prop_csr_matches_model_queries =
+  QCheck.Test.make ~name:"CSR graph = tuple model (neighbors/mem/index)"
+    ~count:200 graph_model_gen (fun (n, raw) ->
+      let pairs = mk_pairs n raw in
+      let g = Graph.of_edges ~n pairs in
+      let m = Tuple_model.build ~n pairs in
+      List.length m.Tuple_model.edges = Graph.m g
+      && Array.to_list (Graph.edges g) = m.Tuple_model.edges
+      && List.for_all
+           (fun u ->
+             Array.to_list (Graph.neighbors g u) = Tuple_model.neighbors m u
+             && Graph.degree g u = List.length (Tuple_model.neighbors m u)
+             && List.for_all
+                  (fun v ->
+                    Graph.mem_edge g u v = Tuple_model.mem_edge m u v
+                    && (match Graph.edge_index g u v with
+                       | i -> (
+                         match Tuple_model.edge_index m u v with
+                         | j -> i = j
+                         | exception Not_found -> false)
+                       | exception Not_found -> (
+                         match Tuple_model.edge_index m u v with
+                         | _ -> false
+                         | exception Not_found -> true)))
+                  (List.init n Fun.id))
+           (List.init n Fun.id))
+
+let prop_csr_slots_consistent =
+  QCheck.Test.make ~name:"CSR slot table = neighbors + edge_index"
+    ~count:200 graph_model_gen (fun (n, raw) ->
+      let g = Graph.of_edges ~n (mk_pairs n raw) in
+      let off = Graph.csr_offsets g
+      and adj = Graph.csr_neighbors g
+      and ids = Graph.csr_edge_ids g in
+      Array.length off = n + 1
+      && off.(n) = 2 * Graph.m g
+      && Array.length adj = 2 * Graph.m g
+      && Array.length ids = 2 * Graph.m g
+      && List.for_all
+           (fun u ->
+             let seen = ref [] in
+             Graph.iter_incident g u (fun v ei ->
+                 seen := (v, ei) :: !seen);
+             List.rev !seen
+             = List.map
+                 (fun v -> (v, Graph.edge_index g u v))
+                 (Array.to_list (Graph.neighbors g u)))
+           (List.init n Fun.id))
+
+let prop_induced_matches_model =
+  QCheck.Test.make ~name:"induced subgraph = relabeled model filter"
+    ~count:200
+    QCheck.(pair graph_model_gen (int_bound ((1 lsl 24) - 1)))
+    (fun ((n, raw), mask) ->
+      let pairs = mk_pairs n raw in
+      let g = Graph.of_edges ~n pairs in
+      let m = Tuple_model.build ~n pairs in
+      let keep v = (mask lsr (v mod 24)) land 1 = 1 in
+      let gi, mapping = Graph.induced g keep in
+      let kept = List.filter keep (List.init n Fun.id) in
+      let rank = List.mapi (fun i v -> (v, i)) kept in
+      let expected =
+        List.filter_map
+          (fun (u, v) ->
+            if keep u && keep v then
+              Some (List.assoc u rank, List.assoc v rank)
+            else None)
+          m.Tuple_model.edges
+        |> List.sort_uniq Tuple_model.lex
+      in
+      Graph.n gi = List.length kept
+      && Array.to_list mapping = kept
+      && Array.to_list (Graph.edges gi) = expected)
+
+let prop_spanning_subgraph_matches_model =
+  QCheck.Test.make ~name:"spanning_subgraph = model filter" ~count:200
+    QCheck.(pair graph_model_gen (int_bound 97))
+    (fun ((n, raw), salt) ->
+      let pairs = mk_pairs n raw in
+      let g = Graph.of_edges ~n pairs in
+      let m = Tuple_model.build ~n pairs in
+      let pred u v = (u + (2 * v) + salt) mod 3 <> 0 in
+      let sub = Graph.spanning_subgraph g pred in
+      let expected =
+        List.filter (fun (u, v) -> pred u v) m.Tuple_model.edges
+      in
+      Graph.n sub = n && Array.to_list (Graph.edges sub) = expected)
+
+(* ------------------------------------------------------------------ *)
 (* Traversal *)
 
 let test_bfs_path () =
@@ -809,6 +943,13 @@ let () =
           Alcotest.test_case "edge_index" `Quick test_graph_edge_index;
           Alcotest.test_case "spanning_subgraph" `Quick test_spanning_subgraph;
         ] );
+      qsuite "graph.csr-vs-model"
+        [
+          prop_csr_matches_model_queries;
+          prop_csr_slots_consistent;
+          prop_induced_matches_model;
+          prop_spanning_subgraph_matches_model;
+        ];
       ( "traversal",
         [
           Alcotest.test_case "bfs path" `Quick test_bfs_path;

@@ -43,11 +43,11 @@ let bad_iter = "let send h f = Hashtbl.iter (fun k v -> f k v) h\n"
 
 let good_fold_piped =
   "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort \
-   compare\n"
+   Int.compare\n"
 
 let good_fold_direct =
-  "let keys h = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) h \
-   [])\n"
+  "let keys h = List.sort Int.compare (Hashtbl.fold (fun k _ acc -> k :: acc) \
+   h [])\n"
 
 (* cardinality via List.length is order-blind and sanctioned *)
 let good_fold_length =
@@ -70,6 +70,37 @@ let bad_obj = "let coerce (x : int) : string = Obj.magic x\n"
 let bad_phys_eq = "let same a b = a == b\n"
 let bad_phys_neq = "let differ a b = a != b\n"
 let good_struct_eq = "let same a b = a = b\n"
+
+(* --- polymorphic-compare ------------------------------------------- *)
+
+let bad_bare_compare = "let order xs = List.sort compare xs\n"
+let bad_stdlib_compare = "let order xs = List.sort Stdlib.compare xs\n"
+let bad_tuple_cmp = "let better w a b best = (w, a, b) < best\n"
+let bad_some_cmp = "let won tbl k v = Hashtbl.find_opt tbl k = Some v\n"
+let good_mono_compare = "let order xs = List.sort Int.compare xs\n"
+let good_ident_cmp = "let better a b = a < b\n"
+
+(* constant constructors compare immediately: must not fire *)
+let good_none_cmp = "let missing o = o = None\n"
+
+let allowed_compare =
+  "(* lint: allow polymorphic-compare — cold path, keys are int pairs *)\n\
+   let order xs = List.sort compare xs\n"
+
+let test_allow_works_on_polymorphic_compare () =
+  Alcotest.(check (list string)) "allow suppresses polymorphic-compare" []
+    (rules_of allowed_compare);
+  Alcotest.(check int) "one suppression" 1 (suppressed_of allowed_compare)
+
+let test_exempt_drops_polymorphic_compare () =
+  (* the driver scope-restricts this rule to lib/graph + lib/congest by
+     exempting every other file; the exemption must drop the finding *)
+  let findings, _ =
+    Lint_core.check_source ~file:"lib/routing/broadcast.ml"
+      ~exempt:[ "polymorphic-compare" ] bad_bare_compare
+  in
+  Alcotest.(check (list string)) "out-of-scope file is clean" []
+    (List.map (fun f -> f.Lint_core.rule) findings)
 
 (* --- silenced-warning ---------------------------------------------- *)
 
@@ -195,6 +226,10 @@ let () =
           fires "silenced-warning" bad_floating_attr "floating attribute";
           fires "silenced-warning" bad_expr_attr "expression attribute";
           fires "domain-spawn" bad_spawn "Domain.spawn";
+          fires "polymorphic-compare" bad_bare_compare "bare compare";
+          fires "polymorphic-compare" bad_stdlib_compare "Stdlib.compare";
+          fires "polymorphic-compare" bad_tuple_cmp "tuple operand";
+          fires "polymorphic-compare" bad_some_cmp "Some payload operand";
         ] );
       ( "silent-on-good",
         [
@@ -208,6 +243,9 @@ let () =
           silent good_immutable "immutable toplevel";
           silent good_struct_eq "structural equality";
           silent good_domain_query "Domain.recommended_domain_count";
+          silent good_mono_compare "Int.compare comparator";
+          silent good_ident_cmp "(<) on identifiers";
+          silent good_none_cmp "(=) against None";
         ] );
       ( "escape-hatch",
         [
@@ -219,6 +257,8 @@ let () =
             test_stacked_allows;
           Alcotest.test_case "allow works on domain-spawn" `Quick
             test_allow_works_on_domain_spawn;
+          Alcotest.test_case "allow works on polymorphic-compare" `Quick
+            test_allow_works_on_polymorphic_compare;
         ] );
       ( "scoped-exemption",
         [
@@ -226,6 +266,8 @@ let () =
             test_exempt_drops_scoped_rules;
           Alcotest.test_case "exempt is rule-specific" `Quick
             test_exempt_is_rule_specific;
+          Alcotest.test_case "exempt drops polymorphic-compare" `Quick
+            test_exempt_drops_polymorphic_compare;
         ] );
       ( "parse",
         [

@@ -11,6 +11,13 @@
    Obj.magic) is held to the same rules as the simulator. *)
 let scoped_exemptions = [ ("lib/exec/", [ "domain-spawn"; "nondet-clock" ]) ]
 
+(* Scope-restricted rules: enforced only inside the listed directories,
+   exempt everywhere else. [polymorphic-compare] is a hot-path hygiene
+   rule — caml_compare in the CSR graph core or the round engine undoes
+   the flat-int-array design — but in cold analysis/reporting code a
+   structural compare is harmless and often clearer. *)
+let scoped_only = [ ("polymorphic-compare", [ "lib/graph/"; "lib/congest/" ]) ]
+
 let contains ~sub s =
   let n = String.length s and m = String.length sub in
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
@@ -20,6 +27,11 @@ let exemptions_for file =
   List.concat_map
     (fun (scope, rules) -> if contains ~sub:scope file then rules else [])
     scoped_exemptions
+  @ List.filter_map
+      (fun (rule, scopes) ->
+        if List.exists (fun scope -> contains ~sub:scope file) scopes then None
+        else Some rule)
+      scoped_only
 
 let rec gather path acc =
   if Sys.is_directory path then

@@ -31,6 +31,16 @@
                        stay single-domain deterministic; multicore
                        sharding happens one whole simulation per domain,
                        never inside one
+   L5 — hot-path hygiene (enforced in lib/graph and lib/congest only,
+        via the driver's scope restriction):
+     [polymorphic-compare]  bare [compare] passed as a comparator, or a
+                       comparison operator applied to a syntactically
+                       structured operand (tuple/array/record/construct
+                       literal): each lands in [caml_compare], which
+                       boxes the hot path the CSR core exists to
+                       flatten. Use Int.compare, Float.compare,
+                       List.compare, or field-wise monomorphic
+                       comparisons.
 
    Escape hatch: a comment of the form "lint: allow <rule> — reason" on
    the finding's line or up to three lines above suppresses it. An allow
@@ -59,6 +69,7 @@ let rules =
     ("physical-eq", "physical equality on structural data");
     ("silenced-warning", "warning silenced by attribute");
     ("domain-spawn", "Domain.spawn outside the lib/exec pool");
+    ("polymorphic-compare", "polymorphic compare on non-immediate data");
     ("unused-allow", "lint: allow annotation suppresses no finding");
     ("parse-error", "source file does not parse");
   ]
@@ -122,6 +133,20 @@ let mutable_maker = function
   | [ ("Queue" | "Stdlib.Queue"); "create" ] -> true
   | [ ("Stack" | "Stdlib.Stack"); "create" ] -> true
   | [ ("Atomic" | "Stdlib.Atomic"); "make" ] -> true
+  | _ -> false
+
+(* Operands whose comparison via (=)/(<)/... is certain to dispatch to
+   [caml_compare] over a block: literal tuples, arrays, records, and
+   payload-carrying constructors/variants. Constant constructors ([None],
+   [V_congest]) and scalar literals are deliberately not flagged — the
+   compiler specializes comparisons whose operand type it knows, and a
+   typed literal pins the type — and plain identifiers are not flagged
+   because their type is invisible to a parsetree pass. *)
+let rec structured_operand (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_array _ | Pexp_record _ -> true
+  | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
+  | Pexp_constraint (e, _) -> structured_operand e
   | _ -> false
 
 let check_structure ~file source =
@@ -188,6 +213,11 @@ let check_structure ~file source =
             "Domain.spawn here breaks the single-domain determinism of \
              the simulator; dispatch whole jobs through the lib/exec \
              pool instead"
+        | [ "compare" ] | [ ("Stdlib" | "Pervasives"); "compare" ] ->
+          report (pos_of e) "polymorphic-compare"
+            "bare [compare] dispatches to caml_compare per element; use \
+             a monomorphic comparator (Int.compare, Float.compare, \
+             List.compare Int.compare, ...)"
         | _ -> ())
       | Pexp_apply (f, args) -> (
         (* Sanction `List.sort cmp (Hashtbl.fold ...)` and
@@ -224,6 +254,12 @@ let check_structure ~file source =
                "Hashtbl.%s iteration order can leak into messages or \
                 results; sort the output (List.sort) or justify with a \
                 lint: allow" fn)
+        | Some [ (("=" | "<>" | "<" | ">" | "<=" | ">=") as op) ]
+          when List.exists (fun (_, a) -> structured_operand a) args ->
+          report (pos_of e) "polymorphic-compare"
+            (Printf.sprintf
+               "(%s) on a structured operand is polymorphic comparison; \
+                compare the fields monomorphically instead" op)
         | _ -> ())
       | _ -> ()
     in
