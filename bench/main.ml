@@ -103,8 +103,8 @@ type cli = { mode : string; pos : int list; jobs : int option; cache : bool }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|micro|csv|failures|chaos|perf] [n [k]] [-j N \
-     | --jobs N] [--no-cache]";
+    "usage: main.exe [all|tables|micro|csv|failures|chaos|perf|serve] [n [k]] \
+     [-j N | --jobs N] [--no-cache]";
   exit 2
 
 let parse_cli argv =
@@ -167,6 +167,11 @@ let () =
        cached (the sweep ignores _cache/ by construction). *)
     ignore cache;
     Sweeps.Perf_sweep.all ?n_cap:(List.nth_opt cli.pos 0) ?jobs ()
+  | "serve" ->
+    (* optional request-count override for CI smoke: `-- serve 500`.
+       Drives the daemon over its real socket; never cached. *)
+    ignore cache;
+    Sweeps.Serve_sweep.all ?requests:(List.nth_opt cli.pos 0) ()
   | "tables" | "experiments" -> Sweeps.Experiments.all ?jobs ?cache ()
   | "micro" -> run_micro ()
   | "all" ->

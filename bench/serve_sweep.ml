@@ -1,0 +1,256 @@
+(* Load generator for the decomposition service
+   (`bench/main.exe -- serve [requests]`).
+
+   Spawns the daemon in-process (one extra domain) on a temp socket and
+   drives three phases through the real wire protocol — every byte goes
+   through Framing/Protocol exactly as a remote client's would:
+
+   - [throughput]: synchronous round trips of one memoizable request on
+     an n=1024 Erdős–Rényi graph; after the first request computes, the
+     daemon serves memo hits, so this measures the service stack
+     (socket, framing, CRC, codec, queue) rather than the solver. The
+     target is >= 1000 req/s sustained; the row records whether it was
+     met.
+   - [burst]: a pipelined burst of 256 requests against a 16-deep
+     queue; the daemon must shed the overflow with structured
+     Overloaded replies instead of collapsing. The row records the
+     shed rate.
+   - [chaos]: distributed requests under Bernoulli message drops with a
+     1 ms deadline, after priming the last-good certificate store: the
+     daemon degrades to stale certificates (or errors in a structured
+     frame) and survives. The row records degraded/stale/error counts.
+
+   The daemon is drained (clean shutdown protocol) at the end; the
+   sweep fails loudly if the drain handshake does not complete.
+
+   BENCH_serve.json schema:
+     { "sweep": "serve", "wall_s": W, "drained": bool,
+       "target_req_per_sec": 1000.0, "target_met": bool,
+       "rows": [ { "phase": "throughput|burst|chaos", "requests",
+                   "wall_s", "req_per_sec", "p50_ms", "p99_ms",
+                   "ok", "degraded", "stale", "shed", "errors" } ] } *)
+
+module P = Serve.Protocol
+module Client = Serve.Server.Client
+
+let now () = Unix.gettimeofday ()
+let target_rps = 1000.
+
+(* ------------------------------------------------------------------ *)
+(* Response accounting *)
+
+type tally = {
+  mutable ok : int;  (** fresh verified results *)
+  mutable degraded : int;  (** verified but fewer classes / unverified *)
+  mutable stale : int;  (** cached certificate served past a deadline *)
+  mutable shed : int;  (** Overloaded: bounded queue was full *)
+  mutable errors : int;  (** every other structured error frame *)
+}
+
+let tally () = { ok = 0; degraded = 0; stale = 0; shed = 0; errors = 0 }
+
+let count t = function
+  | Ok (P.Result r) ->
+    if r.P.degraded || not r.P.verified then t.degraded <- t.degraded + 1
+    else t.ok <- t.ok + 1
+  | Ok (P.Cert c) ->
+    if c.P.c_stale then t.stale <- t.stale + 1 else t.ok <- t.ok + 1
+  | Ok (P.Health_report _ | P.Drained _) -> t.ok <- t.ok + 1
+  | Ok (P.Error (P.Overloaded, _)) -> t.shed <- t.shed + 1
+  | Ok (P.Error _) | Error _ -> t.errors <- t.errors + 1
+
+type row = {
+  phase : string;
+  requests : int;
+  wall_s : float;
+  p50_ms : float;
+  p99_ms : float;
+  t : tally;
+}
+
+let percentile sorted p =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (float_of_int n *. p)))
+
+let row ~phase ~requests ~wall_s latencies t =
+  let sorted = Array.of_list latencies in
+  Array.sort compare sorted;
+  {
+    phase;
+    requests;
+    wall_s;
+    p50_ms = percentile sorted 0.50 *. 1000.;
+    p99_ms = percentile sorted 0.99 *. 1000.;
+    t;
+  }
+
+let rps r = float_of_int r.requests /. (if r.wall_s > 0. then r.wall_s else 1e-9)
+
+let pp_row r =
+  Format.printf
+    "%-10s %6d req %8.3f s %10.0f req/s  p50 %7.3f ms  p99 %7.3f ms | ok %d \
+     degraded %d stale %d shed %d errors %d@."
+    r.phase r.requests r.wall_s (rps r) r.p50_ms r.p99_ms r.t.ok r.t.degraded
+    r.t.stale r.t.shed r.t.errors
+
+(* ------------------------------------------------------------------ *)
+(* Phases *)
+
+let throughput_gen = "er:n=1024,deg=8,seed=1"
+let chaos_gen = "harary:k=4,n=64"
+
+let throughput_req =
+  { (P.default_decompose ~gen:throughput_gen) with P.k = 2; seed = 7 }
+
+let throughput_phase ~requests socket =
+  let cl = Client.connect socket in
+  (* first request computes and memoizes; it is the warmup, not the
+     measurement *)
+  let warm = Client.request cl (P.Decompose throughput_req) in
+  (match warm with
+  | Ok (P.Result _) -> ()
+  | Ok resp -> Format.printf "warmup surprise: %a@." P.pp_response resp
+  | Error m -> failwith ("throughput warmup failed: " ^ m));
+  let t = tally () in
+  let lat = ref [] in
+  let t0 = now () in
+  for _ = 1 to requests do
+    let r0 = now () in
+    let resp = Client.request cl (P.Decompose throughput_req) in
+    lat := (now () -. r0) :: !lat;
+    count t resp
+  done;
+  let wall = now () -. t0 in
+  Client.close cl;
+  row ~phase:"throughput" ~requests ~wall_s:wall !lat t
+
+let burst_phase ~requests socket =
+  let cl = Client.connect socket in
+  let t = tally () in
+  let t0 = now () in
+  for _ = 1 to requests do
+    Client.send cl (P.Decompose throughput_req)
+  done;
+  for _ = 1 to requests do
+    count t (Client.recv cl)
+  done;
+  let wall = now () -. t0 in
+  Client.close cl;
+  row ~phase:"burst" ~requests ~wall_s:wall [] t
+
+let chaos_phase ~requests socket =
+  let cl = Client.connect socket in
+  (* prime the last-good certificate store: one healthy verified run
+     records a certificate under this graph's digest *)
+  (match
+     Client.request cl
+       (P.Decompose { (P.default_decompose ~gen:chaos_gen) with P.k = 4 })
+   with
+  | Ok (P.Result { P.verified = true; _ }) -> ()
+  | Ok resp ->
+    Format.printf "chaos priming did not verify: %a@." P.pp_response resp
+  | Error m -> failwith ("chaos priming failed: " ^ m));
+  let t = tally () in
+  let lat = ref [] in
+  let t0 = now () in
+  for i = 1 to requests do
+    let req =
+      {
+        (P.default_decompose ~gen:chaos_gen) with
+        P.k = 4;
+        seed = 100 + i;
+        distributed = true;
+        fail_p = 0.45;
+        storm = "2:6:8" (* up to 48 of 64 nodes crash mid-run *);
+        deadline_ms = 1;
+      }
+    in
+    let r0 = now () in
+    let resp = Client.request cl (P.Decompose req) in
+    lat := (now () -. r0) :: !lat;
+    count t resp
+  done;
+  let wall = now () -. t0 in
+  Client.close cl;
+  row ~phase:"chaos" ~requests ~wall_s:wall !lat t
+
+(* ------------------------------------------------------------------ *)
+
+let json_row r =
+  Exec.Artifact.Obj
+    [
+      ("phase", Exec.Artifact.String r.phase);
+      ("requests", Exec.Artifact.Int r.requests);
+      ("wall_s", Exec.Artifact.Float r.wall_s);
+      ("req_per_sec", Exec.Artifact.Float (rps r));
+      ("p50_ms", Exec.Artifact.Float r.p50_ms);
+      ("p99_ms", Exec.Artifact.Float r.p99_ms);
+      ("ok", Exec.Artifact.Int r.t.ok);
+      ("degraded", Exec.Artifact.Int r.t.degraded);
+      ("stale", Exec.Artifact.Int r.t.stale);
+      ("shed", Exec.Artifact.Int r.t.shed);
+      ("errors", Exec.Artifact.Int r.t.errors);
+    ]
+
+let all ?(requests = 3000) () =
+  Format.printf "@.== decomposition service load sweep (%d requests) ==@."
+    requests;
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "decompose-bench-%d.sock" (Unix.getpid ()))
+  in
+  let ready = Atomic.make false in
+  let cfg =
+    {
+      (Serve.Server.default_config ~socket_path:socket) with
+      Serve.Server.queue_capacity = 16 (* small on purpose: burst must shed *);
+    }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let t0 = now () in
+  (* let-bound: list elements would evaluate right-to-left *)
+  let tp = throughput_phase ~requests socket in
+  let burst = burst_phase ~requests:256 socket in
+  let chaos = chaos_phase ~requests:24 socket in
+  let rows = [ tp; burst; chaos ] in
+  List.iter pp_row rows;
+  (* clean shutdown: drain, then join the daemon domain *)
+  let cl = Client.connect socket in
+  let drained =
+    match Client.request cl P.Drain with
+    | Ok (P.Drained { served }) ->
+      Format.printf "drained after %d served requests@." served;
+      true
+    | Ok resp ->
+      Format.printf "drain surprise: %a@." P.pp_response resp;
+      false
+    | Error m ->
+      Format.printf "drain failed: %s@." m;
+      false
+  in
+  Client.close cl;
+  Domain.join daemon;
+  let wall = now () -. t0 in
+  let met = rps tp >= target_rps in
+  Format.printf "throughput target %.0f req/s: %s (%.0f req/s)@." target_rps
+    (if met then "MET" else "MISSED")
+    (rps tp);
+  Exec.Artifact.write_json ~path:"BENCH_serve.json"
+    (Exec.Artifact.Obj
+       [
+         ("sweep", Exec.Artifact.String "serve");
+         ("wall_s", Exec.Artifact.Float wall);
+         ("drained", Exec.Artifact.Bool drained);
+         ("target_req_per_sec", Exec.Artifact.Float target_rps);
+         ("target_met", Exec.Artifact.Bool met);
+         ("rows", Exec.Artifact.List (List.map json_row rows));
+       ]);
+  if not drained then exit 1

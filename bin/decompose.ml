@@ -38,9 +38,9 @@ let seed_arg =
 let check_arg =
   Arg.(value & flag & info [ "check" ]
          ~doc:"Run the distributed protocol twice from the same seed and \
-               fail (exit 3) unless telemetry — rounds, words, loads, \
-               per-round traffic digests — is bit-identical. Requires \
-               $(b,--distributed).")
+               fail (exit 3, replay divergence) unless telemetry — rounds, \
+               words, loads, per-round traffic digests — is bit-identical. \
+               Requires $(b,--distributed).")
 
 (* Under --check, run [f] through Net.replay_check and report; otherwise
    run it once. Either way the caller gets [f]'s result. *)
@@ -55,7 +55,7 @@ let run_checked ~check net f =
         Congest.Net.pp_telemetry report.Congest.Net.r_second
     | Some d ->
       Format.eprintf "replay check: seed-determinism violated: %s@." d;
-      exit 3);
+      exit Exit_codes.replay_divergence);
     match !out with Some r -> r | None -> assert false
   end
 
@@ -117,7 +117,7 @@ let vertex_cmd =
       List.iter
         (Format.printf "violation: %a@." Domtree.Packing.pp_violation)
         vs;
-      exit 1
+      exit Exit_codes.failure
   in
   let dist_arg =
     Arg.(value & flag & info [ "distributed" ]
@@ -167,7 +167,7 @@ let edge_cmd =
       List.iter
         (Format.printf "violation: %a@." Spantree.Spacking.pp_violation)
         vs;
-      exit 1
+      exit Exit_codes.failure
   in
   let dist_arg =
     Arg.(value & flag & info [ "distributed" ]
@@ -391,11 +391,11 @@ let verified_cmd =
     | Ok () -> Format.printf "certificate check: OK@."
     | Error errs ->
       List.iter (Format.eprintf "certificate check: %s@.") errs;
-      exit 1);
+      exit Exit_codes.failure);
     if not r.Domtree.Reliable.verified then begin
       Format.printf "FAILED: no verified decomposition in %d attempts@."
         (List.length r.Domtree.Reliable.attempts);
-      exit 1
+      exit Exit_codes.failure
     end;
     (match r.Domtree.Reliable.repair with
     | None ->
@@ -417,7 +417,7 @@ let verified_cmd =
       Format.printf "DEGRADED: %d of %d requested classes retained@."
         r.Domtree.Reliable.classes_retained
         cert.Domtree.Certificate.c_classes_requested;
-      exit 4
+      exit Exit_codes.degraded
     end
   in
   let dist_arg =
@@ -461,7 +461,7 @@ let test_packing_cmd =
     Format.printf "tester: pass=%b domination=%b connectivity=%b@."
       outcome.Domtree.Tester.pass outcome.Domtree.Tester.domination_ok
       outcome.Domtree.Tester.connectivity_ok;
-    if not outcome.Domtree.Tester.pass then exit 1
+    if not outcome.Domtree.Tester.pass then exit Exit_codes.failure
   in
   Cmd.v
     (Cmd.info "test-packing"
@@ -496,6 +496,195 @@ let exact_cmd =
     (Cmd.info "exact" ~doc:"Exact connectivity values and cut witnesses")
     Term.(const run $ gen_arg $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* The decomposition service (DESIGN.md §11): `serve` runs the daemon,
+   `serve-call` is the blocking client used interactively and by CI *)
+
+module Sp = Serve.Protocol
+
+let socket_arg =
+  Arg.(value & opt string "decompose.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix domain socket path of the daemon.")
+
+let serve_cmd =
+  let run socket queue deadline_ms rounds_per_ms ms_per_attempt max_n cache_dir
+      chaos_fail_p chaos_storm =
+    let cfg =
+      {
+        (Serve.Server.default_config ~socket_path:socket) with
+        Serve.Server.queue_capacity = queue;
+        disk_cache_dir = cache_dir;
+        worker =
+          {
+            Serve.Worker.default_config with
+            Serve.Worker.default_deadline_ms = deadline_ms;
+            rounds_per_ms;
+            ms_per_attempt;
+            max_n;
+            chaos_fail_p;
+            chaos_storm = Option.value ~default:"" chaos_storm;
+          };
+      }
+    in
+    Serve.Server.run
+      ~on_ready:(fun () ->
+        Format.printf "serving on %s (queue %d, default deadline %d ms%s)@."
+          socket queue deadline_ms
+          (if chaos_fail_p > 0. || chaos_storm <> None then ", chaos mode"
+           else ""))
+      cfg;
+    Format.printf "drained; exiting@."
+  in
+  let queue_arg =
+    Arg.(value & opt nonneg_int_conv 64 & info [ "queue" ] ~docv:"N"
+           ~doc:"Bounded request-queue capacity; a full queue sheds with \
+                 an Overloaded reply (exit 5 on the client).")
+  in
+  let deadline_arg =
+    Arg.(value & opt nonneg_int_conv 2000 & info [ "deadline-ms" ]
+           ~doc:"Default per-request deadline when the client sends 0.")
+  in
+  let rpm_arg =
+    Arg.(value & opt nonneg_int_conv 500 & info [ "rounds-per-ms" ]
+           ~doc:"Deadline-to-budget mapping: CONGEST rounds charged per \
+                 deadline millisecond for distributed requests.")
+  in
+  let mpa_arg =
+    Arg.(value & opt nonneg_int_conv 250 & info [ "ms-per-attempt" ]
+           ~doc:"Deadline-to-budget mapping: milliseconds per centralized \
+                 retry attempt.")
+  in
+  let max_n_arg =
+    Arg.(value & opt nonneg_int_conv (1 lsl 20) & info [ "max-n" ]
+           ~doc:"Admission control: largest graph (vertices) served.")
+  in
+  let cache_arg =
+    Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Persist last-good certificates to this directory so \
+                 degraded responses survive restarts.")
+  in
+  let chaos_p_arg =
+    Arg.(value & opt probability_conv 0. & info [ "chaos-fail-p" ] ~docv:"P"
+           ~doc:"Chaos mode: Bernoulli message drops injected into every \
+                 distributed request served.")
+  in
+  let chaos_storm_arg =
+    Arg.(value & opt (some string) None & info [ "chaos-storm" ]
+           ~docv:"FROM:PER:LEN"
+           ~doc:"Chaos mode: crash storm injected into every distributed \
+                 request served.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the decomposition daemon (Unix socket, framed binary \
+             protocol); serves until a drain request completes")
+    Term.(const run $ socket_arg $ queue_arg $ deadline_arg $ rpm_arg $ mpa_arg
+          $ max_n_arg $ cache_arg $ chaos_p_arg $ chaos_storm_arg)
+
+let serve_call_cmd =
+  let run socket health drain crash_test certificate verify gen seed k policy
+      distributed deadline_ms fail_p storm =
+    let req =
+      if health then Sp.Health
+      else if drain then Sp.Drain
+      else if crash_test then Sp.Crash_test
+      else
+        match gen with
+        | None ->
+          failwith
+            "serve-call needs --gen (or one of --health/--drain/--crash-test)"
+        | Some gen ->
+          if certificate then Sp.Certificate { gen }
+          else begin
+            let d =
+              {
+                Sp.gen;
+                seed;
+                k;
+                policy;
+                distributed;
+                deadline_ms;
+                fail_p;
+                storm = Option.value ~default:"" storm;
+              }
+            in
+            if verify then Sp.Verify d else Sp.Decompose d
+          end
+    in
+    let cl = Serve.Server.Client.connect socket in
+    let res = Serve.Server.Client.request cl req in
+    Serve.Server.Client.close cl;
+    match res with
+    | Error m ->
+      Format.eprintf "serve-call: transport error: %s@." m;
+      exit Exit_codes.failure
+    | Ok resp ->
+      Format.printf "%a@." Sp.pp_response resp;
+      let code =
+        match resp with
+        | Sp.Result r ->
+          if r.Sp.stale || r.Sp.degraded then Exit_codes.degraded
+          else if r.Sp.verified then Exit_codes.ok
+          else Exit_codes.failure
+        | Sp.Cert c ->
+          if c.Sp.c_stale then Exit_codes.degraded else Exit_codes.ok
+        | Sp.Health_report _ | Sp.Drained _ -> Exit_codes.ok
+        | Sp.Error (Sp.Overloaded, _) -> Exit_codes.overloaded
+        | Sp.Error (Sp.Bad_request, _) -> Exit_codes.usage
+        | Sp.Error _ -> Exit_codes.failure
+      in
+      if code <> Exit_codes.ok then exit code
+  in
+  let health_arg =
+    Arg.(value & flag & info [ "health" ] ~doc:"Liveness probe; answers \
+                                               even under a full queue.")
+  in
+  let drain_arg =
+    Arg.(value & flag & info [ "drain" ]
+           ~doc:"Stop admission, let the queue empty, shut the daemon down.")
+  in
+  let crash_arg' =
+    Arg.(value & flag & info [ "crash-test" ]
+           ~doc:"Test hook: make the worker raise mid-request; the daemon \
+                 must answer Internal_error and survive.")
+  in
+  let cert_arg =
+    Arg.(value & flag & info [ "certificate" ]
+           ~doc:"Fetch the last cached certificate for --gen (no \
+                 recompute).")
+  in
+  let verify_flag =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Decompose, then independently re-check the certificate.")
+  in
+  let k_arg =
+    Arg.(value & opt nonneg_int_conv 0 & info [ "k" ]
+           ~doc:"Connectivity classes to request; 0 lets the daemon \
+                 estimate (Corollary 1.7).")
+  in
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("retry", `Retry); ("repair", `Repair) ]) `Retry
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Recovery policy.")
+  in
+  let dist_arg =
+    Arg.(value & flag & info [ "distributed" ]
+           ~doc:"Run on the V-CONGEST runtime (required for fault \
+                 injection).")
+  in
+  let deadline_arg =
+    Arg.(value & opt nonneg_int_conv 0 & info [ "deadline-ms" ]
+           ~doc:"Per-request deadline; 0 = the daemon's default.")
+  in
+  Cmd.v
+    (Cmd.info "serve-call"
+       ~doc:"Send one request to a running daemon and print the reply; \
+             exit codes: 0 ok, 1 failure, 2 bad request, 4 \
+             degraded/stale, 5 overloaded")
+    Term.(const run $ socket_arg $ health_arg $ drain_arg $ crash_arg'
+          $ cert_arg $ verify_flag $ gen_arg $ seed_arg $ k_arg $ policy_arg
+          $ dist_arg $ deadline_arg $ fail_p_arg $ storm_arg)
+
 let () =
   let doc = "distributed connectivity decomposition (PODC'14), executable" in
   let info = Cmd.info "decompose" ~version:"1.0.0" ~doc in
@@ -507,7 +696,7 @@ let () =
         (Cmd.group info
            [
              vertex_cmd; edge_cmd; approx_vc_cmd; gossip_cmd; verified_cmd;
-             test_packing_cmd; exact_cmd;
+             test_packing_cmd; exact_cmd; serve_cmd; serve_call_cmd;
            ])
     with
     | Congest.Net.Protocol_violation v ->
@@ -515,9 +704,19 @@ let () =
          report the offending round/node/edge instead of a backtrace *)
       Format.eprintf "decompose: protocol violation: %a@."
         Congest.Net.pp_violation v;
-      2
+      Exit_codes.usage
     | Failure msg | Invalid_argument msg ->
       Format.eprintf "decompose: %s@." msg;
-      2
+      Exit_codes.usage
+    | Unix.Unix_error (err, syscall, arg) ->
+      (* serve/serve-call socket trouble (daemon not running, stale
+         path, permissions): one readable line, not a backtrace *)
+      (* lint: allow nondet-clock — renders an errno for the
+         diagnostic; no clock or environment is read *)
+      let reason = Unix.error_message err in
+      Format.eprintf "decompose: %s%s: %s@." syscall
+        (if arg = "" then "" else " " ^ arg)
+        reason;
+      Exit_codes.failure
   in
   exit status

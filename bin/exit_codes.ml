@@ -1,0 +1,29 @@
+(* The CLI's one authoritative exit-code table. Every subcommand exits
+   through these names — `exit 4` as a scattered magic number is how the
+   degraded status drifted between subcommands and docs before this
+   module existed.
+
+     0  ok                 success; output verified where applicable
+     1  failure            verification failed / violations found /
+                           request-level service error
+     2  usage              bad invocation, malformed input, model error
+     3  replay_divergence  --check found seed-determinism broken
+     4  degraded           verified but degraded: fewer classes than
+                           requested, or a stale cached certificate
+     5  overloaded         the serve daemon shed the request *)
+
+let ok = 0
+let failure = 1
+let usage = 2
+let replay_divergence = 3
+let degraded = 4
+let overloaded = 5
+
+let describe = function
+  | 0 -> "ok"
+  | 1 -> "failure (verification failed or service error)"
+  | 2 -> "usage or model error"
+  | 3 -> "replay divergence (determinism violated)"
+  | 4 -> "verified but degraded (or stale certificate served)"
+  | 5 -> "overloaded (request shed by the daemon)"
+  | c -> Printf.sprintf "unknown exit code %d" c

@@ -17,6 +17,7 @@ type result = {
   verified : bool;
   retries : int;
   rounds_charged : int;
+  budget_exhausted : bool;
   repair : Repair.t option;
   certificate : Certificate.t;
   degraded : bool;
@@ -50,7 +51,7 @@ let snapshot_memberships ~live n memfn =
   Array.init n (fun r -> if live r then List.sort_uniq compare (memfn r) else [])
 
 let finalize ~live ~k g ~classes ~packing ~memberships ~attempts ~retries
-    ~rounds_charged ~repair ~verified =
+    ~rounds_charged ~repair ~verified ?(budget_exhausted = false) () =
   let memfn r = memberships.(r) in
   let certificate = Certificate.build ~live g ~memberships:memfn ~classes ~k in
   {
@@ -60,6 +61,7 @@ let finalize ~live ~k g ~classes ~packing ~memberships ~attempts ~retries
     verified;
     retries;
     rounds_charged;
+    budget_exhausted;
     repair;
     certificate;
     degraded = Certificate.degraded certificate;
@@ -89,7 +91,7 @@ let run_verified ?(seed = 42) ?(max_retries = default_max_retries) ?jumpstart
         { attempt_seed = s; outcome; attempt_rounds = 0; repaired } :: acc
       in
       finalize ~packing:res ~memberships ~attempts:acc ~retries:attempt
-        ~rounds_charged:0 ~repair ~verified
+        ~rounds_charged:0 ~repair ~verified ()
     in
     if outcome.Tester.pass then
       stop ~verified:true ~repaired:false ~outcome
@@ -148,8 +150,8 @@ let pack_verified ?seed ?max_retries ?policy g ~k =
 (* Distributed pipeline *)
 
 let run_verified_distributed ?(seed = 42) ?(max_retries = default_max_retries)
-    ?(backoff = default_backoff) ?jumpstart ?(policy = (`Retry : policy)) ?k
-    net ~classes ~layers =
+    ?(backoff = default_backoff) ?jumpstart ?(policy = (`Retry : policy))
+    ?round_budget ?k net ~classes ~layers =
   let n = Net.n net in
   let k = match k with Some k -> k | None -> 3 * classes in
   let live r = Net.node_alive net r in
@@ -170,14 +172,16 @@ let run_verified_distributed ?(seed = 42) ?(max_retries = default_max_retries)
       Tester.run_distributed ~seed:s ~live net ~memberships:memfn ~classes
         ~detection_rounds
     in
-    let stop ~verified ~repaired ~outcome ~memberships ~repair ~discarded acc =
+    let stop ?budget_exhausted ~verified ~repaired ~outcome ~memberships
+        ~repair ~discarded acc =
       let attempt_rounds = Net.rounds_since net a_start + discarded in
       let acc =
         { attempt_seed = s; outcome; attempt_rounds; repaired } :: acc
       in
-      finalize ~packing:res ~memberships ~attempts:acc ~retries:attempt
+      finalize ?budget_exhausted ~packing:res ~memberships ~attempts:acc
+        ~retries:attempt
         ~rounds_charged:(Net.rounds_since net start + !discarded_total)
-        ~repair ~verified
+        ~repair ~verified ()
     in
     if outcome.Tester.pass then
       stop ~verified:true ~repaired:false ~outcome
@@ -223,8 +227,19 @@ let run_verified_distributed ?(seed = 42) ?(max_retries = default_max_retries)
           ~memberships:rep.Repair.r_memberships ~repair:(Some rep) ~discarded:0
           acc
       | None ->
-        if attempt >= max_retries then
-          stop ~verified:false
+        (* a deadline-derived round budget truncates the retry ladder:
+           once the rounds already charged (plus the backoff the next
+           retry would cost) reach the budget, stop here and report the
+           exhaustion instead of overrunning the caller's deadline *)
+        let budget_hit =
+          match round_budget with
+          | None -> false
+          | Some b ->
+            Net.rounds_since net start + !discarded_total + backoff attempt
+            >= b
+        in
+        if attempt >= max_retries || budget_hit then
+          stop ~budget_exhausted:budget_hit ~verified:false
             ~repaired:(policy = `Repair)
             ~outcome
             ~memberships:(snapshot_memberships ~live n memfn)
@@ -250,7 +265,9 @@ let run_verified_distributed ?(seed = 42) ?(max_retries = default_max_retries)
   in
   go 0 []
 
-let pack_verified_distributed ?seed ?max_retries ?backoff ?policy net ~k =
-  run_verified_distributed ?seed ?max_retries ?backoff ?policy ~k net
+let pack_verified_distributed ?seed ?max_retries ?backoff ?policy ?round_budget
+    net ~k =
+  run_verified_distributed ?seed ?max_retries ?backoff ?policy ?round_budget ~k
+    net
     ~classes:(Cds_packing.default_classes ~k)
     ~layers:(Cds_packing.default_layers ~n:(Net.n net))

@@ -60,6 +60,11 @@ type result = {
   rounds_charged : int;
       (** distributed: rounds consumed including backoff and
           rolled-back repair regions; centralized: 0 *)
+  budget_exhausted : bool;
+      (** the distributed pipeline stopped retrying because a
+          [round_budget] (a deadline expressed in CONGEST rounds) was
+          reached before the retry ladder was exhausted; always [false]
+          centralized and when no budget was given *)
   repair : Repair.t option;
       (** the repair that produced [memberships], when one verified *)
   certificate : Certificate.t;  (** always present, even unverified *)
@@ -104,13 +109,21 @@ val pack_verified :
 (** Distributed packing + distributed tester over the CONGEST runtime;
     [backoff attempt] silent rounds are charged before retry
     [attempt + 1]; liveness is taken from the installed fault
-    adversary via {!Congest.Net.node_alive}. *)
+    adversary via {!Congest.Net.node_alive}.
+
+    [round_budget] is a deadline expressed on the CONGEST clock (the
+    serve daemon maps wall-clock deadlines to it — DESIGN.md §11): the
+    first attempt always runs, but a retry is only started while the
+    rounds charged so far plus its backoff stay below the budget.
+    Stopping early sets [budget_exhausted]; the accounting invariant
+    ([rounds_charged] = attempts + backoffs) is unchanged. *)
 val run_verified_distributed :
   ?seed:int ->
   ?max_retries:int ->
   ?backoff:(int -> int) ->
   ?jumpstart:int ->
   ?policy:policy ->
+  ?round_budget:int ->
   ?k:int ->
   Congest.Net.t ->
   classes:int ->
@@ -122,6 +135,7 @@ val pack_verified_distributed :
   ?max_retries:int ->
   ?backoff:(int -> int) ->
   ?policy:policy ->
+  ?round_budget:int ->
   Congest.Net.t ->
   k:int ->
   result

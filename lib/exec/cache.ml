@@ -17,9 +17,46 @@ let rec mkdir_p path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* A writer that crashed between [open_out] and [Sys.rename] leaves its
+   per-domain temporary behind; nothing ever reads "<key>.tmp.<domain>"
+   files, so without a sweep they accumulate forever. [open_dir] runs
+   before any pool domain starts writing, so everything matching the
+   temporary pattern at open time is guaranteed stale. *)
+let is_stale_tmp name =
+  match String.index_opt name '.' with
+  | None -> false
+  | Some _ -> (
+    (* "<key>.tmp.<digits>" *)
+    match String.rindex_opt name '.' with
+    | None -> false
+    | Some last ->
+      let suffix_ok =
+        last < String.length name - 1
+        && String.for_all
+             (fun c -> c >= '0' && c <= '9')
+             (String.sub name (last + 1) (String.length name - last - 1))
+      in
+      let tmp = ".tmp" in
+      suffix_ok
+      && last >= String.length tmp
+      && String.sub name (last - String.length tmp) (String.length tmp) = tmp)
+
+let sweep_stale_tmp root =
+  match Sys.readdir root with
+  | exception Sys_error _ -> 0
+  | entries ->
+    Array.fold_left
+      (fun swept name ->
+        if is_stale_tmp name then (
+          (try Sys.remove (Filename.concat root name) with Sys_error _ -> ());
+          swept + 1)
+        else swept)
+      0 entries
+
 let open_dir ?(version = format_version) dir =
   let root = Filename.concat dir (Printf.sprintf "v%d" version) in
   mkdir_p root;
+  ignore (sweep_stale_tmp root);
   { root; version; hits = Atomic.make 0; misses = Atomic.make 0 }
 
 let dir t = t.root

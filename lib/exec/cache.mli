@@ -21,7 +21,10 @@ val default_dir : string
     entry encoding changes shape. *)
 val format_version : int
 
-(** [open_dir ?version dir] creates [<dir>/v<version>/] if needed.
+(** [open_dir ?version dir] creates [<dir>/v<version>/] if needed, and
+    sweeps stale write temporaries ([<key>.tmp.<domain>] files a crashed
+    writer left behind — nothing ever reads them, so at open time, which
+    precedes every pool write of this process, they are garbage).
     [version] defaults to {!format_version}. *)
 val open_dir : ?version:int -> string -> t
 

@@ -41,6 +41,12 @@ let gen_graph spec =
     Gen.random_k_connected rng ~n:(get "n" ~default:32)
       ~k:(get "k" ~default:4)
       ~extra:(get "extra" ~default:32)
+  | "er" ->
+    (* G(n, p) with p = deg/n — arguments are integers throughout, so
+       the expected average degree is the knob, not p itself *)
+    let n = get "n" ~default:64 in
+    Gen.erdos_renyi rng ~n
+      ~p:(float_of_int (get "deg" ~default:8) /. float_of_int (max 1 n))
   | other -> failwith ("unknown generator: " ^ other)
 
 let load ?(on_load = fun () -> ()) ~gen ~file () =

@@ -10,7 +10,8 @@ val parse_kv : string -> string * (string * int) list
 
 (** Build a graph from a generator spec. Known generators: harary,
     hypercube, clique, cycle, grid, torus, clique_path, lollipop,
-    random. Raises [Failure] on an unknown name. *)
+    random, er (["er:n=1024,deg=8,seed=1"] is G(n, deg/n)). Raises
+    [Failure] on an unknown name. *)
 val gen_graph : string -> Graph.t
 
 (** [load ~gen ~file] resolves exactly one of a generator spec or an

@@ -1,0 +1,61 @@
+type entry = { cert : Domtree.Certificate.t; fresh : bool }
+
+type t = {
+  mem : (string, entry) Hashtbl.t;
+  disk : Exec.Cache.t option;
+}
+
+let create ?disk () = { mem = Hashtbl.create 64; disk }
+
+(* The disk side rides Exec.Cache's content-addressed keys: the key is
+   the Job key of a synthetic "serve.cert" job parameterized by the
+   graph digest alone, so each graph has exactly one slot and a newer
+   certificate atomically replaces the older one. *)
+let cache_key ~digest =
+  Exec.Job.key
+    (Exec.Job.make ~algo:"serve.cert" ~params:[ ("digest", digest) ] ~seed:0
+       (fun () -> Exec.Job.payload ""))
+
+let lookup t ~digest =
+  match Hashtbl.find_opt t.mem digest with
+  | Some e -> Some e
+  | None -> (
+    match t.disk with
+    | None -> None
+    | Some cache -> (
+      match Exec.Cache.find cache ~key:(cache_key ~digest) with
+      | None -> None
+      | Some payload -> (
+        match Protocol.decode_certificate payload.Exec.Job.out with
+        | Error _ -> None
+        | Ok cert ->
+          let e = { cert; fresh = false } in
+          Hashtbl.replace t.mem digest e;
+          Some e)))
+
+(* "Last-good" is monotone: a verified-but-degraded certificate (say,
+   0 classes survived a storm) must never clobber a better one already
+   held for the graph — degrading to it later would under-serve. Equal
+   strength re-records, refreshing [fresh]. *)
+let strength cert = Domtree.Certificate.retained_count cert
+
+let record t ~digest cert =
+  let keep =
+    match lookup t ~digest with
+    | Some e -> strength cert >= strength e.cert
+    | None -> true
+  in
+  if keep then begin
+    Hashtbl.replace t.mem digest { cert; fresh = true };
+    match t.disk with
+    | None -> ()
+    | Some cache ->
+      let payload =
+        Exec.Job.payload
+          ~meta:[ ("digest", digest) ]
+          (Protocol.encode_certificate cert)
+      in
+      Exec.Cache.store cache ~key:(cache_key ~digest) payload
+  end
+
+let count t = Hashtbl.length t.mem

@@ -1,0 +1,64 @@
+let version = 1
+let default_max_len = 4 * 1024 * 1024
+let overhead = 1 + 4 + 4
+
+(* CRC-32 (IEEE, reflected): the table is computed once at module init
+   and never written again. *)
+let crc_table =
+  let t = Array.make 256 0 in
+  for n = 0 to 255 do
+    let c = ref n in
+    for _ = 0 to 7 do
+      c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let crc32 s =
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := crc_table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let encode payload =
+  let n = String.length payload in
+  let b = Buffer.create (n + overhead) in
+  Buffer.add_char b (Char.chr version);
+  Buffer.add_int32_be b (Int32.of_int n);
+  Buffer.add_string b payload;
+  Buffer.add_int32_be b (Int32.of_int (crc32 payload));
+  Buffer.contents b
+
+let try_decode ?(max_len = default_max_len) buf ~len =
+  if len < 1 then `Need_more
+  else begin
+    let v = Char.code (Bytes.get buf 0) in
+    if v <> version then
+      `Error (Printf.sprintf "bad frame version %d (want %d)" v version)
+    else if len < 5 then `Need_more
+    else begin
+      let n = Int32.to_int (Bytes.get_int32_be buf 1) land 0xFFFFFFFF in
+      if n > max_len then
+        `Error (Printf.sprintf "frame length %d exceeds cap %d" n max_len)
+      else if len < overhead + n then `Need_more
+      else begin
+        let payload = Bytes.sub_string buf 5 n in
+        let crc =
+          Int32.to_int (Bytes.get_int32_be buf (5 + n)) land 0xFFFFFFFF
+        in
+        if crc <> crc32 payload then `Error "frame CRC mismatch"
+        else `Frame (payload, overhead + n)
+      end
+    end
+  end
+
+let write_frame fd payload =
+  let frame = Bytes.of_string (encode payload) in
+  let total = Bytes.length frame in
+  let off = ref 0 in
+  while !off < total do
+    off := !off + Unix.write fd frame !off (total - !off)
+  done
+

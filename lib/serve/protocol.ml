@@ -1,0 +1,443 @@
+type policy = [ `Retry | `Repair ]
+
+type decompose_req = {
+  gen : string;
+  seed : int;
+  k : int;
+  policy : policy;
+  distributed : bool;
+  deadline_ms : int;
+  fail_p : float;
+  storm : string;
+}
+
+let default_decompose ~gen =
+  {
+    gen;
+    seed = 42;
+    k = 0;
+    policy = `Retry;
+    distributed = false;
+    deadline_ms = 0;
+    fail_p = 0.;
+    storm = "";
+  }
+
+type request =
+  | Decompose of decompose_req
+  | Verify of decompose_req
+  | Certificate of { gen : string }
+  | Health
+  | Drain
+  | Crash_test
+
+type decompose_resp = {
+  digest : string;
+  verified : bool;
+  degraded : bool;
+  stale : bool;
+  budget_exhausted : bool;
+  classes_requested : int;
+  classes_retained : int;
+  rounds_charged : int;
+  attempts : int;
+}
+
+type certificate_resp = {
+  c_digest : string;
+  c_stale : bool;
+  c_cert : Domtree.Certificate.t;
+}
+
+type health_resp = {
+  h_uptime_ms : int;
+  h_served : int;
+  h_fresh : int;
+  h_stale : int;
+  h_shed : int;
+  h_errors : int;
+  h_queue_depth : int;
+  h_queue_capacity : int;
+  h_draining : bool;
+  h_cached_certs : int;
+}
+
+type error_kind =
+  | Bad_request
+  | Overloaded
+  | Deadline_exceeded
+  | Not_found
+  | Internal_error
+  | Shutting_down
+
+type response =
+  | Result of decompose_resp
+  | Cert of certificate_resp
+  | Health_report of health_resp
+  | Drained of { served : int }
+  | Error of error_kind * string
+
+let error_kind_to_string = function
+  | Bad_request -> "bad_request"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Not_found -> "not_found"
+  | Internal_error -> "internal_error"
+  | Shutting_down -> "shutting_down"
+
+(* ------------------------------------------------------------------ *)
+(* Encoding primitives: big-endian fixed-width ints, length-prefixed
+   strings. A reader is a cursor over an immutable string; every read
+   is bounds-checked and a failure raises the private [Malformed],
+   which the public decoders catch into [Error _]. *)
+
+exception Malformed of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt
+
+type reader = { src : string; mutable pos : int }
+
+let reader src = { src; pos = 0 }
+
+let need r n =
+  if r.pos + n > String.length r.src then
+    bad "truncated payload: need %d bytes at offset %d of %d" n r.pos
+      (String.length r.src)
+
+let get_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_int r =
+  need r 8;
+  let v = Int64.to_int (String.get_int64_be r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r = Int64.float_of_bits (Int64.of_int (get_int r))
+
+let get_bool r =
+  match get_u8 r with
+  | 0 -> false
+  | 1 -> true
+  | v -> bad "bad bool byte %d" v
+
+(* String payloads are also bounded individually, so a forged length
+   cannot make the decoder allocate more than the frame it was given. *)
+let get_str r =
+  let n = get_int r in
+  if n < 0 || n > String.length r.src - r.pos then
+    bad "bad string length %d at offset %d" n r.pos;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_list r get =
+  let n = get_int r in
+  if n < 0 || n > String.length r.src - r.pos then bad "bad list length %d" n;
+  List.init n (fun _ -> get r)
+
+let finish r v =
+  if r.pos <> String.length r.src then
+    bad "trailing garbage: %d of %d bytes consumed" r.pos
+      (String.length r.src)
+  else v
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+let put_int b v = Buffer.add_int64_be b (Int64.of_int v)
+let put_float b v = put_int b (Int64.to_int (Int64.bits_of_float v))
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_str b s =
+  put_int b (String.length s);
+  Buffer.add_string b s
+
+let put_list b put l =
+  put_int b (List.length l);
+  List.iter (put b) l
+
+(* ------------------------------------------------------------------ *)
+(* Request codec *)
+
+let put_policy b = function `Retry -> put_u8 b 0 | `Repair -> put_u8 b 1
+
+let get_policy r =
+  match get_u8 r with
+  | 0 -> `Retry
+  | 1 -> `Repair
+  | v -> bad "bad policy byte %d" v
+
+let put_decompose b d =
+  put_str b d.gen;
+  put_int b d.seed;
+  put_int b d.k;
+  put_policy b d.policy;
+  put_bool b d.distributed;
+  put_int b d.deadline_ms;
+  put_float b d.fail_p;
+  put_str b d.storm
+
+let get_decompose r =
+  let gen = get_str r in
+  let seed = get_int r in
+  let k = get_int r in
+  let policy = get_policy r in
+  let distributed = get_bool r in
+  let deadline_ms = get_int r in
+  let fail_p = get_float r in
+  let storm = get_str r in
+  { gen; seed; k; policy; distributed; deadline_ms; fail_p; storm }
+
+let encode_request req =
+  let b = Buffer.create 64 in
+  (match req with
+  | Decompose d ->
+    put_u8 b 0x01;
+    put_decompose b d
+  | Verify d ->
+    put_u8 b 0x02;
+    put_decompose b d
+  | Certificate { gen } ->
+    put_u8 b 0x03;
+    put_str b gen
+  | Health -> put_u8 b 0x04
+  | Drain -> put_u8 b 0x05
+  | Crash_test -> put_u8 b 0x06);
+  Buffer.contents b
+
+let decode_request s =
+  match
+    let r = reader s in
+    let req =
+      match get_u8 r with
+      | 0x01 -> Decompose (get_decompose r)
+      | 0x02 -> Verify (get_decompose r)
+      | 0x03 -> Certificate { gen = get_str r }
+      | 0x04 -> Health
+      | 0x05 -> Drain
+      | 0x06 -> Crash_test
+      | op -> bad "unknown request opcode 0x%02x" op
+    in
+    finish r req
+  with
+  | req -> Ok req
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Certificate codec *)
+
+let put_witness b (w : Domtree.Certificate.witness) =
+  put_int b w.Domtree.Certificate.w_class;
+  put_list b put_int w.Domtree.Certificate.w_vertices;
+  put_list b
+    (fun b (u, v) ->
+      put_int b u;
+      put_int b v)
+    w.Domtree.Certificate.w_edges
+
+let get_witness r =
+  let w_class = get_int r in
+  let w_vertices = get_list r get_int in
+  let w_edges =
+    get_list r (fun r ->
+        let u = get_int r in
+        let v = get_int r in
+        (u, v))
+  in
+  { Domtree.Certificate.w_class; w_vertices; w_edges }
+
+let put_certificate b (c : Domtree.Certificate.t) =
+  put_int b c.Domtree.Certificate.c_classes_requested;
+  put_list b put_int c.Domtree.Certificate.c_retained;
+  put_list b put_int c.Domtree.Certificate.c_dropped;
+  put_list b put_witness c.Domtree.Certificate.c_witnesses;
+  put_int b c.Domtree.Certificate.c_k;
+  put_int b c.Domtree.Certificate.c_target;
+  put_int b c.Domtree.Certificate.c_live;
+  put_int b c.Domtree.Certificate.c_max_load
+
+let get_certificate r =
+  let c_classes_requested = get_int r in
+  let c_retained = get_list r get_int in
+  let c_dropped = get_list r get_int in
+  let c_witnesses = get_list r get_witness in
+  let c_k = get_int r in
+  let c_target = get_int r in
+  let c_live = get_int r in
+  let c_max_load = get_int r in
+  {
+    Domtree.Certificate.c_classes_requested;
+    c_retained;
+    c_dropped;
+    c_witnesses;
+    c_k;
+    c_target;
+    c_live;
+    c_max_load;
+  }
+
+let encode_certificate c =
+  let b = Buffer.create 256 in
+  put_certificate b c;
+  Buffer.contents b
+
+let decode_certificate s =
+  match
+    let r = reader s in
+    finish r (get_certificate r)
+  with
+  | c -> Ok c
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Response codec *)
+
+let put_error_kind b k =
+  put_u8 b
+    (match k with
+    | Bad_request -> 0
+    | Overloaded -> 1
+    | Deadline_exceeded -> 2
+    | Not_found -> 3
+    | Internal_error -> 4
+    | Shutting_down -> 5)
+
+let get_error_kind r =
+  match get_u8 r with
+  | 0 -> Bad_request
+  | 1 -> Overloaded
+  | 2 -> Deadline_exceeded
+  | 3 -> Not_found
+  | 4 -> Internal_error
+  | 5 -> Shutting_down
+  | v -> bad "bad error kind %d" v
+
+let encode_response resp =
+  let b = Buffer.create 128 in
+  (match resp with
+  | Result d ->
+    put_u8 b 0x81;
+    put_str b d.digest;
+    put_bool b d.verified;
+    put_bool b d.degraded;
+    put_bool b d.stale;
+    put_bool b d.budget_exhausted;
+    put_int b d.classes_requested;
+    put_int b d.classes_retained;
+    put_int b d.rounds_charged;
+    put_int b d.attempts
+  | Cert c ->
+    put_u8 b 0x82;
+    put_str b c.c_digest;
+    put_bool b c.c_stale;
+    put_certificate b c.c_cert
+  | Health_report h ->
+    put_u8 b 0x83;
+    put_int b h.h_uptime_ms;
+    put_int b h.h_served;
+    put_int b h.h_fresh;
+    put_int b h.h_stale;
+    put_int b h.h_shed;
+    put_int b h.h_errors;
+    put_int b h.h_queue_depth;
+    put_int b h.h_queue_capacity;
+    put_bool b h.h_draining;
+    put_int b h.h_cached_certs
+  | Drained { served } ->
+    put_u8 b 0x84;
+    put_int b served
+  | Error (kind, msg) ->
+    put_u8 b 0xEE;
+    put_error_kind b kind;
+    put_str b msg);
+  Buffer.contents b
+
+let decode_response s =
+  match
+    let r = reader s in
+    let resp =
+      match get_u8 r with
+      | 0x81 ->
+        let digest = get_str r in
+        let verified = get_bool r in
+        let degraded = get_bool r in
+        let stale = get_bool r in
+        let budget_exhausted = get_bool r in
+        let classes_requested = get_int r in
+        let classes_retained = get_int r in
+        let rounds_charged = get_int r in
+        let attempts = get_int r in
+        Result
+          {
+            digest;
+            verified;
+            degraded;
+            stale;
+            budget_exhausted;
+            classes_requested;
+            classes_retained;
+            rounds_charged;
+            attempts;
+          }
+      | 0x82 ->
+        let c_digest = get_str r in
+        let c_stale = get_bool r in
+        let c_cert = get_certificate r in
+        Cert { c_digest; c_stale; c_cert }
+      | 0x83 ->
+        let h_uptime_ms = get_int r in
+        let h_served = get_int r in
+        let h_fresh = get_int r in
+        let h_stale = get_int r in
+        let h_shed = get_int r in
+        let h_errors = get_int r in
+        let h_queue_depth = get_int r in
+        let h_queue_capacity = get_int r in
+        let h_draining = get_bool r in
+        let h_cached_certs = get_int r in
+        Health_report
+          {
+            h_uptime_ms;
+            h_served;
+            h_fresh;
+            h_stale;
+            h_shed;
+            h_errors;
+            h_queue_depth;
+            h_queue_capacity;
+            h_draining;
+            h_cached_certs;
+          }
+      | 0x84 -> Drained { served = get_int r }
+      | 0xEE ->
+        let kind = get_error_kind r in
+        let msg = get_str r in
+        Error (kind, msg)
+      | op -> bad "unknown response opcode 0x%02x" op
+    in
+    finish r resp
+  with
+  | resp -> Ok resp
+  | exception Malformed m -> Error m
+
+let pp_response ppf = function
+  | Result d ->
+    Format.fprintf ppf
+      "result digest=%s verified=%b degraded=%b stale=%b budget_exhausted=%b \
+       classes=%d/%d rounds=%d attempts=%d"
+      d.digest d.verified d.degraded d.stale d.budget_exhausted
+      d.classes_retained d.classes_requested d.rounds_charged d.attempts
+  | Cert c ->
+    Format.fprintf ppf "certificate digest=%s stale=%b %a" c.c_digest c.c_stale
+      Domtree.Certificate.pp c.c_cert
+  | Health_report h ->
+    Format.fprintf ppf
+      "health uptime=%dms served=%d (fresh=%d stale=%d) shed=%d errors=%d \
+       queue=%d/%d draining=%b cached_certs=%d"
+      h.h_uptime_ms h.h_served h.h_fresh h.h_stale h.h_shed h.h_errors
+      h.h_queue_depth h.h_queue_capacity h.h_draining h.h_cached_certs
+  | Drained { served } -> Format.fprintf ppf "drained served=%d" served
+  | Error (kind, msg) ->
+    Format.fprintf ppf "error %s: %s" (error_kind_to_string kind) msg

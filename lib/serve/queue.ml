@@ -1,0 +1,36 @@
+(* A plain ring buffer; head/tail are monotonically increasing counters
+   and the slot array is sized to capacity, so full/empty are exact and
+   push is O(1) with no allocation after [create]. *)
+
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  mutable head : int;  (* next slot to pop *)
+  mutable tail : int;  (* next slot to fill *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Serve.Queue.create: capacity must be > 0";
+  { slots = Array.make capacity None; cap = capacity; head = 0; tail = 0 }
+
+let depth q = q.tail - q.head
+let capacity q = q.cap
+let is_empty q = depth q = 0
+
+let push q x =
+  if depth q >= q.cap then false
+  else begin
+    q.slots.(q.tail mod q.cap) <- Some x;
+    q.tail <- q.tail + 1;
+    true
+  end
+
+let pop q =
+  if is_empty q then None
+  else begin
+    let i = q.head mod q.cap in
+    let x = q.slots.(i) in
+    q.slots.(i) <- None;
+    q.head <- q.head + 1;
+    x
+  end

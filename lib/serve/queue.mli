@@ -1,0 +1,23 @@
+(** Bounded FIFO request queue with explicit load shedding.
+
+    The daemon's admission control: a request either gets a slot or is
+    rejected {e immediately} with [Overloaded] — the queue never grows
+    past its capacity, so overload degrades into fast, explicit sheds
+    instead of unbounded memory growth and silently exploding latency.
+
+    Single-owner: the daemon's event loop is the only reader and
+    writer, so there is no locking here (and none needed). *)
+
+type 'a t
+
+(** [create ~capacity] — capacity must be positive. *)
+val create : capacity:int -> 'a t
+
+(** [push q x] is [true] if [x] got a slot, [false] if the queue is
+    full and the request must be shed. *)
+val push : 'a t -> 'a -> bool
+
+val pop : 'a t -> 'a option
+val depth : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool

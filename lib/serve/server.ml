@@ -1,0 +1,280 @@
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  max_frame : int;
+  accept_backlog : int;
+  worker : Worker.config;
+  disk_cache_dir : string option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    queue_capacity = 64;
+    max_frame = Framing.default_max_len;
+    accept_backlog = 64;
+    worker = Worker.default_config;
+    disk_cache_dir = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Connections *)
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable alive : bool;
+}
+
+let new_conn fd = { fd; buf = Bytes.create 4096; len = 0; alive = true }
+
+let conn_close c =
+  if c.alive then begin
+    c.alive <- false;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* A reply failure (peer went away mid-write) closes that connection
+   and nothing else. *)
+let reply c resp =
+  if c.alive then
+    try Framing.write_frame c.fd (P.encode_response resp)
+    with Unix.Unix_error _ | Sys_error _ -> conn_close c
+
+type pending = { p_conn : conn; p_req : P.request; p_enqueued_ms : float }
+
+type stats = {
+  mutable served : int;
+  mutable fresh : int;
+  mutable stale : int;
+  mutable shed : int;
+  mutable errors : int;
+}
+
+type state = {
+  cfg : config;
+  worker : Worker.t;
+  queue : pending Queue.t;
+  stats : stats;
+  started_ms : float;
+  mutable conns : conn list;
+  mutable draining : bool;
+  mutable drain_conn : conn option;
+}
+
+let health st =
+  P.Health_report
+    {
+      P.h_uptime_ms = int_of_float (Worker.now_ms () -. st.started_ms);
+      h_served = st.stats.served;
+      h_fresh = st.stats.fresh;
+      h_stale = st.stats.stale;
+      h_shed = st.stats.shed;
+      h_errors = st.stats.errors;
+      h_queue_depth = Queue.depth st.queue;
+      h_queue_capacity = Queue.capacity st.queue;
+      h_draining = st.draining;
+      h_cached_certs = Degrade.count (Worker.store st.worker);
+    }
+
+let account st resp =
+  st.stats.served <- st.stats.served + 1;
+  match resp with
+  | P.Result { P.stale = false; _ } -> st.stats.fresh <- st.stats.fresh + 1
+  | P.Result { P.stale = true; _ } | P.Cert { P.c_stale = true; _ } ->
+    st.stats.stale <- st.stats.stale + 1
+  | P.Cert _ -> st.stats.fresh <- st.stats.fresh + 1
+  | P.Error _ -> st.stats.errors <- st.stats.errors + 1
+  | P.Health_report _ | P.Drained _ -> ()
+
+(* Admission: control ops answer in the loop; work requests face the
+   bounded queue and are shed with an explicit Overloaded the moment it
+   is full. *)
+let admit st c req =
+  match req with
+  | P.Health -> reply c (health st)
+  | P.Drain ->
+    st.draining <- true;
+    st.drain_conn <- Some c
+  | req ->
+    if st.draining then reply c (P.Error (P.Shutting_down, "daemon draining"))
+    else if
+      Queue.push st.queue
+        { p_conn = c; p_req = req; p_enqueued_ms = Worker.now_ms () }
+    then ()
+    else begin
+      st.stats.shed <- st.stats.shed + 1;
+      st.stats.served <- st.stats.served + 1;
+      reply c
+        (P.Error
+           ( P.Overloaded,
+             Printf.sprintf "queue full (%d); request shed"
+               (Queue.capacity st.queue) ))
+    end
+
+(* Feed newly read bytes through the incremental frame decoder. *)
+let drain_frames st c =
+  let continue = ref true in
+  while !continue && c.alive do
+    match Framing.try_decode ~max_len:st.cfg.max_frame c.buf ~len:c.len with
+    | `Need_more -> continue := false
+    | `Error m ->
+      (* the stream cannot be resynchronized after a framing error:
+         answer once, then drop the connection *)
+      reply c (P.Error (P.Bad_request, "frame: " ^ m));
+      st.stats.errors <- st.stats.errors + 1;
+      conn_close c
+    | `Frame (payload, consumed) -> (
+      Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
+      c.len <- c.len - consumed;
+      match P.decode_request payload with
+      | Error m ->
+        st.stats.errors <- st.stats.errors + 1;
+        reply c (P.Error (P.Bad_request, "request: " ^ m))
+      | Ok req -> admit st c req)
+  done
+
+let read_conn st c =
+  if Bytes.length c.buf - c.len < 4096 then begin
+    let bigger = Bytes.create (2 * Bytes.length c.buf) in
+    Bytes.blit c.buf 0 bigger 0 c.len;
+    c.buf <- bigger
+  end;
+  match Unix.read c.fd c.buf c.len (Bytes.length c.buf - c.len) with
+  | 0 -> conn_close c
+  | r ->
+    c.len <- c.len + r;
+    drain_frames st c
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    conn_close c
+
+let process_queue st =
+  let continue = ref true in
+  while !continue do
+    match Queue.pop st.queue with
+    | None -> continue := false
+    | Some { p_conn; p_req; p_enqueued_ms } ->
+      if p_conn.alive then begin
+        let resp = Worker.handle st.worker ~enqueued_at_ms:p_enqueued_ms p_req in
+        account st resp;
+        reply p_conn resp
+      end
+  done
+
+let run ?(on_ready = fun () -> ()) cfg =
+  let worker =
+    let disk_cache =
+      Option.map (fun dir -> Exec.Cache.open_dir dir) cfg.disk_cache_dir
+    in
+    Worker.create ?disk_cache cfg.worker
+  in
+  let st =
+    {
+      cfg;
+      worker;
+      queue = Queue.create ~capacity:cfg.queue_capacity;
+      stats = { served = 0; fresh = 0; stale = 0; shed = 0; errors = 0 };
+      started_ms = Worker.now_ms ();
+      conns = [];
+      draining = false;
+      drain_conn = None;
+    }
+  in
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      List.iter conn_close st.conns;
+      try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind listener (Unix.ADDR_UNIX cfg.socket_path);
+      Unix.listen listener cfg.accept_backlog;
+      on_ready ();
+      let running = ref true in
+      while !running do
+        st.conns <- List.filter (fun c -> c.alive) st.conns;
+        let read_fds =
+          (if st.draining then [] else [ listener ])
+          @ List.map (fun c -> c.fd) st.conns
+        in
+        let readable, _, _ =
+          try Unix.select read_fds [] [] 0.05
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            if fd = listener then begin
+              match Unix.accept listener with
+              | client, _ -> st.conns <- new_conn client :: st.conns
+              | exception Unix.Unix_error _ -> ()
+            end
+            else
+              match List.find_opt (fun c -> c.fd = fd) st.conns with
+              | Some c -> read_conn st c
+              | None -> ())
+          readable;
+        process_queue st;
+        if st.draining && Queue.is_empty st.queue then begin
+          (match st.drain_conn with
+          | Some c ->
+            reply c (P.Drained { served = st.stats.served });
+            conn_close c
+          | None -> ());
+          running := false
+        end
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Client *)
+
+module Client = struct
+  (* The receive buffer persists across [recv] calls: one kernel read
+     can return several pipelined reply frames, and bytes past the
+     first frame must survive until the next [recv] — a fresh buffer
+     per call would silently drop them. *)
+  type t = { fd : Unix.file_descr; mutable rbuf : Bytes.t; mutable rlen : int }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    { fd; rbuf = Bytes.create 4096; rlen = 0 }
+
+  let send t req = Framing.write_frame t.fd (P.encode_request req)
+
+  let send_raw t bytes =
+    let b = Bytes.of_string bytes in
+    ignore (Unix.write t.fd b 0 (Bytes.length b))
+
+  let recv t =
+    let rec go () =
+      match Framing.try_decode t.rbuf ~len:t.rlen with
+      | `Frame (payload, consumed) ->
+        Bytes.blit t.rbuf consumed t.rbuf 0 (t.rlen - consumed);
+        t.rlen <- t.rlen - consumed;
+        P.decode_response payload
+      | `Error m -> Error m
+      | `Need_more ->
+        if Bytes.length t.rbuf - t.rlen < 4096 then begin
+          let bigger = Bytes.create (2 * Bytes.length t.rbuf) in
+          Bytes.blit t.rbuf 0 bigger 0 t.rlen;
+          t.rbuf <- bigger
+        end;
+        let r = Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) in
+        if r = 0 then Error "connection closed"
+        else begin
+          t.rlen <- t.rlen + r;
+          go ()
+        end
+    in
+    go ()
+
+  let request t req =
+    send t req;
+    recv t
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,60 @@
+(** The decomposition daemon: a Unix-domain-socket server over
+    {!Framing} frames of {!Protocol} requests.
+
+    Single-domain event loop ([Unix.select]): readable connections are
+    drained into per-connection buffers, complete frames are decoded
+    and admitted to the bounded {!Queue} (full queue ⇒ immediate
+    [Overloaded] reply — load shedding, not collapse), then the queue
+    is drained through {!Worker.handle} and replies are written back.
+
+    Failure containment boundaries:
+    - a malformed {e frame} (bad version, oversized, CRC mismatch) gets
+      one [Bad_request] error frame and that connection is closed — a
+      byte stream that failed its CRC cannot be resynchronized;
+    - a malformed {e payload} in a valid frame gets [Bad_request] and
+      the connection lives on;
+    - a crash inside a request is the {!Worker}'s problem and comes
+      back as an [Internal_error] frame; the loop never sees it.
+
+    [Health] and [Drain] are control operations handled in the loop
+    itself: health answers immediately even under full queues (it is
+    the liveness probe), drain stops admission, lets the queue empty,
+    answers [Drained], and makes {!run} return cleanly. *)
+
+type config = {
+  socket_path : string;
+  queue_capacity : int;
+  max_frame : int;
+  accept_backlog : int;
+  worker : Worker.config;
+  disk_cache_dir : string option;
+      (** persist last-good certificates here ({!Exec.Cache}); [None] =
+          in-memory only *)
+}
+
+val default_config : socket_path:string -> config
+
+(** [run ?on_ready cfg] binds [cfg.socket_path] (unlinking any stale
+    socket first), calls [on_ready] once accepting, and serves until a
+    [Drain] request completes. The socket file is removed on exit. *)
+val run : ?on_ready:(unit -> unit) -> config -> unit
+
+(** Blocking client, used by the CLI, the load generator, and tests. *)
+module Client : sig
+  type t
+
+  val connect : string -> t
+
+  (** One synchronous round trip. *)
+  val request : t -> Protocol.request -> (Protocol.response, string) result
+
+  (** Fire-and-forget encoded request — for pipelining; collect with
+      {!recv}. *)
+  val send : t -> Protocol.request -> unit
+
+  (** Write raw bytes with no framing — for malformed-stream tests. *)
+  val send_raw : t -> string -> unit
+
+  val recv : t -> (Protocol.response, string) result
+  val close : t -> unit
+end

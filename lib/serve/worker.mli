@@ -1,0 +1,65 @@
+(** Request execution: one request in, one structured response out —
+    {e always}, whatever happens inside.
+
+    Robustness properties, in order of the degradation ladder
+    (DESIGN.md §11):
+
+    - {b crash containment}: the compute closure runs under
+      {!Exec.Pool}'s [`Failed] containment ([~domains:1], so it stays
+      inline on the caller's domain); an escaping exception becomes an
+      [Internal_error] frame, never a dead daemon;
+    - {b transient retry}: a contained crash is retried with a
+      decorrelated seed and exponential wall-clock backoff, up to
+      [transient_retries] times while the deadline allows — fault
+      injection makes individual attempts flaky by design;
+    - {b deadlines → budgets}: a request's wall-clock deadline is
+      mapped onto the computation's own cost model before it starts —
+      distributed runs get [deadline_ms * rounds_per_ms] CONGEST rounds
+      ({!Domtree.Reliable}'s [round_budget]), centralized runs get
+      [deadline_ms / ms_per_attempt] retries;
+    - {b graceful degradation}: when the deadline expires (before or
+      during compute) or the recompute comes back unverified past the
+      deadline, the last cached certificate for the graph digest is
+      served with [stale = true] ({!Degrade}); only with nothing cached
+      does the client see [Deadline_exceeded].
+
+    Memoization: results are content-addressed by (graph digest, seed,
+    k, policy, mode, fault spec) in memory, so repeated identical
+    requests are O(1) — the cache that turns a decomposition service
+    into something that sustains thousands of requests per second. *)
+
+type config = {
+  default_deadline_ms : int;  (** applied when a request says 0 *)
+  rounds_per_ms : int;  (** deadline → distributed round budget *)
+  ms_per_attempt : int;  (** deadline → centralized retry budget *)
+  max_n : int;  (** admission control: largest graph served *)
+  chaos_fail_p : float;
+      (** daemon-wide chaos mode: Bernoulli message drops injected into
+          every distributed request, composed with per-request specs *)
+  chaos_storm : string;
+      (** daemon-wide crash storm, "FROM:PER:LEN" ([""] = none); the
+          universe is each served graph's own vertex count *)
+  transient_retries : int;
+  backoff_ms : float;  (** base of the exponential transient backoff *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?disk_cache:Exec.Cache.t -> config -> t
+
+(** The degradation store (for health reporting and tests). *)
+val store : t -> Degrade.t
+
+(** [handle t ~enqueued_at_ms req] executes [req]. [enqueued_at_ms] is
+    the wall-clock admission time (milliseconds, {!now_ms}) — queueing
+    delay counts against the deadline. [Health] and [Drain] are control
+    ops owned by the server loop; they answer [Bad_request] here. *)
+val handle : t -> enqueued_at_ms:float -> Protocol.request -> Protocol.response
+
+(** Wall-clock milliseconds (the daemon's single clock source). *)
+val now_ms : unit -> float
+
+(** Content digest of a graph's vertex count + edge set (hex). *)
+val graph_digest : Graphs.Graph.t -> string

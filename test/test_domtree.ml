@@ -898,6 +898,103 @@ let test_reliable_rounds_exact_accounting () =
   Alcotest.(check int) "clock delta matches" (Congest.Net.rounds net)
     r.Reliable.rounds_charged
 
+let test_reliable_round_budget_truncates () =
+  (* a deadline-derived round budget of 1: the first attempt always
+     runs (a budget never yields an empty result), but the retry ladder
+     is cut immediately after, with the exhaustion reported and the
+     accounting invariant intact *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let r =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:4 ~round_budget:1
+      net ~classes:10 ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check bool) "budget exhaustion reported" true
+    r.Reliable.budget_exhausted;
+  Alcotest.(check int) "single attempt despite max_retries=4" 1
+    (List.length r.Reliable.attempts);
+  Alcotest.(check int) "no retries" 0 r.Reliable.retries;
+  (* no backoff was charged: rounds_charged is exactly the attempt *)
+  let attempt_sum =
+    List.fold_left (fun a x -> a + x.Reliable.attempt_rounds) 0
+      r.Reliable.attempts
+  in
+  Alcotest.(check int) "rounds = the one attempt, no backoff" attempt_sum
+    r.Reliable.rounds_charged;
+  Alcotest.(check int) "clock delta matches" (Congest.Net.rounds net)
+    r.Reliable.rounds_charged
+
+let test_reliable_retries_exhausted_is_not_budget () =
+  (* running out of max_retries is not a budget exhaustion: the flag
+     must stay false when no round_budget was given *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let net = vnet g in
+  let r =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:1 net ~classes:10
+      ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check bool) "not a budget exhaustion" false
+    r.Reliable.budget_exhausted;
+  Alcotest.(check int) "all attempts used" 2 (List.length r.Reliable.attempts)
+
+let test_reliable_budget_allows_retries_within () =
+  (* a generous budget must change nothing: same attempts, same rounds
+     as the unbudgeted run, flag false *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let unbudgeted =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:2 (vnet g)
+      ~classes:10 ~layers:2
+  in
+  let budgeted =
+    Reliable.run_verified_distributed ~seed:7 ~max_retries:2
+      ~round_budget:(10 * unbudgeted.Reliable.rounds_charged)
+      (vnet g) ~classes:10 ~layers:2
+  in
+  Alcotest.(check bool) "flag false" false budgeted.Reliable.budget_exhausted;
+  Alcotest.(check int) "same attempts"
+    (List.length unbudgeted.Reliable.attempts)
+    (List.length budgeted.Reliable.attempts);
+  Alcotest.(check int) "same rounds" unbudgeted.Reliable.rounds_charged
+    budgeted.Reliable.rounds_charged
+
+let test_reliable_repair_retains_nothing () =
+  (* extinction: with every node dead, repair has nothing to splice and
+     drops every class outright *)
+  let g = Gen.harary ~k:8 ~n:48 in
+  let dead _ = false in
+  let rep_direct =
+    Domtree.Repair.run_centralized ~live:dead g
+      ~memberships:(fun v -> [ v mod 2 ])
+      ~classes:2
+  in
+  Alcotest.(check (list int)) "repair retains nothing" []
+    rep_direct.Domtree.Repair.r_retained;
+  (* two isolated survivors (0 and 24 are >1 hop apart in this
+     circulant, so no live node can bridge them): each class ends with
+     both survivors as members in two fragments, the splice loop finds
+     no live bridge, and every class is dropped — repair retains
+     nothing, the Repair policy falls back to reseeded retries, and the
+     centralized pipeline charges exactly zero rounds.  (A fully dead
+     graph would not do: the tester passes vacuously when nobody is
+     alive to witness a violation.) *)
+  let live v = v = 0 || v = 24 in
+  let r =
+    Reliable.run_verified ~seed:7 ~max_retries:2 ~policy:`Repair ~live g
+      ~classes:10 ~layers:2
+  in
+  Alcotest.(check bool) "not verified" false r.Reliable.verified;
+  Alcotest.(check int) "all attempts used" 3 (List.length r.Reliable.attempts);
+  List.iter
+    (fun (a : Reliable.attempt) ->
+      Alcotest.(check bool) "repair was attempted each time" true a.repaired)
+    r.Reliable.attempts;
+  Alcotest.(check int) "centralized: exactly zero rounds charged" 0
+    r.Reliable.rounds_charged;
+  Alcotest.(check bool) "no repair in the result" true
+    (r.Reliable.repair = None)
+
 (* ------------------------------------------------------------------ *)
 (* Repair *)
 
@@ -1390,6 +1487,14 @@ let () =
             test_reliable_all_fail_keeps_last_packing;
           Alcotest.test_case "exact rounds accounting" `Quick
             test_reliable_rounds_exact_accounting;
+          Alcotest.test_case "round budget truncates retries" `Quick
+            test_reliable_round_budget_truncates;
+          Alcotest.test_case "retry exhaustion is not budget exhaustion"
+            `Quick test_reliable_retries_exhausted_is_not_budget;
+          Alcotest.test_case "generous budget changes nothing" `Quick
+            test_reliable_budget_allows_retries_within;
+          Alcotest.test_case "repair retains nothing" `Quick
+            test_reliable_repair_retains_nothing;
           Alcotest.test_case "repair policy rescues" `Quick
             test_reliable_repair_policy_rescues;
           Alcotest.test_case "repair cheaper than retry" `Quick

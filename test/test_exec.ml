@@ -185,6 +185,33 @@ let test_cache_ignores_foreign_magic () =
   Alcotest.(check (option payload_eq)) "foreign file is a miss" None
     (Cache.find c ~key:"kf")
 
+let test_cache_sweeps_stale_tmp () =
+  with_cache_dir @@ fun dir ->
+  (* a writer that died between open_out and rename leaves
+     "<key>.tmp.<domain>" behind; reopening the cache must sweep it
+     while leaving real entries (and non-matching names) alone *)
+  let c = Cache.open_dir dir in
+  let p = Job.payload ~rows:[ "r" ] "kept" in
+  Cache.store c ~key:"kept" p;
+  let plant name contents =
+    let oc = open_out_bin (Filename.concat (Cache.dir c) name) in
+    output_string oc contents;
+    close_out oc
+  in
+  plant "orphan.tmp.123" "half-written";
+  plant "also.tmp.7" "";
+  plant "not-a-temp.tmp.x9" "suffix is not digits";
+  let c' = Cache.open_dir dir in
+  let survivors = Sys.readdir (Cache.dir c') |> Array.to_list in
+  Alcotest.(check bool) "stale tmp 1 swept" false
+    (List.mem "orphan.tmp.123" survivors);
+  Alcotest.(check bool) "stale tmp 2 swept" false
+    (List.mem "also.tmp.7" survivors);
+  Alcotest.(check bool) "non-matching name untouched" true
+    (List.mem "not-a-temp.tmp.x9" survivors);
+  Alcotest.(check (option payload_eq)) "real entry preserved" (Some p)
+    (Cache.find c' ~key:"kept")
+
 (* ------------------------------------------------------------------ *)
 (* Sweep: rendering order, caching, failure accounting *)
 
@@ -388,6 +415,8 @@ let () =
             test_cache_corruption_recovers;
           Alcotest.test_case "foreign magic is a miss" `Quick
             test_cache_ignores_foreign_magic;
+          Alcotest.test_case "stale tmp files swept on open" `Quick
+            test_cache_sweeps_stale_tmp;
         ] );
       ( "sweep",
         [

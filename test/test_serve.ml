@@ -1,0 +1,607 @@
+(* Tests for the hardened decomposition service (lib/serve): framing,
+   codecs, admission queue, degradation store, worker robustness, and
+   an end-to-end daemon exercising all four robustness paths — load
+   shedding, crash containment, stale-certificate degradation, and
+   malformed-frame rejection — plus the clean drain protocol. *)
+
+module Framing = Serve.Framing
+module P = Serve.Protocol
+module Queue = Serve.Queue
+module Degrade = Serve.Degrade
+module Worker = Serve.Worker
+module Server = Serve.Server
+module Gen = Graphs.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let test_crc32_vector () =
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int) "crc32(\"123456789\")" 0xCBF43926
+    (Framing.crc32 "123456789");
+  Alcotest.(check int) "crc32(\"\") is zero" 0 (Framing.crc32 "")
+
+let feed frame ~len = Framing.try_decode (Bytes.of_string frame) ~len
+
+let test_framing_roundtrip () =
+  let payload = "hello, decomposition" in
+  let frame = Framing.encode payload in
+  Alcotest.(check int) "framed length"
+    (String.length payload + Framing.overhead)
+    (String.length frame);
+  match feed frame ~len:(String.length frame) with
+  | `Frame (p, consumed) ->
+    Alcotest.(check string) "payload survives" payload p;
+    Alcotest.(check int) "whole frame consumed" (String.length frame) consumed
+  | `Need_more -> Alcotest.fail "decoder wanted more of a complete frame"
+  | `Error m -> Alcotest.fail ("decoder rejected a valid frame: " ^ m)
+
+let test_framing_partial_feed () =
+  (* every strict prefix must come back Need_more, never Error *)
+  let frame = Framing.encode "partial" in
+  for len = 0 to String.length frame - 1 do
+    match feed frame ~len with
+    | `Need_more -> ()
+    | `Frame _ -> Alcotest.fail "frame produced from a strict prefix"
+    | `Error m ->
+      Alcotest.fail (Printf.sprintf "prefix of %d bytes rejected: %s" len m)
+  done
+
+let test_framing_corrupt_crc () =
+  let frame = Bytes.of_string (Framing.encode "checksummed") in
+  (* flip one payload bit: the stored CRC no longer matches *)
+  Bytes.set frame 6 (Char.chr (Char.code (Bytes.get frame 6) lxor 1));
+  match Framing.try_decode frame ~len:(Bytes.length frame) with
+  | `Error m ->
+    Alcotest.(check bool) "mentions CRC" true
+      (String.length m >= 3 && String.uppercase_ascii m <> m)
+  | `Frame _ -> Alcotest.fail "corrupt frame accepted"
+  | `Need_more -> Alcotest.fail "corrupt frame asked for more bytes"
+
+let test_framing_bad_version () =
+  let frame = Bytes.of_string (Framing.encode "v?") in
+  Bytes.set frame 0 (Char.chr (Framing.version + 1));
+  (match Framing.try_decode frame ~len:(Bytes.length frame) with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "wrong version accepted");
+  (* version is checked on the very first byte — a bad stream is
+     rejected before any length is trusted *)
+  match Framing.try_decode frame ~len:1 with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "wrong version not rejected from one byte"
+
+let test_framing_oversize_rejected () =
+  (* a forged length field beyond the cap must be rejected from the
+     5-byte header alone, before any allocation *)
+  let b = Bytes.create 5 in
+  Bytes.set b 0 (Char.chr Framing.version);
+  Bytes.set_int32_be b 1 1_000_000l;
+  match Framing.try_decode ~max_len:1024 b ~len:5 with
+  | `Error _ -> ()
+  | `Need_more -> Alcotest.fail "oversize length stalled instead of erroring"
+  | `Frame _ -> Alcotest.fail "oversize frame accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol codecs *)
+
+let sample_requests =
+  [
+    P.Decompose
+      {
+        (P.default_decompose ~gen:"harary:k=4,n=32") with
+        P.seed = 9;
+        k = 4;
+        policy = `Repair;
+        distributed = true;
+        deadline_ms = 250;
+        fail_p = 0.125;
+        storm = "2:3:4";
+      };
+    P.Verify (P.default_decompose ~gen:"grid:rows=4,cols=4");
+    P.Certificate { gen = "harary:k=4,n=32" };
+    P.Health;
+    P.Drain;
+    P.Crash_test;
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match P.decode_request (P.encode_request req) with
+      | Ok req' ->
+        Alcotest.(check bool) "request survives the codec" true (req = req')
+      | Error m -> Alcotest.fail ("request failed to decode: " ^ m))
+    sample_requests
+
+let sample_cert () =
+  let g = Gen.harary ~k:4 ~n:32 in
+  let r = Domtree.Reliable.run_verified ~seed:3 g ~classes:2 ~layers:2 in
+  r.Domtree.Reliable.certificate
+
+let sample_responses cert =
+  [
+    P.Result
+      {
+        P.digest = "abc123";
+        verified = true;
+        degraded = false;
+        stale = false;
+        budget_exhausted = true;
+        classes_requested = 4;
+        classes_retained = 3;
+        rounds_charged = 512;
+        attempts = 2;
+      };
+    P.Cert { P.c_digest = "abc123"; c_stale = true; c_cert = cert };
+    P.Health_report
+      {
+        P.h_uptime_ms = 12;
+        h_served = 34;
+        h_fresh = 30;
+        h_stale = 2;
+        h_shed = 1;
+        h_errors = 1;
+        h_queue_depth = 5;
+        h_queue_capacity = 64;
+        h_draining = true;
+        h_cached_certs = 7;
+      };
+    P.Drained { served = 99 };
+    P.Error (P.Overloaded, "queue full");
+    P.Error (P.Bad_request, "");
+  ]
+
+let test_response_roundtrip () =
+  let cert = sample_cert () in
+  List.iter
+    (fun resp ->
+      match P.decode_response (P.encode_response resp) with
+      | Ok resp' ->
+        Alcotest.(check bool) "response survives the codec" true (resp = resp')
+      | Error m -> Alcotest.fail ("response failed to decode: " ^ m))
+    (sample_responses cert)
+
+let test_certificate_codec () =
+  let cert = sample_cert () in
+  match P.decode_certificate (P.encode_certificate cert) with
+  | Ok cert' ->
+    Alcotest.(check bool) "certificate survives the codec" true (cert = cert')
+  | Error m -> Alcotest.fail ("certificate failed to decode: " ^ m)
+
+let test_decoder_rejects_garbage () =
+  (* trailing garbage, truncation, and random bytes must all come back
+     Error — never an exception, never a bogus Ok *)
+  let enc = P.encode_request (List.hd sample_requests) in
+  (match P.decode_request (enc ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  for len = 0 to String.length enc - 1 do
+    match P.decode_request (String.sub enc 0 len) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail (Printf.sprintf "truncation to %d accepted" len)
+  done;
+  match P.decode_response "\xff\xfe\xfd" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "random bytes decoded as a response"
+
+(* ------------------------------------------------------------------ *)
+(* Bounded queue *)
+
+let test_queue_fifo_and_shed () =
+  let q = Queue.create ~capacity:2 in
+  Alcotest.(check bool) "empty at birth" true (Queue.is_empty q);
+  Alcotest.(check int) "capacity" 2 (Queue.capacity q);
+  Alcotest.(check bool) "push 1" true (Queue.push q 1);
+  Alcotest.(check bool) "push 2" true (Queue.push q 2);
+  Alcotest.(check bool) "push 3 shed at capacity" false (Queue.push q 3);
+  Alcotest.(check int) "depth stays at capacity" 2 (Queue.depth q);
+  Alcotest.(check (option int)) "FIFO pop" (Some 1) (Queue.pop q);
+  (* a pop frees a slot: admission works again *)
+  Alcotest.(check bool) "push after pop" true (Queue.push q 4);
+  Alcotest.(check (option int)) "then 2" (Some 2) (Queue.pop q);
+  Alcotest.(check (option int)) "then 4" (Some 4) (Queue.pop q);
+  Alcotest.(check (option int)) "empty pops None" None (Queue.pop q)
+
+(* ------------------------------------------------------------------ *)
+(* Degradation store *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-test-%d-%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  let rec rm_rf path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm_rf dir)
+    (fun () -> f dir)
+
+let test_degrade_memory_and_disk () =
+  with_tmp_dir @@ fun dir ->
+  let cert = sample_cert () in
+  let disk = Exec.Cache.open_dir dir in
+  let d = Degrade.create ~disk () in
+  Alcotest.(check bool) "cold lookup misses" true
+    (Degrade.lookup d ~digest:"g1" = None);
+  Degrade.record d ~digest:"g1" cert;
+  (match Degrade.lookup d ~digest:"g1" with
+  | Some { Degrade.cert = c; fresh } ->
+    Alcotest.(check bool) "same certificate" true (c = cert);
+    Alcotest.(check bool) "this process's cert is fresh" true fresh
+  | None -> Alcotest.fail "recorded certificate not found");
+  Alcotest.(check int) "one digest cached" 1 (Degrade.count d);
+  (* a new store over the same disk simulates a daemon restart: the
+     certificate survives, but is no longer fresh *)
+  let d' = Degrade.create ~disk:(Exec.Cache.open_dir dir) () in
+  (match Degrade.lookup d' ~digest:"g1" with
+  | Some { Degrade.cert = c; fresh } ->
+    Alcotest.(check bool) "certificate survived the restart" true (c = cert);
+    Alcotest.(check bool) "disk replays are not fresh" false fresh
+  | None -> Alcotest.fail "certificate lost across restart");
+  (* without disk, nothing survives *)
+  let d'' = Degrade.create () in
+  Alcotest.(check bool) "memory-only store starts empty" true
+    (Degrade.lookup d'' ~digest:"g1" = None)
+
+let test_degrade_record_is_monotone () =
+  (* a verified-but-weaker certificate (here: every class lost to a
+     total blackout) must not clobber the stronger one already held *)
+  let g = Gen.harary ~k:4 ~n:32 in
+  let r = Domtree.Reliable.run_verified ~seed:3 g ~classes:2 ~layers:2 in
+  let strong = r.Domtree.Reliable.certificate in
+  let weak =
+    Domtree.Certificate.build
+      ~live:(fun _ -> false)
+      g
+      ~memberships:(fun v -> r.Domtree.Reliable.memberships.(v))
+      ~classes:2 ~k:4
+  in
+  Alcotest.(check bool) "weak really is weaker" true
+    (Domtree.Certificate.retained_count weak
+    < Domtree.Certificate.retained_count strong);
+  let d = Degrade.create () in
+  Degrade.record d ~digest:"g" strong;
+  Degrade.record d ~digest:"g" weak;
+  (match Degrade.lookup d ~digest:"g" with
+  | Some { Degrade.cert; _ } ->
+    Alcotest.(check bool) "strong survives a weak record" true (cert = strong)
+  | None -> Alcotest.fail "certificate vanished");
+  (* the weak certificate is still better than nothing on a fresh
+     digest, and a strong record upgrades it *)
+  Degrade.record d ~digest:"g2" weak;
+  Degrade.record d ~digest:"g2" strong;
+  match Degrade.lookup d ~digest:"g2" with
+  | Some { Degrade.cert; _ } ->
+    Alcotest.(check bool) "strong upgrades weak" true (cert = strong)
+  | None -> Alcotest.fail "certificate vanished"
+
+(* ------------------------------------------------------------------ *)
+(* Worker: one request in, one structured response out — always *)
+
+let worker () = Worker.create Worker.default_config
+let gen = "harary:k=4,n=32"
+let now = Worker.now_ms
+
+let expect_error kind = function
+  | P.Error (k, _) when k = kind -> ()
+  | resp ->
+    Alcotest.failf "wanted %s, got: %a"
+      (P.error_kind_to_string kind)
+      P.pp_response resp
+
+let test_worker_bad_requests () =
+  let w = worker () in
+  let d = P.default_decompose ~gen in
+  expect_error P.Bad_request
+    (Worker.handle w ~enqueued_at_ms:(now ())
+       (P.Decompose { d with P.gen = "no-such-generator:x=1" }));
+  expect_error P.Bad_request
+    (Worker.handle w ~enqueued_at_ms:(now ())
+       (P.Decompose { d with P.fail_p = 1.5 }));
+  expect_error P.Bad_request
+    (Worker.handle w ~enqueued_at_ms:(now ())
+       (* fault injection without distributed mode is meaningless *)
+       (P.Decompose { d with P.fail_p = 0.1 }));
+  expect_error P.Bad_request
+    (Worker.handle w ~enqueued_at_ms:(now ())
+       (P.Decompose { d with P.distributed = true; storm = "nonsense" }));
+  expect_error P.Bad_request
+    (Worker.handle w ~enqueued_at_ms:(now ()) (P.Decompose { d with P.k = -1 }));
+  (* control ops never reach the worker in a healthy daemon *)
+  expect_error P.Bad_request (Worker.handle w ~enqueued_at_ms:(now ()) P.Health);
+  expect_error P.Bad_request (Worker.handle w ~enqueued_at_ms:(now ()) P.Drain)
+
+let test_worker_crash_contained () =
+  let w = worker () in
+  expect_error P.Internal_error
+    (Worker.handle w ~enqueued_at_ms:(now ()) P.Crash_test);
+  (* the worker is not poisoned: a normal request still computes *)
+  match
+    Worker.handle w ~enqueued_at_ms:(now ())
+      (P.Decompose { (P.default_decompose ~gen) with P.k = 4 })
+  with
+  | P.Result r -> Alcotest.(check bool) "verified after crash" true r.P.verified
+  | resp -> Alcotest.failf "wanted a result, got: %a" P.pp_response resp
+
+let test_worker_memoizes () =
+  let w = worker () in
+  let req = P.Decompose { (P.default_decompose ~gen) with P.k = 4 } in
+  let r1 = Worker.handle w ~enqueued_at_ms:(now ()) req in
+  let t0 = now () in
+  let r2 = Worker.handle w ~enqueued_at_ms:(now ()) req in
+  let dt = now () -. t0 in
+  Alcotest.(check bool) "memo hit is identical" true (r1 = r2);
+  Alcotest.(check bool) "memo hit is instant (<50ms)" true (dt < 50.)
+
+let test_worker_deadline_degrades_to_stale () =
+  let w = worker () in
+  let d = { (P.default_decompose ~gen) with P.k = 4 } in
+  (* nothing cached yet: an expired-in-queue deadline is a hard error *)
+  expect_error P.Deadline_exceeded
+    (Worker.handle w
+       ~enqueued_at_ms:(now () -. 10_000.)
+       (P.Decompose { d with P.seed = 1 }));
+  (* prime the last-good store with a verified run, then expire again:
+     the daemon now degrades to the stale certificate instead *)
+  (match Worker.handle w ~enqueued_at_ms:(now ()) (P.Decompose d) with
+  | P.Result r -> Alcotest.(check bool) "priming verified" true r.P.verified
+  | resp -> Alcotest.failf "priming failed: %a" P.pp_response resp);
+  match
+    Worker.handle w
+      ~enqueued_at_ms:(now () -. 10_000.)
+      (P.Decompose { d with P.seed = 2 })
+  with
+  | P.Cert c ->
+    Alcotest.(check bool) "served stale" true c.P.c_stale;
+    Alcotest.(check bool) "the certificate is machine-checkable" true
+      (Domtree.Certificate.degraded c.P.c_cert = false)
+  | resp -> Alcotest.failf "wanted a stale certificate, got: %a" P.pp_response resp
+
+let test_worker_certificate_lookup () =
+  let w = worker () in
+  expect_error P.Not_found
+    (Worker.handle w ~enqueued_at_ms:(now ()) (P.Certificate { gen }));
+  (match
+     Worker.handle w ~enqueued_at_ms:(now ())
+       (P.Decompose { (P.default_decompose ~gen) with P.k = 4 })
+   with
+  | P.Result _ -> ()
+  | resp -> Alcotest.failf "decompose failed: %a" P.pp_response resp);
+  match Worker.handle w ~enqueued_at_ms:(now ()) (P.Certificate { gen }) with
+  | P.Cert c ->
+    Alcotest.(check bool) "this process's certificate is not stale" false
+      c.P.c_stale
+  | resp -> Alcotest.failf "wanted a certificate, got: %a" P.pp_response resp
+
+let test_worker_chaos_survives () =
+  (* distributed request under heavy fault injection: whatever comes
+     back must be a structured frame — degraded results, stale certs
+     and structured errors are all acceptable; an exception is not *)
+  let w = worker () in
+  for seed = 1 to 5 do
+    let req =
+      P.Decompose
+        {
+          (P.default_decompose ~gen) with
+          P.k = 4;
+          seed;
+          distributed = true;
+          fail_p = 0.4;
+          storm = "2:4:4";
+          deadline_ms = 50;
+        }
+    in
+    match Worker.handle w ~enqueued_at_ms:(now ()) req with
+    | P.Result _ | P.Cert _ | P.Error ((P.Deadline_exceeded | P.Internal_error), _)
+      ->
+      ()
+    | resp -> Alcotest.failf "unexpected chaos response: %a" P.pp_response resp
+  done
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end daemon: all four robustness paths over one socket *)
+
+let with_daemon ?(queue_capacity = 4) f =
+  let socket =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
+  in
+  let cfg =
+    { (Server.default_config ~socket_path:socket) with Server.queue_capacity }
+  in
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      (* drain if the test has not already; never leave the domain
+         running *)
+      (try
+         let cl = Server.Client.connect socket in
+         ignore (Server.Client.request cl P.Drain);
+         Server.Client.close cl
+       with _ -> ());
+      Domain.join daemon)
+    (fun () -> f socket)
+
+let request_ok cl req =
+  match Server.Client.request cl req with
+  | Ok resp -> resp
+  | Error m -> Alcotest.fail ("transport error: " ^ m)
+
+let test_daemon_end_to_end () =
+  with_daemon @@ fun socket ->
+  let cl = Server.Client.connect socket in
+  (* 0. liveness *)
+  (match request_ok cl P.Health with
+  | P.Health_report h ->
+    Alcotest.(check int) "nothing served yet" 0 h.P.h_served
+  | resp -> Alcotest.failf "health broke: %a" P.pp_response resp);
+  (* 1. crash containment: the worker dies, the daemon does not *)
+  (match request_ok cl P.Crash_test with
+  | P.Error (P.Internal_error, _) -> ()
+  | resp -> Alcotest.failf "crash not contained: %a" P.pp_response resp);
+  (* 2. a verified decomposition primes the last-good store *)
+  let d = { (P.default_decompose ~gen) with P.k = 4 } in
+  (match request_ok cl (P.Decompose d) with
+  | P.Result r -> Alcotest.(check bool) "verified" true r.P.verified
+  | resp -> Alcotest.failf "decompose broke: %a" P.pp_response resp);
+  (* 3. stale degradation: chaos + a 1ms deadline on the same graph *)
+  let chaos_seen = ref false in
+  for seed = 10 to 19 do
+    match
+      request_ok cl
+        (P.Decompose
+           {
+             d with
+             P.seed;
+             distributed = true;
+             fail_p = 0.45;
+             storm = "1:8:8";
+             deadline_ms = 1;
+           })
+    with
+    | P.Cert { P.c_stale = true; _ } -> chaos_seen := true
+    | P.Result { P.verified = false; _ } | P.Result { P.degraded = true; _ } ->
+      chaos_seen := true
+    | P.Result _ | P.Error ((P.Deadline_exceeded | P.Internal_error), _) -> ()
+    | resp -> Alcotest.failf "chaos leaked: %a" P.pp_response resp
+  done;
+  Alcotest.(check bool) "chaos produced degraded service, not death" true
+    !chaos_seen;
+  (* 4. load shedding: pipeline far more than queue + loop can admit.
+     Sheds are load-dependent, so only assert the daemon answered every
+     single frame with a structured response *)
+  let burst = 64 in
+  for seed = 100 to 100 + burst - 1 do
+    Server.Client.send cl (P.Decompose { d with P.seed })
+  done;
+  let answered = ref 0 in
+  for _ = 1 to burst do
+    match Server.Client.recv cl with
+    | Ok (P.Result _ | P.Cert _ | P.Error _) -> incr answered
+    | Ok resp -> Alcotest.failf "burst surprise: %a" P.pp_response resp
+    | Error m -> Alcotest.fail ("burst transport error: " ^ m)
+  done;
+  Alcotest.(check int) "every burst frame answered" burst !answered;
+  (* 5. malformed frame: one structured error, that connection dies,
+     the daemon lives *)
+  let bad = Server.Client.connect socket in
+  Server.Client.send_raw bad "this is definitely not a frame";
+  (match Server.Client.recv bad with
+  | Ok (P.Error (P.Bad_request, _)) -> ()
+  | Ok resp -> Alcotest.failf "malformed frame got: %a" P.pp_response resp
+  | Error m -> Alcotest.fail ("malformed frame transport error: " ^ m));
+  (match Server.Client.recv bad with
+  | Error _ -> () (* connection closed: the stream cannot be resynced *)
+  | Ok resp -> Alcotest.failf "poisoned stream answered: %a" P.pp_response resp);
+  Server.Client.close bad;
+  (* the original connection and a fresh one both still work *)
+  (match request_ok cl P.Health with
+  | P.Health_report h ->
+    Alcotest.(check bool) "served counts grew" true (h.P.h_served > 0);
+    Alcotest.(check bool) "errors were accounted" true (h.P.h_errors > 0)
+  | resp -> Alcotest.failf "health after abuse: %a" P.pp_response resp);
+  Server.Client.close cl;
+  let cl2 = Server.Client.connect socket in
+  (* 6. clean drain: structured goodbye, then the socket disappears *)
+  (match request_ok cl2 P.Drain with
+  | P.Drained { served } ->
+    Alcotest.(check bool) "drain reports the served total" true (served > 0)
+  | resp -> Alcotest.failf "drain broke: %a" P.pp_response resp);
+  Server.Client.close cl2
+
+let test_daemon_sheds_under_tiny_queue () =
+  (* deterministic shedding: capacity 1 and a burst of slow distinct
+     requests must produce at least one Overloaded *)
+  with_daemon ~queue_capacity:1 @@ fun socket ->
+  let cl = Server.Client.connect socket in
+  let d = { (P.default_decompose ~gen:"harary:k=6,n=96") with P.k = 6 } in
+  let burst = 32 in
+  for seed = 1 to burst do
+    Server.Client.send cl (P.Decompose { d with P.seed })
+  done;
+  let shed = ref 0 and okay = ref 0 in
+  for _ = 1 to burst do
+    match Server.Client.recv cl with
+    | Ok (P.Error (P.Overloaded, _)) -> incr shed
+    | Ok (P.Result _) -> incr okay
+    | Ok resp -> Alcotest.failf "burst surprise: %a" P.pp_response resp
+    | Error m -> Alcotest.fail ("transport error: " ^ m)
+  done;
+  Alcotest.(check int) "every frame answered" burst (!shed + !okay);
+  Alcotest.(check bool) "some requests were shed" true (!shed > 0);
+  Alcotest.(check bool) "some requests were served" true (!okay > 0);
+  Server.Client.close cl
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "crc32 check vector" `Quick test_crc32_vector;
+          Alcotest.test_case "roundtrip" `Quick test_framing_roundtrip;
+          Alcotest.test_case "partial feed wants more" `Quick
+            test_framing_partial_feed;
+          Alcotest.test_case "corrupt CRC rejected" `Quick
+            test_framing_corrupt_crc;
+          Alcotest.test_case "bad version rejected" `Quick
+            test_framing_bad_version;
+          Alcotest.test_case "oversize length rejected" `Quick
+            test_framing_oversize_rejected;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_response_roundtrip;
+          Alcotest.test_case "certificate codec" `Quick test_certificate_codec;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_decoder_rejects_garbage;
+        ] );
+      ( "queue",
+        [
+          Alcotest.test_case "FIFO + shed at capacity" `Quick
+            test_queue_fifo_and_shed;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "memory, disk, restart" `Quick
+            test_degrade_memory_and_disk;
+          Alcotest.test_case "record keeps the stronger certificate" `Quick
+            test_degrade_record_is_monotone;
+        ] );
+      ( "worker",
+        [
+          Alcotest.test_case "bad requests are structured" `Quick
+            test_worker_bad_requests;
+          Alcotest.test_case "crash contained" `Quick
+            test_worker_crash_contained;
+          Alcotest.test_case "memoizes" `Quick test_worker_memoizes;
+          Alcotest.test_case "deadline degrades to stale cert" `Quick
+            test_worker_deadline_degrades_to_stale;
+          Alcotest.test_case "certificate lookup" `Quick
+            test_worker_certificate_lookup;
+          Alcotest.test_case "chaos answers structurally" `Quick
+            test_worker_chaos_survives;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "end to end robustness" `Quick
+            test_daemon_end_to_end;
+          Alcotest.test_case "sheds under a tiny queue" `Quick
+            test_daemon_sheds_under_tiny_queue;
+        ] );
+    ]

@@ -9,7 +9,16 @@
    byte-identically, so the clock cannot leak into results). Everything
    else in lib/exec (no global mutable state, no global Random, no
    Obj.magic) is held to the same rules as the simulator. *)
-let scoped_exemptions = [ ("lib/exec/", [ "domain-spawn"; "nondet-clock" ]) ]
+let scoped_exemptions =
+  [
+    ("lib/exec/", [ "domain-spawn"; "nondet-clock" ]);
+    (* lib/serve is the I/O boundary: deadlines and retry backoff are
+       wall-clock phenomena by definition. The clock never reaches the
+       algorithms — it is converted to deterministic budgets (CONGEST
+       rounds, retry counts) before any computation starts, which is
+       exactly the DESIGN.md §11 deadline→budget mapping. *)
+    ("lib/serve/", [ "nondet-clock" ]);
+  ]
 
 (* Scope-restricted rules: enforced only inside the listed directories,
    exempt everywhere else. [polymorphic-compare] is a hot-path hygiene
