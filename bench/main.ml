@@ -85,8 +85,12 @@ let run_micro () =
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      Hashtbl.iter
-        (fun name wall ->
+      let rows =
+        Hashtbl.fold (fun name wall acc -> (name, wall) :: acc) results []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      List.iter
+        (fun (name, wall) ->
           match Analyze.one analyze Instance.monotonic_clock wall with
           | ols -> (
             match Analyze.OLS.estimates ols with
@@ -94,7 +98,7 @@ let run_micro () =
               Format.printf "%-32s %12.0f ns/run@." name est
             | _ -> Format.printf "%-32s (no estimate)@." name)
           | exception _ -> Format.printf "%-32s (failed)@." name)
-        results)
+        rows)
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) kernel_tests)
 
 (* CLI: flags (-j N / --jobs N / --jobs=N / --no-cache) may appear

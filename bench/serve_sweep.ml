@@ -209,6 +209,9 @@ let all ?(requests = 3000) () =
     }
   in
   let daemon =
+    (* lint: allow domain-spawn — the service daemon under test is a
+       long-lived background process, not a run-to-completion compute
+       job; Exec.Pool cannot host it, and the sweep joins it on exit *)
     Domain.spawn (fun () ->
         Serve.Server.run ~on_ready:(fun () -> Atomic.set ready true) cfg)
   in

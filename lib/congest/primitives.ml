@@ -307,6 +307,10 @@ let pipelined_converge net tree ~values ~better =
           match outgoing.(u) with
           | Some (k, payload) ->
             let tag = if k = end_key then 1 else 0 in
+            (* lint: allow msg-budget — relayed verbatim, never concatenated:
+               width is 2 + the caller's per-key payload, which the caller
+               keeps within Model.words_budget (Net rejects it at runtime
+               otherwise); the pipeline only picks [better], never appends *)
             Some (Array.append [| tag; (if k = end_key then 0 else k) |] payload)
           | None -> None)
     in

@@ -60,6 +60,10 @@ let membership_sweep net ~memberships ~payload =
       Net.broadcast_round net (fun r ->
           if s < Array.length member_lists.(r) then begin
             let i = member_lists.(r).(s) in
+            (* lint: allow msg-budget — one membership id plus the caller's
+               per-membership payload (dist_packing/tester send <= 3 words);
+               Model.words_budget is enforced per message by Net at runtime,
+               so an over-budget payload fails loudly, not silently *)
             Some (Array.of_list (i :: payload r i))
           end
           else None)

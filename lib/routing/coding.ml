@@ -126,6 +126,9 @@ let rlnc_broadcast ?(seed = 42) ?(payload_words = 1) ?(coeff_words_per_round = 6
               let upto = min nlimbs (from + budget) in
               let coeff_part =
                 if from >= nlimbs then []
+                (* lint: allow msg-budget — [upto - from <= budget <= 6] by
+                   construction: this is the fixed-width chunking that keeps
+                   each packet under Model.words_budget *)
                 else Array.to_list (Array.sub vec from (upto - from))
               in
               (* pad the final chunk with payload filler words *)
@@ -136,6 +139,9 @@ let rlnc_broadcast ?(seed = 42) ?(payload_words = 1) ?(coeff_words_per_round = 6
                     (fun _ -> 0)
                 else []
               in
+              (* lint: allow msg-budget — 1 + |coeff_part| + |filler| <=
+                 1 + budget <= 7 words, inside Model.words_budget: the
+                 chunk loop exists precisely to bound this encoding *)
               Some (Array.of_list ((chunk :: coeff_part) @ filler)))
       in
       if chunk = chunks - 1 then

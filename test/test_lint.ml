@@ -196,6 +196,357 @@ let test_parse_error () =
   Alcotest.(check bool) "unparsable source reported" true
     (List.mem "parse-error" (rules_of "let let let = = ="))
 
+(* ------------------------------------------------------------------- *)
+(* Typedtree rules (Typed_lint.fixture_findings typechecks the fixture
+   in-process and runs the same walks the driver runs on a .cmt). *)
+
+let typed_rules_of src =
+  List.map (fun f -> f.Lint_core.rule) (Typed_lint.fixture_findings src)
+
+let typed_fires rule src name =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s fires" rule)
+        true
+        (List.mem rule (typed_rules_of src)))
+
+let typed_silent_on rule src name =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s does not fire" rule)
+        false
+        (List.mem rule (typed_rules_of src)))
+
+(* --- domain-race --------------------------------------------------- *)
+
+let race_captured_ref =
+  "let f () =\n\
+  \  let hits = ref 0 in\n\
+  \  let d = Domain.spawn (fun () -> hits := !hits + 1) in\n\
+  \  ignore (Domain.join d);\n\
+  \  !hits\n"
+
+(* the acceptance fixture: a module alias hides the spawn from any
+   spelling-based (parsetree) analysis, but not from the typedtree *)
+let race_aliased_spawn =
+  "module D = Domain\n\
+   let f () =\n\
+  \  let hits = ref 0 in\n\
+  \  let d = D.spawn (fun () -> hits := !hits + 1) in\n\
+  \  ignore (D.join d);\n\
+  \  !hits\n"
+
+let race_constant_slot =
+  "let f () =\n\
+  \  let slots = Array.make 2 0 in\n\
+  \  let d = Domain.spawn (fun () -> slots.(0) <- 1) in\n\
+  \  ignore (Domain.join d);\n\
+  \  slots\n"
+
+let race_hashtbl =
+  "let f tbl =\n\
+  \  let d = Domain.spawn (fun () -> Hashtbl.replace tbl 0 1) in\n\
+  \  ignore (Domain.join d)\n"
+
+(* a spawn closure calling a let-bound sibling loop is followed onto the
+   spawned domain *)
+let race_via_worker =
+  "let f () =\n\
+  \  let total = ref 0 in\n\
+  \  let rec worker k =\n\
+  \    if k > 0 then begin total := !total + k; worker (k - 1) end\n\
+  \  in\n\
+  \  let d = Domain.spawn (fun () -> worker 3) in\n\
+  \  ignore (Domain.join d);\n\
+  \  !total\n"
+
+(* module-level state mutated by a function merely *reachable* from a
+   spawn closure (interprocedural pass) *)
+let race_module_state =
+  "let tally = ref 0\n\
+   let bump () = tally := !tally + 1\n\
+   let go () = Domain.spawn bump\n"
+
+(* a pool-style entry point (suffix-matched like Exec.Pool.run) also
+   counts as a domain boundary *)
+let race_pool_entry =
+  "module Pool = struct\n\
+  \  let run ~jobs f = ignore jobs; f 0\n\
+   end\n\
+   let f () =\n\
+  \  let acc = ref [] in\n\
+  \  Pool.run ~jobs:2 (fun i -> acc := i :: !acc)\n"
+
+let good_atomic =
+  "let f () =\n\
+  \  let hits = Atomic.make 0 in\n\
+  \  let d = Domain.spawn (fun () -> Atomic.incr hits) in\n\
+  \  ignore (Domain.join d);\n\
+  \  Atomic.get hits\n"
+
+let good_index_slot =
+  "let f n =\n\
+  \  let slots = Array.make n 0 in\n\
+  \  let ds = List.init n (fun i -> Domain.spawn (fun () -> slots.(i) <- 1)) in\n\
+  \  List.iter (fun d -> ignore (Domain.join d)) ds;\n\
+  \  slots\n"
+
+let good_closure_local =
+  "let f () =\n\
+  \  let d = Domain.spawn (fun () -> let c = ref 0 in incr c; !c) in\n\
+  \  Domain.join d\n"
+
+(* mutation outside any spawn closure is single-domain and fine *)
+let good_no_spawn =
+  "let f xs =\n\
+  \  let c = ref 0 in\n\
+  \  List.iter (fun _ -> incr c) xs;\n\
+  \  !c\n"
+
+(* --- msg-budget ---------------------------------------------------- *)
+
+(* a local module named Net satisfies the suffix match exactly like
+   Congest.Net does in the tree *)
+let net_prelude =
+  "module Net = struct\n\
+  \  let broadcast_round (n : int) (send : int -> int array option) =\n\
+  \    ignore n; ignore send\n\
+   end\n"
+
+let budget_of_list =
+  net_prelude
+  ^ "let f n xs = Net.broadcast_round n (fun _ -> Some (Array.of_list xs))\n"
+
+let budget_wide_literal =
+  net_prelude
+  ^ "let f n = Net.broadcast_round n (fun _ -> Some [| 0; 1; 2; 3; 4; 5; 6; \
+     7; 8 |])\n"
+
+let budget_make_nonconst =
+  net_prelude
+  ^ "let f n w = Net.broadcast_round n (fun _ -> Some (Array.make w 0))\n"
+
+(* the send closure bound beside the call site is still walked *)
+let budget_local_send =
+  net_prelude
+  ^ "let f n xs =\n\
+    \  let send _ = Some (Array.of_list xs) in\n\
+    \  Net.broadcast_round n send\n"
+
+let good_budget_literal =
+  net_prelude ^ "let f n = Net.broadcast_round n (fun v -> Some [| v; 1 |])\n"
+
+let good_budget_const_make =
+  net_prelude
+  ^ "let f n = Net.broadcast_round n (fun _ -> Some (Array.make 4 0))\n"
+
+(* of_list far from any send closure is not a message *)
+let good_of_list_elsewhere = "let f xs = Array.of_list xs\n"
+
+(* --- typed ports see through aliases -------------------------------- *)
+
+let aliased_random = "module R = Random\nlet roll () = R.int 6\n"
+let aliased_obj = "module O = Obj\nlet c (x : int) : string = O.magic x\n"
+
+let typed_good_sorted_fold =
+  "let keys h =\n\
+  \  Hashtbl.fold (fun k _ acc -> k :: acc) h [] |> List.sort Int.compare\n"
+
+let typed_bad_fold = "let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"
+
+(* --- typecheck-error ----------------------------------------------- *)
+
+let test_typecheck_error () =
+  Alcotest.(check (list string)) "ill-typed fixture reported"
+    [ "typecheck-error" ]
+    (typed_rules_of "let x : int = \"s\"\n")
+
+(* --- the acceptance comparison: parsetree misses, typedtree catches - *)
+
+let test_aliased_spawn_beats_parsetree () =
+  let parse_rules = rules_of race_aliased_spawn in
+  Alcotest.(check bool) "parsetree misses the aliased spawn" false
+    (List.mem "domain-spawn" parse_rules);
+  Alcotest.(check bool) "parsetree misses the race" false
+    (List.mem "domain-race" parse_rules);
+  let typed_rules = typed_rules_of race_aliased_spawn in
+  Alcotest.(check bool) "typedtree catches the spawn" true
+    (List.mem "domain-spawn" typed_rules);
+  Alcotest.(check bool) "typedtree catches the race" true
+    (List.mem "domain-race" typed_rules)
+
+(* ------------------------------------------------------------------- *)
+(* Suppression auditor *)
+
+let test_bare_allow_reported () =
+  let src =
+    "(* lint: allow hashtbl-order *)\n\
+     let keys h = Hashtbl.fold (fun k _ acc -> k :: acc) h []\n"
+  in
+  let rules = rules_of src in
+  Alcotest.(check bool) "finding suppressed" false
+    (List.mem "hashtbl-order" rules);
+  Alcotest.(check bool) "bare allow reported" true
+    (List.mem "bare-allow" rules)
+
+let test_msg_budget_allow_needs_model () =
+  let src = "(* lint: allow msg-budget — it is tiny *)\nlet x = 1\n" in
+  let allows = Lint_core.scan_allows src in
+  let finding =
+    { Lint_core.file = "f.ml"; line = 2; col = 0; rule = "msg-budget";
+      message = "m" }
+  in
+  let kept, suppressed = Lint_core.apply_allows ~file:"f.ml" ~allows [ finding ] in
+  Alcotest.(check int) "finding suppressed" 1 suppressed;
+  Alcotest.(check (list string)) "but flagged for missing Model anchor"
+    [ "bare-allow" ]
+    (List.map (fun f -> f.Lint_core.rule) kept)
+
+let test_msg_budget_allow_with_model () =
+  let src =
+    "(* lint: allow msg-budget — 2 words, within Model.words_budget *)\n\
+     let x = 1\n"
+  in
+  let allows = Lint_core.scan_allows src in
+  let finding =
+    { Lint_core.file = "f.ml"; line = 2; col = 0; rule = "msg-budget";
+      message = "m" }
+  in
+  let kept, suppressed = Lint_core.apply_allows ~file:"f.ml" ~allows [ finding ] in
+  Alcotest.(check int) "finding suppressed" 1 suppressed;
+  Alcotest.(check (list string)) "no audit findings" []
+    (List.map (fun f -> f.Lint_core.rule) kept)
+
+let test_multiline_allow () =
+  (* the justification may span lines; suppression anchors on the line
+     the comment closes, and the Model anchor may sit on any of them *)
+  let src =
+    "(* lint: allow msg-budget — chunked to a fixed width,\n\
+    \   each packet stays within Model.words_budget *)\n\
+     let x = 1\n"
+  in
+  match Lint_core.scan_allows src with
+  | [ a ] ->
+    Alcotest.(check int) "anchored on the closing line" 2 a.Lint_core.a_line;
+    Alcotest.(check bool) "reason crosses the line break" true
+      (String.length a.Lint_core.a_reason > 20)
+  | l -> Alcotest.failf "expected one allow, got %d" (List.length l)
+
+(* ------------------------------------------------------------------- *)
+(* SARIF *)
+
+let sample_findings =
+  [
+    { Lint_core.file = "lib/a.ml"; line = 3; col = 4; rule = "domain-race";
+      message = "r1" };
+    { Lint_core.file = "lib/b.ml"; line = 7; col = 0; rule = "msg-budget";
+      message = "r2" };
+  ]
+
+let test_sarif_well_formed () =
+  let doc =
+    Sarif.report ~rules:Lint_core.rules
+      ~baseline_state:(fun f ->
+        if f.Lint_core.rule = "msg-budget" then Some "new" else Some "unchanged")
+      sample_findings
+  in
+  let json = Sarif.Json.parse (Sarif.Json.to_string doc) in
+  let str_member k j =
+    Option.bind (Sarif.Json.member k j) Sarif.Json.as_string
+  in
+  Alcotest.(check (option string)) "schema"
+    (Some "https://json.schemastore.org/sarif-2.1.0.json")
+    (str_member "$schema" json);
+  Alcotest.(check (option string)) "version" (Some "2.1.0")
+    (str_member "version" json);
+  let run =
+    match Option.bind (Sarif.Json.member "runs" json) Sarif.Json.as_list with
+    | Some [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver =
+    match Option.bind (Sarif.Json.member "tool" run) (Sarif.Json.member "driver") with
+    | Some d -> d
+    | None -> Alcotest.fail "missing tool.driver"
+  in
+  Alcotest.(check (option string)) "driver name" (Some "congest-lint")
+    (str_member "name" driver);
+  (match Option.bind (Sarif.Json.member "rules" driver) Sarif.Json.as_list with
+  | Some rules ->
+    Alcotest.(check int) "one descriptor per rule"
+      (List.length Lint_core.rules) (List.length rules);
+    Alcotest.(check bool) "every descriptor has an id" true
+      (List.for_all (fun r -> str_member "id" r <> None) rules)
+  | None -> Alcotest.fail "missing driver.rules");
+  match Option.bind (Sarif.Json.member "results" run) Sarif.Json.as_list with
+  | Some [ r1; r2 ] ->
+    Alcotest.(check (option string)) "ruleId" (Some "domain-race")
+      (str_member "ruleId" r1);
+    Alcotest.(check (option string)) "level" (Some "error")
+      (str_member "level" r1);
+    Alcotest.(check (option string)) "baselineState carries the diff"
+      (Some "new")
+      (str_member "baselineState" r2);
+    let start_line =
+      Option.bind (Sarif.Json.member "locations" r1) Sarif.Json.as_list
+      |> Fun.flip Option.bind (function l :: _ -> Some l | [] -> None)
+      |> Fun.flip Option.bind (Sarif.Json.member "physicalLocation")
+      |> Fun.flip Option.bind (Sarif.Json.member "region")
+      |> Fun.flip Option.bind (Sarif.Json.member "startLine")
+      |> Fun.flip Option.bind Sarif.Json.as_int
+    in
+    Alcotest.(check (option int)) "startLine" (Some 3) start_line
+  | _ -> Alcotest.fail "expected two results"
+
+(* ------------------------------------------------------------------- *)
+(* Baseline diff *)
+
+let test_baseline_diff () =
+  let base = Baseline.of_findings sample_findings in
+  (* identical findings: everything tracked, nothing new *)
+  let d = Baseline.diff base sample_findings in
+  Alcotest.(check int) "no new findings" 0 d.Baseline.new_count;
+  Alcotest.(check int) "both tracked" 2 d.Baseline.tracked_count;
+  Alcotest.(check int) "nothing resolved" 0 (List.length d.Baseline.resolved);
+  (* one extra finding in a tracked bucket: exactly one is new *)
+  let extra =
+    { Lint_core.file = "lib/a.ml"; line = 9; col = 0; rule = "domain-race";
+      message = "r3" }
+  in
+  let d = Baseline.diff base (sample_findings @ [ extra ]) in
+  Alcotest.(check int) "surplus finding is new" 1 d.Baseline.new_count;
+  Alcotest.(check string) "the surplus one is the new one" "new"
+    (d.Baseline.state extra);
+  (* a bucket that emptied out is surfaced as resolved *)
+  let d = Baseline.diff base [ List.hd sample_findings ] in
+  Alcotest.(check int) "resolved bucket surfaced" 1
+    (List.length d.Baseline.resolved)
+
+let test_baseline_roundtrip () =
+  let path = Filename.temp_file "lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save path (Baseline.of_findings sample_findings);
+      match Baseline.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok t ->
+        let d = Baseline.diff t sample_findings in
+        Alcotest.(check int) "roundtrip tracks everything" 0
+          d.Baseline.new_count)
+
+let test_baseline_rejects_garbage () =
+  let path = Filename.temp_file "lint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"not\": \"an array\"}";
+      close_out oc;
+      match Baseline.load path with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "garbage baseline accepted")
+
 (* --- self-check: the shipped tree is clean ------------------------- *)
 
 let test_multiple_findings_counted () =
@@ -274,5 +625,63 @@ let () =
           Alcotest.test_case "parse error reported" `Quick test_parse_error;
           Alcotest.test_case "multiple findings counted" `Quick
             test_multiple_findings_counted;
+        ] );
+      ( "typed-domain-race",
+        [
+          typed_fires "domain-race" race_captured_ref "captured ref";
+          typed_fires "domain-race" race_constant_slot "constant index slot";
+          typed_fires "domain-race" race_hashtbl "captured Hashtbl";
+          typed_fires "domain-race" race_via_worker "via let-bound worker";
+          typed_fires "domain-race" race_module_state
+            "module state, interprocedural";
+          typed_fires "domain-race" race_pool_entry "pool-style entry point";
+          typed_silent_on "domain-race" good_atomic "Atomic discipline";
+          typed_silent_on "domain-race" good_index_slot "per-domain slot";
+          typed_silent_on "domain-race" good_closure_local "closure-local ref";
+          typed_silent_on "domain-race" good_no_spawn "no spawn, no race";
+          Alcotest.test_case "aliased spawn: typed catches, parsetree misses"
+            `Quick test_aliased_spawn_beats_parsetree;
+        ] );
+      ( "typed-msg-budget",
+        [
+          typed_fires "msg-budget" budget_of_list "Array.of_list in send";
+          typed_fires "msg-budget" budget_wide_literal "9-word literal";
+          typed_fires "msg-budget" budget_make_nonconst "non-constant make";
+          typed_fires "msg-budget" budget_local_send "let-bound send closure";
+          typed_silent_on "msg-budget" good_budget_literal "2-word literal";
+          typed_silent_on "msg-budget" good_budget_const_make "Array.make 4";
+          typed_silent_on "msg-budget" good_of_list_elsewhere
+            "of_list outside any send";
+        ] );
+      ( "typed-ports",
+        [
+          typed_fires "nondet-random" aliased_random "aliased Random";
+          typed_fires "obj-magic" aliased_obj "aliased Obj";
+          typed_fires "hashtbl-order" typed_bad_fold "bare fold (typed)";
+          typed_silent_on "hashtbl-order" typed_good_sorted_fold
+            "piped sort sanctions (typed)";
+          Alcotest.test_case "ill-typed fixture reported" `Quick
+            test_typecheck_error;
+        ] );
+      ( "suppression-audit",
+        [
+          Alcotest.test_case "bare allow reported" `Quick
+            test_bare_allow_reported;
+          Alcotest.test_case "msg-budget allow needs Model anchor" `Quick
+            test_msg_budget_allow_needs_model;
+          Alcotest.test_case "msg-budget allow with Model passes" `Quick
+            test_msg_budget_allow_with_model;
+          Alcotest.test_case "multi-line allow" `Quick test_multiline_allow;
+        ] );
+      ( "sarif",
+        [ Alcotest.test_case "well-formed report" `Quick test_sarif_well_formed ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "diff classifies new vs tracked" `Quick
+            test_baseline_diff;
+          Alcotest.test_case "save/load roundtrip" `Quick
+            test_baseline_roundtrip;
+          Alcotest.test_case "garbage rejected" `Quick
+            test_baseline_rejects_garbage;
         ] );
     ]

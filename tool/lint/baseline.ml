@@ -1,0 +1,131 @@
+(* Baseline-diff mode: track the historical finding count without
+   letting new findings ride in on it.
+
+   A baseline is a JSON array of {"file", "rule", "count"} entries —
+   per-(file, rule) counts rather than line numbers, so ordinary edits
+   above a tracked finding do not churn the baseline. The diff
+   classifies each current finding: the first [count] findings of a
+   (file, rule) bucket are "unchanged" (tracked, reported, never
+   failing), anything beyond is "new" (fails the build). A bucket whose
+   current count dropped below the baseline is "resolved" — surfaced so
+   --update-baseline ratchets the budget down. The shipped baseline
+   (tool/lint/baseline.json) is empty: this tree lints clean, and the
+   mechanism exists so a future true-positive burst (say, the domain
+   sharding landing with known debt) can land tracked instead of
+   silenced. *)
+
+type t = (string * string, int) Hashtbl.t (* (file, rule) -> count *)
+
+let empty () : t = Hashtbl.create 8
+
+let load path : (t, string) result =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+    match Sarif.Json.parse text with
+    | exception Sarif.Json.Parse_error e ->
+      Error (Printf.sprintf "%s: %s" path e)
+    | json -> (
+      match Sarif.Json.as_list json with
+      | None -> Error (path ^ ": baseline must be a JSON array")
+      | Some entries ->
+        let t = empty () in
+        let ok =
+          List.for_all
+            (fun entry ->
+              match
+                ( Option.bind (Sarif.Json.member "file" entry)
+                    Sarif.Json.as_string,
+                  Option.bind (Sarif.Json.member "rule" entry)
+                    Sarif.Json.as_string,
+                  Option.bind (Sarif.Json.member "count" entry)
+                    Sarif.Json.as_int )
+              with
+              | Some file, Some rule, Some count when count > 0 ->
+                Hashtbl.replace t (file, rule) count;
+                true
+              | _ -> false)
+            entries
+        in
+        if ok then Ok t
+        else Error (path ^ ": entries need file/rule/count fields")))
+
+let save path (t : t) =
+  let entries =
+    Hashtbl.fold (fun (file, rule) count acc -> (file, rule, count) :: acc) t []
+    |> List.sort compare
+    |> List.map (fun (file, rule, count) ->
+           Sarif.Json.Obj
+             [
+               ("file", Sarif.Json.Str file);
+               ("rule", Sarif.Json.Str rule);
+               ("count", Sarif.Json.Num (float_of_int count));
+             ])
+  in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Sarif.Json.to_string (Sarif.Json.Arr entries));
+      output_char oc '\n')
+
+let of_findings findings : t =
+  let t = empty () in
+  List.iter
+    (fun (f : Lint_core.finding) ->
+      let key = (f.Lint_core.file, f.Lint_core.rule) in
+      Hashtbl.replace t key (1 + Option.value ~default:0 (Hashtbl.find_opt t key)))
+    findings;
+  t
+
+type diff = {
+  state : Lint_core.finding -> string;  (** "new" | "unchanged" *)
+  new_count : int;
+  tracked_count : int;
+  resolved : (string * string * int) list;
+      (** (file, rule, surplus) buckets whose findings went away *)
+}
+
+(* Findings must arrive sorted (the driver sorts); the first [count] of
+   each bucket are tracked, the rest are new. *)
+let diff (t : t) findings : diff =
+  let seen = Hashtbl.create 16 in
+  let states = Hashtbl.create 16 in
+  let new_count = ref 0 and tracked = ref 0 in
+  List.iter
+    (fun (f : Lint_core.finding) ->
+      let key = (f.Lint_core.file, f.Lint_core.rule) in
+      let used = Option.value ~default:0 (Hashtbl.find_opt seen key) in
+      Hashtbl.replace seen key (used + 1);
+      let budget = Option.value ~default:0 (Hashtbl.find_opt t key) in
+      let state = if used < budget then "unchanged" else "new" in
+      if state = "new" then incr new_count else incr tracked;
+      Hashtbl.replace states
+        (f.Lint_core.file, f.Lint_core.rule, f.Lint_core.line, f.Lint_core.col,
+         f.Lint_core.message)
+        state)
+    findings;
+  let resolved =
+    Hashtbl.fold
+      (fun (file, rule) budget acc ->
+        let used = Option.value ~default:0 (Hashtbl.find_opt seen (file, rule)) in
+        if used < budget then (file, rule, budget - used) :: acc else acc)
+      t []
+    |> List.sort compare
+  in
+  {
+    state =
+      (fun f ->
+        Option.value ~default:"new"
+          (Hashtbl.find_opt states
+             ( f.Lint_core.file, f.Lint_core.rule, f.Lint_core.line,
+               f.Lint_core.col, f.Lint_core.message )));
+    new_count = !new_count;
+    tracked_count = !tracked;
+    resolved;
+  }

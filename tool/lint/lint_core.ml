@@ -43,12 +43,23 @@
                        comparisons.
 
    Escape hatch: a comment of the form "lint: allow <rule> — reason" on
-   the finding's line or up to three lines above suppresses it. An allow
-   that suppresses nothing is itself reported ([unused-allow]) so stale
-   annotations cannot accumulate. Subsystems whose whole purpose is an
+   the finding's line or up to three lines above suppresses it. The
+   suppression auditor holds every allow to account: an allow that
+   suppresses nothing is reported ([unused-allow]) so stale annotations
+   cannot accumulate, an allow with no justification text after the rule
+   name is reported ([bare-allow]), and a [msg-budget] allow must anchor
+   its justification in the model ("Model" must appear in the reason —
+   the bound being claimed is Model.words_budget, so say why the
+   encoding meets it). Subsystems whose whole purpose is an
    otherwise-forbidden effect (lib/exec: domains and the wall clock) get
    a scoped exemption via [check_file]'s [?exempt] instead of per-line
-   allows — the scope, not each line, is what is justified. *)
+   allows — the scope, not each line, is what is justified.
+
+   This module is the parsetree half of the analyzer; Typed_lint is the
+   typedtree half (identifier resolution through Path.t, the
+   cross-domain race detector and the message-budget checker). The
+   driver (congest_lint.ml) runs both and applies allows to the merged
+   finding set. *)
 
 type finding = {
   file : string;
@@ -70,12 +81,21 @@ let rules =
     ("silenced-warning", "warning silenced by attribute");
     ("domain-spawn", "Domain.spawn outside the lib/exec pool");
     ("polymorphic-compare", "polymorphic compare on non-immediate data");
+    ("domain-race", "shared mutable state written across domains");
+    ("msg-budget", "message construction exceeds the O(log n)-word budget");
     ("unused-allow", "lint: allow annotation suppresses no finding");
+    ("bare-allow", "lint: allow annotation carries no justification");
     ("parse-error", "source file does not parse");
+    ("typecheck-error", "source file does not typecheck");
   ]
 
 let compare_findings a b =
   compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule)
+
+let contains_substring ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
 
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" f.file f.line f.col f.rule f.message
@@ -85,7 +105,18 @@ let pp_finding ppf f =
 
 let is_rule_char c = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
 
-(* Every "lint: allow <rule>" occurrence, as (line, rule) pairs. *)
+type allow = {
+  a_line : int;
+  a_rule : string;
+  a_reason : string;
+      (** justification text on the allow's own line, with the usual
+          "— " / "-- " separator stripped; [""] = bare allow *)
+}
+
+(* Every "lint: allow <rule> [— reason]" occurrence. The reason is
+   whatever follows the rule name on the same line (multi-line
+   justifications count through their first line), minus separator
+   dashes and a trailing comment close. *)
 let scan_allows source =
   let marker = "lint: allow" in
   let allows = ref [] in
@@ -99,8 +130,51 @@ let scan_allows source =
       while !j < n && source.[!j] = ' ' do incr j done;
       let start = !j in
       while !j < n && is_rule_char source.[!j] do incr j done;
-      if !j > start then
-        allows := (!line, String.sub source start (!j - start)) :: !allows
+      if !j > start then begin
+        let rule = String.sub source start (!j - start) in
+        (* the justification runs to the close of the enclosing comment
+           (allows live in (* .. *) blocks, which may span lines); fall
+           back to end-of-line if no close is found *)
+        let stop = ref !j in
+        while
+          !stop < n
+          && not (source.[!stop] = '*' && !stop + 1 < n && source.[!stop + 1] = ')')
+        do
+          incr stop
+        done;
+        let stop = if !stop < n then !stop else min n !j in
+        let stop =
+          if stop > !j then stop
+          else begin
+            let eol = ref !j in
+            while !eol < n && source.[!eol] <> '\n' do incr eol done;
+            !eol
+          end
+        in
+        let rest = String.sub source !j (stop - !j) in
+        (* strip separator dashes (ASCII and em-dash) and whitespace,
+           then judge emptiness *)
+        let reason =
+          String.to_seq rest
+          |> Seq.filter (fun c ->
+                 not
+                   (c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '-'
+                   (* em-dash bytes *)
+                   || c = '\xe2' || c = '\x80' || c = '\x94' || c = '\x93'))
+          |> String.of_seq
+        in
+        let reason = if reason = "" then "" else String.trim rest in
+        (* anchor suppression on the line the comment closes: the
+           finding must sit within three lines of the comment's end, not
+           of the marker buried at its top *)
+        let close_line =
+          !line
+          + String.fold_left
+              (fun acc c -> if c = '\n' then acc + 1 else acc)
+              0 rest
+        in
+        allows := { a_line = close_line; a_rule = rule; a_reason = reason } :: !allows
+      end
     end
   done;
   List.rev !allows
@@ -345,13 +419,12 @@ let apply_allows ~file ~allows findings =
      so stacked allow/finding pairs resolve one-to-one *)
   let suppressed_by f =
     List.filter
-      (fun (line, rule) ->
-        rule = f.rule && f.line - line >= 0 && f.line - line <= 3)
+      (fun a -> a.a_rule = f.rule && f.line - a.a_line >= 0 && f.line - a.a_line <= 3)
       allows
     |> List.fold_left
          (fun best a ->
            match best with
-           | Some (bl, _) when bl >= fst a -> best
+           | Some b when b.a_line >= a.a_line -> best
            | _ -> Some a)
          None
   in
@@ -360,30 +433,61 @@ let apply_allows ~file ~allows findings =
       (fun f ->
         match suppressed_by f with
         | Some a ->
-          Hashtbl.replace used a ();
+          Hashtbl.replace used (a.a_line, a.a_rule) ();
           false
         | None -> true)
       findings
   in
-  let unused =
-    List.filter_map
-      (fun ((line, rule) as a) ->
-        if Hashtbl.mem used a then None
-        else
-          Some
-            {
-              file;
-              line;
-              col = 0;
-              rule = "unused-allow";
-              message =
-                Printf.sprintf
-                  "allow for rule %S suppresses no finding within three \
-                   lines below; remove it" rule;
-            })
+  let audit =
+    List.concat_map
+      (fun a ->
+        let unused =
+          if Hashtbl.mem used (a.a_line, a.a_rule) then []
+          else
+            [ {
+                file;
+                line = a.a_line;
+                col = 0;
+                rule = "unused-allow";
+                message =
+                  Printf.sprintf
+                    "allow for rule %S suppresses no finding within three \
+                     lines below; remove it" a.a_rule;
+              } ]
+        in
+        let bare =
+          if a.a_reason = "" then
+            [ {
+                file;
+                line = a.a_line;
+                col = 0;
+                rule = "bare-allow";
+                message =
+                  Printf.sprintf
+                    "allow for rule %S carries no justification; say why \
+                     the finding is safe (\"lint: allow %s — reason\")"
+                    a.a_rule a.a_rule;
+              } ]
+          else if
+            a.a_rule = "msg-budget"
+            && not (contains_substring ~sub:"Model" a.a_reason)
+          then
+            [ {
+                file;
+                line = a.a_line;
+                col = 0;
+                rule = "bare-allow";
+                message =
+                  "a msg-budget allow must anchor its bound in the model: \
+                   cite Model.words_budget (mention \"Model\") and say why \
+                   the encoding stays within it";
+              } ]
+          else []
+        in
+        unused @ bare)
       allows
   in
-  (kept @ unused, Hashtbl.length used)
+  (kept @ audit, Hashtbl.length used)
 
 (* [check_source ~file ?exempt source] is [(findings, suppressed_count)].
    [exempt] names rules scope-exempted for this file (e.g. lib/exec's

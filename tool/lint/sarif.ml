@@ -1,0 +1,344 @@
+(* SARIF 2.1.0 emission for congest-lint findings, plus the minimal
+   JSON layer shared with the baseline store.
+
+   The report is the machine-readable artifact CI uploads
+   (_build/default/lint_report.sarif): one run, one rule descriptor per
+   rule id, one result per finding, with [baselineState] carrying the
+   --baseline verdict ("unchanged" = tracked historical finding, "new" =
+   fails the build). Only the schema subset congest-lint needs is
+   emitted — tool.driver with rules, results with ruleId / level /
+   message / one physical location each. *)
+
+(* ------------------------------------------------------------------ *)
+(* JSON: a writer and a recursive-descent reader. The reader exists so
+   the baseline file and the test suite's schema smoke need no external
+   dependency; it accepts exactly the JSON this module writes (objects,
+   arrays, strings with \-escapes, ints/floats, bools, null). *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Num f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.0f" f)
+      else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | Arr xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          write b x)
+        xs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          write b (Str k);
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string j =
+    let b = Buffer.create 4096 in
+    write b j;
+    Buffer.contents b
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      if peek () = Some c then advance ()
+      else fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail ("expected " ^ word)
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          let c = s.[!pos] in
+          advance ();
+          match c with
+          | '"' -> Buffer.contents b
+          | '\\' -> (
+            if !pos >= n then fail "unterminated escape"
+            else
+              let e = s.[!pos] in
+              advance ();
+              match e with
+              | '"' | '\\' | '/' ->
+                Buffer.add_char b e;
+                go ()
+              | 'n' ->
+                Buffer.add_char b '\n';
+                go ()
+              | 't' ->
+                Buffer.add_char b '\t';
+                go ()
+              | 'r' ->
+                Buffer.add_char b '\r';
+                go ()
+              | 'b' ->
+                Buffer.add_char b '\b';
+                go ()
+              | 'f' ->
+                Buffer.add_char b '\012';
+                go ()
+              | 'u' ->
+                if !pos + 4 > n then fail "bad \\u escape"
+                else begin
+                  let hex = String.sub s !pos 4 in
+                  pos := !pos + 4;
+                  let code =
+                    try int_of_string ("0x" ^ hex)
+                    with _ -> fail "bad \\u escape"
+                  in
+                  (* BMP only; enough for our own output *)
+                  if code < 0x80 then Buffer.add_char b (Char.chr code)
+                  else if code < 0x800 then begin
+                    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end
+                  else begin
+                    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+                    Buffer.add_char b
+                      (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+                  end;
+                  go ()
+                end
+              | _ -> fail "bad escape")
+          | c ->
+            Buffer.add_char b c;
+            go ()
+      in
+      go ()
+    in
+    let number () =
+      let start = !pos in
+      let num_char c =
+        (c >= '0' && c <= '9')
+        || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while !pos < n && num_char s.[!pos] do
+        advance ()
+      done;
+      if !pos = start then fail "expected number"
+      else
+        match float_of_string_opt (String.sub s start (!pos - start)) with
+        | Some f -> Num f
+        | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              members ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              elements (v :: acc)
+            | Some ']' ->
+              advance ();
+              Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let as_string = function Str s -> Some s | _ -> None
+  let as_list = function Arr xs -> Some xs | _ -> None
+
+  let as_int = function
+    | Num f when Float.is_integer f -> Some (int_of_float f)
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* SARIF *)
+
+let version = "0.2"
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+(* [report ~rules ~baseline_state findings] is the SARIF document.
+   [baseline_state f] classifies each finding ("new" / "unchanged");
+   pass [fun _ -> None] when no baseline is in play. *)
+let report ~rules ~baseline_state findings =
+  let rule_descriptor (id, desc) =
+    Json.Obj
+      [
+        ("id", Json.Str id);
+        ("shortDescription", Json.Obj [ ("text", Json.Str desc) ]);
+      ]
+  in
+  let result (f : Lint_core.finding) =
+    let base =
+      [
+        ("ruleId", Json.Str f.Lint_core.rule);
+        ("level", Json.Str "error");
+        ("message", Json.Obj [ ("text", Json.Str f.Lint_core.message) ]);
+        ( "locations",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ( "physicalLocation",
+                    Json.Obj
+                      [
+                        ( "artifactLocation",
+                          Json.Obj
+                            [
+                              ("uri", Json.Str f.Lint_core.file);
+                              ("uriBaseId", Json.Str "SRCROOT");
+                            ] );
+                        ( "region",
+                          Json.Obj
+                            [
+                              ("startLine", Json.Num (float_of_int f.Lint_core.line));
+                              ( "startColumn",
+                                Json.Num (float_of_int (f.Lint_core.col + 1)) );
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+    in
+    match baseline_state f with
+    | Some state -> Json.Obj (base @ [ ("baselineState", Json.Str state) ])
+    | None -> Json.Obj base
+  in
+  Json.Obj
+    [
+      ("$schema", Json.Str schema);
+      ("version", Json.Str "2.1.0");
+      ( "runs",
+        Json.Arr
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.Str "congest-lint");
+                            ("version", Json.Str version);
+                            ( "informationUri",
+                              Json.Str
+                                "https://github.com/connectivity-decomposition \
+                                 (tool/lint, DESIGN.md section 12)" );
+                            ("rules", Json.Arr (List.map rule_descriptor rules));
+                          ] );
+                    ] );
+                ("results", Json.Arr (List.map result findings));
+              ];
+          ] );
+    ]
+
+let write_file path ~rules ~baseline_state findings =
+  let doc = report ~rules ~baseline_state findings in
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string doc);
+      output_char oc '\n')
