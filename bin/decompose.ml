@@ -508,12 +508,16 @@ let socket_arg =
 
 let serve_cmd =
   let run socket queue deadline_ms rounds_per_ms ms_per_attempt max_n cache_dir
-      chaos_fail_p chaos_storm =
+      chaos_fail_p chaos_storm state_dir snapshot_every idle_timeout_ms
+      supervise max_crashes =
     let cfg =
       {
         (Serve.Server.default_config ~socket_path:socket) with
         Serve.Server.queue_capacity = queue;
         disk_cache_dir = cache_dir;
+        state_dir;
+        snapshot_every;
+        idle_timeout_ms;
         worker =
           {
             Serve.Worker.default_config with
@@ -526,14 +530,54 @@ let serve_cmd =
           };
       }
     in
-    Serve.Server.run
-      ~on_ready:(fun () ->
-        Format.printf "serving on %s (queue %d, default deadline %d ms%s)@."
-          socket queue deadline_ms
-          (if chaos_fail_p > 0. || chaos_storm <> None then ", chaos mode"
-           else ""))
-      cfg;
-    Format.printf "drained; exiting@."
+    let serve () =
+      Serve.Server.run
+        ~on_ready:(fun () ->
+          Format.printf "serving on %s (queue %d, default deadline %d ms%s%s)@."
+            socket queue deadline_ms
+            (match state_dir with
+            | Some d -> ", journal in " ^ d
+            | None -> "")
+            (if chaos_fail_p > 0. || chaos_storm <> None then ", chaos mode"
+             else ""))
+        cfg
+    in
+    if not supervise then begin
+      serve ();
+      Format.printf "drained; exiting@."
+    end
+    else begin
+      (* supervised mode: the daemon runs in a forked child; readiness
+         is a successful Health round trip over the socket *)
+      let probe () =
+        match Serve.Server.Client.connect ~timeout_s:1. socket with
+        | cl ->
+          let ok =
+            match Serve.Server.Client.request cl Sp.Health with
+            | Ok (Sp.Health_report _) -> true
+            | _ -> false
+          in
+          Serve.Server.Client.close cl;
+          ok
+        | exception (Unix.Unix_error _ | Sys_error _) -> false
+      in
+      let outcome =
+        Serve.Supervisor.supervise
+          { Serve.Supervisor.default_config with max_crashes }
+          ~on_event:(fun e ->
+            Format.printf "supervisor: %a@." Serve.Supervisor.pp_event e;
+            Format.pp_print_flush Format.std_formatter ())
+          ~spawn:serve ~probe
+      in
+      match outcome with
+      | Serve.Supervisor.Clean_exit { restarts } ->
+        Format.printf "supervisor: daemon drained (restarts=%d); exiting@."
+          restarts
+      | Serve.Supervisor.Crash_loop { crashes } ->
+        Format.eprintf
+          "supervisor: giving up after %d crashes in the window@." crashes;
+        exit Exit_codes.crash_loop
+    end
   in
   let queue_arg =
     Arg.(value & opt nonneg_int_conv 64 & info [ "queue" ] ~docv:"N"
@@ -574,12 +618,40 @@ let serve_cmd =
            ~doc:"Chaos mode: crash storm injected into every distributed \
                  request served.")
   in
+  let state_dir_arg =
+    Arg.(value & opt (some string) None & info [ "state-dir" ] ~docv:"DIR"
+           ~doc:"Crash-only state: journal every uploaded graph and \
+                 certificate promotion here and replay it on startup, so \
+                 a kill -9 loses nothing durable.")
+  in
+  let snapshot_every_arg =
+    Arg.(value & opt nonneg_int_conv 512 & info [ "snapshot-every" ] ~docv:"N"
+           ~doc:"Journal records between snapshot compactions.")
+  in
+  let idle_timeout_arg =
+    Arg.(value & opt nonneg_int_conv 10_000 & info [ "idle-timeout-ms" ]
+           ~doc:"Slow-client guard: drop a connection whose partial frame \
+                 makes no byte progress for this long.")
+  in
+  let supervise_arg =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Run the daemon as a supervised child process: restart on \
+                 crash with exponential backoff, gate traffic on a \
+                 readiness probe, give up (exit 6) on a crash loop.")
+  in
+  let max_crashes_arg =
+    Arg.(value & opt nonneg_int_conv 5 & info [ "max-crashes" ] ~docv:"N"
+           ~doc:"Supervised mode: crashes tolerated per 60s window before \
+                 the circuit breaker opens.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Run the decomposition daemon (Unix socket, framed binary \
              protocol); serves until a drain request completes")
     Term.(const run $ socket_arg $ queue_arg $ deadline_arg $ rpm_arg $ mpa_arg
-          $ max_n_arg $ cache_arg $ chaos_p_arg $ chaos_storm_arg)
+          $ max_n_arg $ cache_arg $ chaos_p_arg $ chaos_storm_arg
+          $ state_dir_arg $ snapshot_every_arg $ idle_timeout_arg
+          $ supervise_arg $ max_crashes_arg)
 
 let serve_call_cmd =
   let run socket health drain crash_test certificate verify gen seed k policy

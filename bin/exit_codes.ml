@@ -10,7 +10,9 @@
      3  replay_divergence  --check found seed-determinism broken
      4  degraded           verified but degraded: fewer classes than
                            requested, or a stale cached certificate
-     5  overloaded         the serve daemon shed the request *)
+     5  overloaded         the serve daemon shed the request
+     6  crash_loop         the supervisor's circuit breaker opened:
+                           restarting stopped helping *)
 
 let ok = 0
 let failure = 1
@@ -18,6 +20,7 @@ let usage = 2
 let replay_divergence = 3
 let degraded = 4
 let overloaded = 5
+let crash_loop = 6
 
 let describe = function
   | 0 -> "ok"
@@ -26,4 +29,5 @@ let describe = function
   | 3 -> "replay divergence (determinism violated)"
   | 4 -> "verified but degraded (or stale certificate served)"
   | 5 -> "overloaded (request shed by the daemon)"
+  | 6 -> "crash loop (supervisor circuit breaker opened)"
   | c -> Printf.sprintf "unknown exit code %d" c

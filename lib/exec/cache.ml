@@ -2,11 +2,14 @@ let default_dir = "_cache"
 let format_version = 1
 let magic = "EXEC-CACHE"
 
+let quarantine_dirname = "_quarantine"
+
 type t = {
   root : string;  (** the versioned subdirectory entries live in *)
   version : int;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  quarantined : int Atomic.t;
 }
 
 let rec mkdir_p path =
@@ -57,7 +60,13 @@ let open_dir ?(version = format_version) dir =
   let root = Filename.concat dir (Printf.sprintf "v%d" version) in
   mkdir_p root;
   ignore (sweep_stale_tmp root);
-  { root; version; hits = Atomic.make 0; misses = Atomic.make 0 }
+  {
+    root;
+    version;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    quarantined = Atomic.make 0;
+  }
 
 let dir t = t.root
 let entry_path t ~key = Filename.concat t.root key
@@ -91,6 +100,25 @@ let decode s =
             | p -> Some p
             | exception _ -> None))
 
+(* A corrupt entry is never served and never silently destroyed: it is
+   moved aside into the quarantine subdirectory (timestamped so repeat
+   offenders of one key don't clobber each other's evidence), where a
+   post-crash investigation can still read the bytes. The entry slot is
+   freed either way, so the next store recomputes and overwrites. *)
+let quarantine t path =
+  let qdir = Filename.concat t.root quarantine_dirname in
+  mkdir_p qdir;
+  let dest =
+    Filename.concat qdir
+      (Printf.sprintf "%s.%d.%d" (Filename.basename path)
+         (int_of_float (Unix.gettimeofday () *. 1000.))
+         (Domain.self () :> int))
+  in
+  (try Sys.rename path dest
+   with Sys_error _ -> ( (* cross-device or perms: deletion beats serving *)
+     try Sys.remove path with Sys_error _ -> ()));
+  Atomic.incr t.quarantined
+
 let find t ~key =
   let path = entry_path t ~key in
   let entry =
@@ -99,9 +127,7 @@ let find t ~key =
       match decode (read_file path) with
       | Some p -> Some p
       | None | (exception Sys_error _) ->
-        (* corrupt or unreadable: drop it so the recomputed result can
-           take its place *)
-        (try Sys.remove path with Sys_error _ -> ());
+        quarantine t path;
         None
   in
   (match entry with
@@ -124,6 +150,11 @@ let store t ~key payload =
      output_string oc (Digest.to_hex (Digest.string data));
      output_char oc '\n';
      output_string oc data;
+     (* fsync before the rename: without it a crash can leave the
+        {e renamed} file with torn contents — the rename is atomic in
+        the namespace, not in the page cache *)
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
      close_out oc;
      Sys.rename tmp path
    with e ->
@@ -133,3 +164,30 @@ let store t ~key payload =
 
 let hits t = Atomic.get t.hits
 let misses t = Atomic.get t.misses
+let quarantined t = Atomic.get t.quarantined
+
+type scan_report = { scanned : int; valid : int; swept : int }
+
+(* Full-cache integrity audit (the chaos harness's "zero
+   undetected-corrupt entries" check): decode every entry; failures are
+   quarantined exactly as [find] would have. After [scan] returns,
+   every remaining entry file decodes. *)
+let scan t =
+  let entries =
+    match Sys.readdir t.root with
+    | entries -> Array.to_list entries
+    | exception Sys_error _ -> []
+  in
+  List.fold_left
+    (fun acc name ->
+      let path = Filename.concat t.root name in
+      if name = quarantine_dirname || is_stale_tmp name || Sys.is_directory path
+      then acc
+      else
+        match decode (read_file path) with
+        | Some _ -> { acc with scanned = acc.scanned + 1; valid = acc.valid + 1 }
+        | None | (exception Sys_error _) ->
+          quarantine t path;
+          { acc with scanned = acc.scanned + 1; swept = acc.swept + 1 })
+    { scanned = 0; valid = 0; swept = 0 }
+    (List.sort String.compare entries)

@@ -5,12 +5,17 @@
     at once — versioned invalidation without a scan. Entries carry a
     magic header and a digest of the marshalled payload; a read that
     fails the magic, the digest, or unmarshalling is treated as a miss
-    and the corrupt file is deleted (recompute-and-overwrite recovery).
+    and the corrupt file is moved into [<root>/_quarantine/] — never
+    served, never silently destroyed (recompute-and-overwrite recovery,
+    with the evidence preserved for inspection).
 
-    Writes go through a per-domain temporary file renamed into place, so
-    a killed run never leaves a truncated entry, and concurrent stores
-    of the same key resolve to one complete file (last rename wins).
-    [find]/[store] are safe to call from any {!Pool} domain. *)
+    Writes go through a per-domain temporary file that is fsync'd and
+    then renamed into place, so a kill -9 at any instant never leaves a
+    truncated or torn entry under the entry's name (the rename is
+    atomic in the namespace; the fsync makes it atomic in content), and
+    concurrent stores of the same key resolve to one complete file
+    (last rename wins). [find]/[store] are safe to call from any
+    {!Pool} domain. *)
 
 type t
 
@@ -41,3 +46,20 @@ val store : t -> key:string -> Job.payload -> unit
 val hits : t -> int
 
 val misses : t -> int
+
+(** Entries moved to quarantine since [open_dir] (by {!find} or
+    {!scan}). *)
+val quarantined : t -> int
+
+type scan_report = {
+  scanned : int;  (** entry files examined *)
+  valid : int;  (** decoded cleanly *)
+  swept : int;  (** corrupt: quarantined by this scan *)
+}
+
+(** [scan t] decodes every entry in the cache (skipping the quarantine
+    and write temporaries) and quarantines the ones that fail. After it
+    returns, every entry still in place is servable — the invariant the
+    crash-recovery harness asserts as "zero undetected-corrupt
+    entries". *)
+val scan : t -> scan_report

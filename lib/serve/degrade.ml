@@ -39,14 +39,14 @@ let lookup t ~digest =
    strength re-records, refreshing [fresh]. *)
 let strength cert = Domtree.Certificate.retained_count cert
 
-let record t ~digest cert =
+let record ?(fresh = true) t ~digest cert =
   let keep =
     match lookup t ~digest with
     | Some e -> strength cert >= strength e.cert
     | None -> true
   in
   if keep then begin
-    Hashtbl.replace t.mem digest { cert; fresh = true };
+    Hashtbl.replace t.mem digest { cert; fresh };
     match t.disk with
     | None -> ()
     | Some cache ->
@@ -56,6 +56,14 @@ let record t ~digest cert =
           (Protocol.encode_certificate cert)
       in
       Exec.Cache.store cache ~key:(cache_key ~digest) payload
-  end
+  end;
+  keep
 
 let count t = Hashtbl.length t.mem
+
+let fold t f init =
+  (* canonical order for journal snapshots: sorted digests (lint:
+     Hashtbl iteration order is nondeterministic) *)
+  Hashtbl.fold (fun digest e acc -> (digest, e) :: acc) t.mem []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.fold_left (fun acc (digest, e) -> f acc digest e) init

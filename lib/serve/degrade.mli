@@ -24,13 +24,17 @@ type t
 (** [create ?disk ()] — [disk] enables cross-restart persistence. *)
 val create : ?disk:Exec.Cache.t -> unit -> t
 
-(** [record t ~digest cert] stores [cert] as the last-good certificate
-    for [digest] (in memory as [fresh], and on disk when enabled).
+(** [record ?fresh t ~digest cert] stores [cert] as the last-good
+    certificate for [digest] (in memory, and on disk when enabled).
     "Last-good" is monotone in retained classes: a certificate weaker
     than the one already held (e.g. verified-but-empty after a storm)
-    is discarded rather than clobbering it; equal strength re-records
-    and refreshes [fresh]. *)
-val record : t -> digest:string -> Domtree.Certificate.t -> unit
+    is discarded rather than clobbering it; equal strength re-records.
+    Returns [true] iff the certificate was kept — the caller's cue to
+    journal the promotion. [fresh] (default [true]) marks the entry as
+    computed by this process; journal replay warms with [~fresh:false]
+    so replayed certificates are served as stale. *)
+val record :
+  ?fresh:bool -> t -> digest:string -> Domtree.Certificate.t -> bool
 
 (** [lookup t ~digest] consults memory first, then the disk cache —
     a disk hit is memoized (as non-fresh) for subsequent lookups. *)
@@ -38,6 +42,10 @@ val lookup : t -> digest:string -> entry option
 
 (** Number of digests with a last-good certificate in memory. *)
 val count : t -> int
+
+(** [fold t f init] folds over in-memory entries in sorted-digest
+    order — the deterministic order journal snapshots are written in. *)
+val fold : t -> ('a -> string -> entry -> 'a) -> 'a -> 'a
 
 (** The {!Exec.Cache} key a digest's certificate is stored under —
     exposed so tests can inspect the disk side. *)

@@ -31,22 +31,23 @@ let encode payload =
   Buffer.add_int32_be b (Int32.of_int (crc32 payload));
   Buffer.contents b
 
-let try_decode ?(max_len = default_max_len) buf ~len =
-  if len < 1 then `Need_more
+let try_decode ?(max_len = default_max_len) ?(pos = 0) buf ~len =
+  let avail = len - pos in
+  if avail < 1 then `Need_more
   else begin
-    let v = Char.code (Bytes.get buf 0) in
+    let v = Char.code (Bytes.get buf pos) in
     if v <> version then
       `Error (Printf.sprintf "bad frame version %d (want %d)" v version)
-    else if len < 5 then `Need_more
+    else if avail < 5 then `Need_more
     else begin
-      let n = Int32.to_int (Bytes.get_int32_be buf 1) land 0xFFFFFFFF in
+      let n = Int32.to_int (Bytes.get_int32_be buf (pos + 1)) land 0xFFFFFFFF in
       if n > max_len then
         `Error (Printf.sprintf "frame length %d exceeds cap %d" n max_len)
-      else if len < overhead + n then `Need_more
+      else if avail < overhead + n then `Need_more
       else begin
-        let payload = Bytes.sub_string buf 5 n in
+        let payload = Bytes.sub_string buf (pos + 5) n in
         let crc =
-          Int32.to_int (Bytes.get_int32_be buf (5 + n)) land 0xFFFFFFFF
+          Int32.to_int (Bytes.get_int32_be buf (pos + 5 + n)) land 0xFFFFFFFF
         in
         if crc <> crc32 payload then `Error "frame CRC mismatch"
         else `Frame (payload, overhead + n)

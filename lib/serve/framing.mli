@@ -36,12 +36,16 @@ val crc32 : string -> int
 (** [encode payload] wraps [payload] in a complete frame. *)
 val encode : string -> string
 
-(** [try_decode ?max_len buf ~len] inspects the first [len] bytes of
-    [buf]: [`Frame (payload, consumed)] on a complete, CRC-valid frame;
-    [`Need_more] when the buffer holds a valid prefix; [`Error _] when
-    the stream is malformed beyond recovery. *)
+(** [try_decode ?max_len ?pos buf ~len] inspects bytes [pos..len-1] of
+    [buf] ([pos] defaults to [0]): [`Frame (payload, consumed)] on a
+    complete, CRC-valid frame starting at [pos]; [`Need_more] when the
+    buffer holds a valid prefix; [`Error _] when the stream is
+    malformed beyond recovery. [pos] lets a reader walk a whole file of
+    concatenated frames — the {!Journal} replays its segments this way
+    — without shifting the buffer after every frame. *)
 val try_decode :
   ?max_len:int ->
+  ?pos:int ->
   bytes ->
   len:int ->
   [ `Frame of string * int | `Need_more | `Error of string ]

@@ -1,0 +1,384 @@
+(* The daemon's write-ahead log (DESIGN.md §13).
+
+   Crash-only discipline: every fact the daemon promises to remember —
+   a graph first resolved for a client, a request admitted to the
+   queue, a last-good certificate promotion — is appended to the live
+   segment as one {!Framing} frame (version byte, u32 length, CRC-32)
+   before the promise is kept. A kill -9 at any byte boundary leaves at
+   worst a torn tail; replay truncates at the last valid CRC and never
+   trusts a byte past it.
+
+   Layout under the state directory:
+
+     snapshot.bin        compacted state: a Meta{gen} frame followed by
+                         Graph/Promote frames (written to a temporary,
+                         fsync'd, renamed — atomic or absent)
+     journal-<gen>.wal   the live segment; appended and fsync'd
+
+   Rotation: a snapshot at generation G+1 compacts everything the
+   journal knows into snapshot.bin, opens journal-<G+1>.wal, fsyncs the
+   directory, and only then deletes segments <= G. A crash between any
+   two of those steps recovers: an orphaned old segment whose gen is
+   below the snapshot's is ignored (its records are already inside the
+   snapshot), a missing new segment is created empty on open. *)
+
+type record =
+  | Meta of { gen : int }  (** snapshot header; never in a segment *)
+  | Graph of { spec : string }  (** canonical generator spec resolved *)
+  | Accept of { req : string }  (** an admitted request, wire-encoded *)
+  | Promote of { digest : string; cert : Domtree.Certificate.t }
+
+type replay = {
+  r_graphs : string list;  (** first-seen order, deduplicated *)
+  r_certs : (string * Domtree.Certificate.t) list;
+      (** strongest certificate per digest, same monotone order as
+          {!Degrade.record} *)
+  r_accepted : int;
+  r_records : int;
+  r_torn_bytes : int;
+  r_corrupt_frames : int;
+  r_snapshot_gen : int;
+}
+
+let empty_replay =
+  {
+    r_graphs = [];
+    r_certs = [];
+    r_accepted = 0;
+    r_records = 0;
+    r_torn_bytes = 0;
+    r_corrupt_frames = 0;
+    r_snapshot_gen = 0;
+  }
+
+type t = {
+  dir : string;
+  mutable gen : int;
+  mutable oc : out_channel;  (** live segment, append mode *)
+  mutable dirty : bool;
+  mutable appended : int;  (** records since the last snapshot *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Record codec: one tag byte, then a body whose outer length is the
+   frame's. Only Promote needs an internal length (digest vs
+   certificate); the certificate itself rides Protocol's codec. *)
+
+let encode_record r =
+  let b = Buffer.create 64 in
+  (match r with
+  | Meta { gen } ->
+    Buffer.add_char b '\x00';
+    Buffer.add_int64_be b (Int64.of_int gen)
+  | Graph { spec } ->
+    Buffer.add_char b '\x01';
+    Buffer.add_string b spec
+  | Accept { req } ->
+    Buffer.add_char b '\x02';
+    Buffer.add_string b req
+  | Promote { digest; cert } ->
+    Buffer.add_char b '\x03';
+    Buffer.add_int64_be b (Int64.of_int (String.length digest));
+    Buffer.add_string b digest;
+    Buffer.add_string b (Protocol.encode_certificate cert));
+  Buffer.contents b
+
+let decode_record s =
+  let n = String.length s in
+  if n = 0 then Error "empty record"
+  else
+    let body () = String.sub s 1 (n - 1) in
+    match s.[0] with
+    | '\x00' ->
+      if n <> 9 then Error "bad meta record length"
+      else Ok (Meta { gen = Int64.to_int (String.get_int64_be s 1) })
+    | '\x01' -> Ok (Graph { spec = body () })
+    | '\x02' -> Ok (Accept { req = body () })
+    | '\x03' ->
+      if n < 9 then Error "truncated promote record"
+      else
+        let dlen = Int64.to_int (String.get_int64_be s 1) in
+        if dlen < 0 || dlen > n - 9 then
+          Error (Printf.sprintf "bad promote digest length %d" dlen)
+        else
+          let digest = String.sub s 9 dlen in
+          let rest = String.sub s (9 + dlen) (n - 9 - dlen) in
+          (match Protocol.decode_certificate rest with
+          | Ok cert -> Ok (Promote { digest; cert })
+          | Error m -> Error ("promote certificate: " ^ m))
+    | c -> Error (Printf.sprintf "unknown record tag 0x%02x" (Char.code c))
+
+(* ------------------------------------------------------------------ *)
+(* Filesystem plumbing *)
+
+let snapshot_name = "snapshot.bin"
+let snapshot_tmp = "snapshot.tmp"
+let segment_name gen = Printf.sprintf "journal-%09d.wal" gen
+
+let segment_gen name =
+  (* "journal-<digits>.wal" *)
+  let prefix = "journal-" and suffix = ".wal" in
+  let np = String.length prefix and ns = String.length suffix in
+  let n = String.length name in
+  if
+    n > np + ns
+    && String.sub name 0 np = prefix
+    && String.sub name (n - ns) ns = suffix
+  then int_of_string_opt (String.sub name np (n - np - ns))
+  else None
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Walk a buffer of concatenated frames. Returns the records in order,
+   the byte offset of the last valid frame boundary, and whether the
+   walk stopped on a corrupt frame (CRC/version/length failure) rather
+   than a clean end or a torn tail. A corrupt frame poisons everything
+   after it: frames cannot be resynchronized, so the remainder counts
+   as torn. *)
+let scan_buffer buf len =
+  let records = ref [] in
+  let pos = ref 0 in
+  let corrupt = ref false in
+  let continue = ref true in
+  while !continue do
+    match Framing.try_decode ~pos:!pos buf ~len with
+    | `Need_more -> continue := false
+    | `Error _ ->
+      corrupt := true;
+      continue := false
+    | `Frame (payload, consumed) -> (
+      match decode_record payload with
+      | Ok r ->
+        records := r :: !records;
+        pos := !pos + consumed
+      | Error _ ->
+        (* a CRC-valid frame holding a malformed record is corruption
+           all the same: stop trusting the stream here *)
+        corrupt := true;
+        continue := false)
+  done;
+  (List.rev !records, !pos, !corrupt)
+
+let scan_file path =
+  match read_file path with
+  | exception Sys_error _ -> ([], 0, 0, false)
+  | s ->
+    let buf = Bytes.unsafe_of_string s in
+    let records, valid, corrupt = scan_buffer buf (String.length s) in
+    (records, valid, String.length s - valid, corrupt)
+
+(* ------------------------------------------------------------------ *)
+(* Replay folding *)
+
+let strength = Domtree.Certificate.retained_count
+
+type fold_state = {
+  mutable graphs_rev : string list;
+  seen : (string, unit) Hashtbl.t;
+  certs : (string, Domtree.Certificate.t) Hashtbl.t;
+  cert_order : string list ref;  (** digest first-promoted order *)
+  mutable accepted : int;
+  mutable records : int;
+}
+
+let fold_state () =
+  {
+    graphs_rev = [];
+    seen = Hashtbl.create 16;
+    certs = Hashtbl.create 16;
+    cert_order = ref [];
+    accepted = 0;
+    records = 0;
+  }
+
+let fold_record st = function
+  | Meta _ -> ()
+  | Graph { spec } ->
+    st.records <- st.records + 1;
+    if not (Hashtbl.mem st.seen spec) then begin
+      Hashtbl.add st.seen spec ();
+      st.graphs_rev <- spec :: st.graphs_rev
+    end
+  | Accept _ ->
+    st.records <- st.records + 1;
+    st.accepted <- st.accepted + 1
+  | Promote { digest; cert } ->
+    st.records <- st.records + 1;
+    let keep =
+      match Hashtbl.find_opt st.certs digest with
+      | Some held -> strength cert >= strength held
+      | None ->
+        st.cert_order := digest :: !(st.cert_order);
+        true
+    in
+    if keep then Hashtbl.replace st.certs digest cert
+
+let fold_result st ~torn ~corrupt ~snapshot_gen =
+  {
+    r_graphs = List.rev st.graphs_rev;
+    r_certs =
+      List.rev_map
+        (fun digest -> (digest, Hashtbl.find st.certs digest))
+        !(st.cert_order);
+    r_accepted = st.accepted;
+    r_records = st.records;
+    r_torn_bytes = torn;
+    r_corrupt_frames = (if corrupt then 1 else 0);
+    r_snapshot_gen = snapshot_gen;
+  }
+
+(** [replay_records rs] folds a record list exactly as [open_dir] would
+    replay it from disk — the reference semantics for the randomized
+    kill-point tests. *)
+let replay_records rs =
+  let st = fold_state () in
+  List.iter (fold_record st) rs;
+  fold_result st ~torn:0 ~corrupt:false ~snapshot_gen:0
+
+(* ------------------------------------------------------------------ *)
+(* Open / append / sync / snapshot *)
+
+let default_snapshot_every = 512
+
+let open_dir dir =
+  mkdir_p dir;
+  (* a crashed snapshot writer leaves snapshot.tmp behind; nothing ever
+     reads it, and the next snapshot recreates it from scratch *)
+  (try Sys.remove (Filename.concat dir snapshot_tmp) with Sys_error _ -> ());
+  let st = fold_state () in
+  let torn = ref 0 and corrupt = ref false in
+  (* 1. the snapshot, if present: its Meta header names the generation
+     it compacted up to; a snapshot too corrupt to carry its header is
+     ignored entirely (generation 0 = replay every segment on disk) *)
+  let snapshot_gen =
+    let path = Filename.concat dir snapshot_name in
+    if not (Sys.file_exists path) then 0
+    else begin
+      let records, _, t, c = scan_file path in
+      if t > 0 then torn := !torn + t;
+      if c then corrupt := true;
+      match records with
+      | Meta { gen } :: rest ->
+        List.iter (fold_record st) rest;
+        gen
+      | _ -> 0
+    end
+  in
+  (* 2. segments at or past the snapshot generation, ascending; the
+     newest is the live one and gets its torn tail physically cut so
+     appends land on a valid frame boundary *)
+  let segments =
+    (match Sys.readdir dir with
+    | entries -> Array.to_list entries
+    | exception Sys_error _ -> [])
+    |> List.filter_map (fun name ->
+           match segment_gen name with
+           | Some g when g >= snapshot_gen -> Some (g, name)
+           | _ -> None)
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+  in
+  let live_gen =
+    match List.rev segments with (g, _) :: _ -> g | [] -> snapshot_gen
+  in
+  List.iter
+    (fun (g, name) ->
+      let path = Filename.concat dir name in
+      let records, valid, t, c = scan_file path in
+      List.iter (fold_record st) records;
+      if t > 0 || c then begin
+        torn := !torn + t;
+        if c then corrupt := true;
+        if g = live_gen then
+          (* never trust bytes past the last valid CRC: cut them off so
+             the next append extends a well-formed stream *)
+          try Unix.truncate path valid with Unix.Unix_error _ -> ()
+      end)
+    segments;
+  let oc =
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644
+      (Filename.concat dir (segment_name live_gen))
+  in
+  let t = { dir; gen = live_gen; oc; dirty = false; appended = 0 } in
+  (t, fold_result st ~torn:!torn ~corrupt:!corrupt ~snapshot_gen)
+
+let append t r =
+  output_string t.oc (Framing.encode (encode_record r));
+  t.dirty <- true;
+  t.appended <- t.appended + 1
+
+let sync t =
+  if t.dirty then begin
+    flush t.oc;
+    Unix.fsync (Unix.descr_of_out_channel t.oc);
+    t.dirty <- false
+  end
+
+let appended_since_snapshot t = t.appended
+
+let snapshot t records =
+  sync t;
+  let gen' = t.gen + 1 in
+  let tmp = Filename.concat t.dir snapshot_tmp in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc (Framing.encode (encode_record (Meta { gen = gen' })));
+     List.iter
+       (fun r -> output_string oc (Framing.encode (encode_record r)))
+       records;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  (* fsync-then-rename: the snapshot becomes visible only complete *)
+  Sys.rename tmp (Filename.concat t.dir snapshot_name);
+  fsync_dir t.dir;
+  (* rotate to a fresh live segment, then drop the compacted ones *)
+  close_out_noerr t.oc;
+  t.oc <-
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644
+      (Filename.concat t.dir (segment_name gen'));
+  fsync_dir t.dir;
+  let old_gen = t.gen in
+  t.gen <- gen';
+  t.appended <- 0;
+  t.dirty <- false;
+  (match Sys.readdir t.dir with
+  | entries ->
+    Array.iter
+      (fun name ->
+        match segment_gen name with
+        | Some g when g <= old_gen -> (
+          try Sys.remove (Filename.concat t.dir name) with Sys_error _ -> ())
+        | _ -> ())
+      entries
+  | exception Sys_error _ -> ())
+
+let close t =
+  sync t;
+  close_out_noerr t.oc

@@ -1,0 +1,93 @@
+(** Write-ahead log behind the daemon's crash-only discipline
+    (DESIGN.md §13).
+
+    Every fact the daemon must survive a kill -9 with — a graph
+    resolved for a client, a request admitted to the queue, a
+    degrade-store promotion — is appended to the live segment as one
+    {!Framing} frame (version byte, u32 length, CRC-32) before the
+    corresponding promise is made to the client. On restart,
+    {!open_dir} replays the snapshot plus surviving segments; a torn
+    tail is truncated at the last valid CRC and never trusted.
+
+    On-disk layout under the state directory:
+
+    {v
+      snapshot.bin        Meta{gen} frame + compacted Graph/Promote
+                          frames (written to snapshot.tmp, fsync'd,
+                          renamed — atomic or absent)
+      journal-<gen>.wal   the live append-only segment
+    v}
+
+    All writes happen on the server's single domain; the journal is
+    not thread-safe and does not need to be. *)
+
+type record =
+  | Meta of { gen : int }
+      (** snapshot header naming the generation it compacted up to;
+          never appended to a segment *)
+  | Graph of { spec : string }
+      (** a canonical generator spec first resolved for a client *)
+  | Accept of { req : string }
+      (** an admitted request, wire-encoded — replayed only as a count
+          (requests are idempotent queries, not state mutations) *)
+  | Promote of { digest : string; cert : Domtree.Certificate.t }
+      (** a degrade-store promotion: [cert] became the last-good
+          certificate for the graph named by [digest] *)
+
+(** The folded result of replaying snapshot + segments. *)
+type replay = {
+  r_graphs : string list;  (** first-seen order, deduplicated *)
+  r_certs : (string * Domtree.Certificate.t) list;
+      (** strongest certificate per digest (by
+          {!Domtree.Certificate.retained_count}, later wins ties) — the
+          same monotone discipline as {!Degrade.record} *)
+  r_accepted : int;  (** Accept records seen *)
+  r_records : int;  (** total non-Meta records folded *)
+  r_torn_bytes : int;  (** bytes discarded past the last valid CRC *)
+  r_corrupt_frames : int;
+      (** 1 if a scan stopped on a corrupt (vs merely torn) frame *)
+  r_snapshot_gen : int;  (** generation the snapshot compacted up to *)
+}
+
+val empty_replay : replay
+
+type t
+
+(** Suggested records-between-snapshots for callers that rotate via
+    {!appended_since_snapshot}. *)
+val default_snapshot_every : int
+
+(** [open_dir dir] creates [dir] if needed, replays its snapshot and
+    segments, physically truncates the live segment's torn tail so the
+    next append extends a valid frame stream, and opens the live
+    segment for appending. *)
+val open_dir : string -> t * replay
+
+(** [append t r] buffers one record. Not durable until {!sync}. *)
+val append : t -> record -> unit
+
+(** [sync t] flushes and fsyncs the live segment. Records appended
+    before a completed [sync] survive any subsequent crash. *)
+val sync : t -> unit
+
+(** Records appended since the last {!snapshot} (or since open). *)
+val appended_since_snapshot : t -> int
+
+(** [snapshot t records] atomically replaces the snapshot with
+    [records] (fsync-then-rename), rotates to a fresh live segment at
+    the next generation, and deletes the compacted segments. [records]
+    should be the caller's full authoritative state (it replaces, not
+    extends, the previous snapshot). *)
+val snapshot : t -> record list -> unit
+
+val close : t -> unit
+
+(** {2 Pure codec — exposed for tests and the chaos harness} *)
+
+val encode_record : record -> string
+val decode_record : string -> (record, string) result
+
+(** [replay_records rs] folds a record list exactly as {!open_dir}
+    folds the on-disk stream — the reference semantics for the
+    randomized kill-point property tests. *)
+val replay_records : record list -> replay

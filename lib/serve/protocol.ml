@@ -60,6 +60,7 @@ type health_resp = {
   h_queue_capacity : int;
   h_draining : bool;
   h_cached_certs : int;
+  h_replayed : int;
 }
 
 type error_kind =
@@ -344,7 +345,8 @@ let encode_response resp =
     put_int b h.h_queue_depth;
     put_int b h.h_queue_capacity;
     put_bool b h.h_draining;
-    put_int b h.h_cached_certs
+    put_int b h.h_cached_certs;
+    put_int b h.h_replayed
   | Drained { served } ->
     put_u8 b 0x84;
     put_int b served
@@ -397,6 +399,7 @@ let decode_response s =
         let h_queue_capacity = get_int r in
         let h_draining = get_bool r in
         let h_cached_certs = get_int r in
+        let h_replayed = get_int r in
         Health_report
           {
             h_uptime_ms;
@@ -409,6 +412,7 @@ let decode_response s =
             h_queue_capacity;
             h_draining;
             h_cached_certs;
+            h_replayed;
           }
       | 0x84 -> Drained { served = get_int r }
       | 0xEE ->
@@ -435,9 +439,10 @@ let pp_response ppf = function
   | Health_report h ->
     Format.fprintf ppf
       "health uptime=%dms served=%d (fresh=%d stale=%d) shed=%d errors=%d \
-       queue=%d/%d draining=%b cached_certs=%d"
+       queue=%d/%d draining=%b cached_certs=%d replayed=%d"
       h.h_uptime_ms h.h_served h.h_fresh h.h_stale h.h_shed h.h_errors
       h.h_queue_depth h.h_queue_capacity h.h_draining h.h_cached_certs
+      h.h_replayed
   | Drained { served } -> Format.fprintf ppf "drained served=%d" served
   | Error (kind, msg) ->
     Format.fprintf ppf "error %s: %s" (error_kind_to_string kind) msg

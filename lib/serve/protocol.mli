@@ -79,6 +79,9 @@ type health_resp = {
   h_queue_capacity : int;
   h_draining : bool;
   h_cached_certs : int;
+  h_replayed : int;
+      (** journal records folded into warm state at boot — [> 0] after
+          a recovery, the signal the CI crash smoke asserts on *)
 }
 
 type error_kind =

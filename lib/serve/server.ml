@@ -7,6 +7,9 @@ type config = {
   accept_backlog : int;
   worker : Worker.config;
   disk_cache_dir : string option;
+  state_dir : string option;
+  snapshot_every : int;
+  idle_timeout_ms : int;
 }
 
 let default_config ~socket_path =
@@ -17,6 +20,9 @@ let default_config ~socket_path =
     accept_backlog = 64;
     worker = Worker.default_config;
     disk_cache_dir = None;
+    state_dir = None;
+    snapshot_every = Journal.default_snapshot_every;
+    idle_timeout_ms = 10_000;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -27,9 +33,18 @@ type conn = {
   mutable buf : Bytes.t;
   mutable len : int;
   mutable alive : bool;
+  mutable last_progress_ms : float;
+      (** last time bytes arrived — the slowloris clock *)
 }
 
-let new_conn fd = { fd; buf = Bytes.create 4096; len = 0; alive = true }
+let new_conn fd =
+  {
+    fd;
+    buf = Bytes.create 4096;
+    len = 0;
+    alive = true;
+    last_progress_ms = Worker.now_ms ();
+  }
 
 let conn_close c =
   if c.alive then begin
@@ -60,10 +75,32 @@ type state = {
   queue : pending Queue.t;
   stats : stats;
   started_ms : float;
+  journal : Journal.t option;
   mutable conns : conn list;
   mutable draining : bool;
   mutable drain_conn : conn option;
+  (* accept-path fd-exhaustion backoff: while paused the listener is
+     left out of select, so pending connections sit in the kernel
+     backlog instead of spinning the loop on EMFILE *)
+  mutable accept_pause_until_ms : float;
+  mutable accept_backoff_ms : float;
 }
+
+let accept_backoff0_ms = 50.
+let accept_backoff_max_ms = 2_000.
+
+(* Classifying accept(2) failures. [`Pause]: the process is out of fds
+   (or the system is) — accepting again immediately would fail again,
+   so shed by pausing the listener with exponential backoff. [`Retry]:
+   transient per-connection noise (EINTR, ECONNABORTED, ...) — drop
+   this attempt and keep the loop hot. Pure, exposed for tests. *)
+let accept_error_action = function
+  | Unix.EMFILE | Unix.ENFILE -> `Pause
+  | _ -> `Retry
+
+(* Journal writes must never take the daemon down: a full disk degrades
+   durability, not availability. *)
+let journal_try f = try f () with Sys_error _ | Unix.Unix_error _ -> ()
 
 let health st =
   P.Health_report
@@ -78,6 +115,7 @@ let health st =
       h_queue_capacity = Queue.capacity st.queue;
       h_draining = st.draining;
       h_cached_certs = Degrade.count (Worker.store st.worker);
+      h_replayed = Worker.replayed st.worker;
     }
 
 let account st resp =
@@ -104,7 +142,16 @@ let admit st c req =
     else if
       Queue.push st.queue
         { p_conn = c; p_req = req; p_enqueued_ms = Worker.now_ms () }
-    then ()
+    then begin
+      (* admitted: journal the acceptance. Batched — synced once per
+         loop iteration, not per record (requests are idempotent
+         queries; the replay only counts them) *)
+      match st.journal with
+      | Some j ->
+        journal_try (fun () ->
+            Journal.append j (Journal.Accept { req = P.encode_request req }))
+      | None -> ()
+    end
     else begin
       st.stats.shed <- st.stats.shed + 1;
       st.stats.served <- st.stats.served + 1;
@@ -147,9 +194,30 @@ let read_conn st c =
   | 0 -> conn_close c
   | r ->
     c.len <- c.len + r;
+    c.last_progress_ms <- Worker.now_ms ();
     drain_frames st c
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     conn_close c
+
+(* Slowloris guard: a connection holding a half-written frame that has
+   made no byte progress past the idle deadline gets one structured
+   error and is dropped — its buffer must not be pinned forever. An
+   idle connection with an {e empty} buffer is a legitimate keep-alive
+   client between requests and is left alone. *)
+let reap_stalled st ~now_ms =
+  let limit = float_of_int st.cfg.idle_timeout_ms in
+  List.iter
+    (fun c ->
+      if c.alive && c.len > 0 && now_ms -. c.last_progress_ms > limit then begin
+        reply c
+          (P.Error
+             ( P.Bad_request,
+               Printf.sprintf "frame stalled: no bytes for %d ms"
+                 st.cfg.idle_timeout_ms ));
+        st.stats.errors <- st.stats.errors + 1;
+        conn_close c
+      end)
+    st.conns
 
 let process_queue st =
   let continue = ref true in
@@ -165,12 +233,33 @@ let process_queue st =
   done
 
 let run ?(on_ready = fun () -> ()) cfg =
+  (* crash-only boot order (DESIGN.md §13): open + replay the journal,
+     build the worker, fold the replay into warm state, and only then
+     install the live journal sink — installing it earlier would
+     re-journal every replayed fact on each restart. *)
+  let journal, replay =
+    match cfg.state_dir with
+    | None -> (None, Journal.empty_replay)
+    | Some dir ->
+      let j, r = Journal.open_dir dir in
+      (Some j, r)
+  in
   let worker =
     let disk_cache =
       Option.map (fun dir -> Exec.Cache.open_dir dir) cfg.disk_cache_dir
     in
     Worker.create ?disk_cache cfg.worker
   in
+  Worker.warm worker replay;
+  (match journal with
+  | None -> ()
+  | Some j ->
+    Worker.set_journal worker (fun r ->
+        (* Graph and Promote records are synced immediately: they are
+           durable before the reply built on them reaches the client *)
+        journal_try (fun () ->
+            Journal.append j r;
+            Journal.sync j)));
   let st =
     {
       cfg;
@@ -178,9 +267,12 @@ let run ?(on_ready = fun () -> ()) cfg =
       queue = Queue.create ~capacity:cfg.queue_capacity;
       stats = { served = 0; fresh = 0; stale = 0; shed = 0; errors = 0 };
       started_ms = Worker.now_ms ();
+      journal;
       conns = [];
       draining = false;
       drain_conn = None;
+      accept_pause_until_ms = 0.;
+      accept_backoff_ms = accept_backoff0_ms;
     }
   in
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
@@ -189,6 +281,9 @@ let run ?(on_ready = fun () -> ()) cfg =
     ~finally:(fun () ->
       (try Unix.close listener with Unix.Unix_error _ -> ());
       List.iter conn_close st.conns;
+      (match journal with
+      | Some j -> journal_try (fun () -> Journal.close j)
+      | None -> ());
       try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind listener (Unix.ADDR_UNIX cfg.socket_path);
@@ -197,8 +292,12 @@ let run ?(on_ready = fun () -> ()) cfg =
       let running = ref true in
       while !running do
         st.conns <- List.filter (fun c -> c.alive) st.conns;
+        let now = Worker.now_ms () in
+        let accepting =
+          (not st.draining) && now >= st.accept_pause_until_ms
+        in
         let read_fds =
-          (if st.draining then [] else [ listener ])
+          (if accepting then [ listener ] else [])
           @ List.map (fun c -> c.fd) st.conns
         in
         let readable, _, _ =
@@ -209,15 +308,36 @@ let run ?(on_ready = fun () -> ()) cfg =
           (fun fd ->
             if fd = listener then begin
               match Unix.accept listener with
-              | client, _ -> st.conns <- new_conn client :: st.conns
-              | exception Unix.Unix_error _ -> ()
+              | client, _ ->
+                st.accept_backoff_ms <- accept_backoff0_ms;
+                st.conns <- new_conn client :: st.conns
+              | exception Unix.Unix_error (e, _, _) -> (
+                match accept_error_action e with
+                | `Retry -> ()
+                | `Pause ->
+                  (* out of fds: leave the listener out of select until
+                     the pause expires; pending clients wait in the
+                     kernel backlog *)
+                  st.accept_pause_until_ms <-
+                    Worker.now_ms () +. st.accept_backoff_ms;
+                  st.accept_backoff_ms <-
+                    Float.min (2. *. st.accept_backoff_ms)
+                      accept_backoff_max_ms)
             end
             else
               match List.find_opt (fun c -> c.fd = fd) st.conns with
               | Some c -> read_conn st c
               | None -> ())
           readable;
+        reap_stalled st ~now_ms:(Worker.now_ms ());
         process_queue st;
+        (match st.journal with
+        | Some j ->
+          journal_try (fun () ->
+              Journal.sync j;
+              if Journal.appended_since_snapshot j >= cfg.snapshot_every then
+                Journal.snapshot j (Worker.journal_state worker))
+        | None -> ());
         if st.draining && Queue.is_empty st.queue then begin
           (match st.drain_conn with
           | Some c ->
@@ -238,9 +358,12 @@ module Client = struct
      per call would silently drop them. *)
   type t = { fd : Unix.file_descr; mutable rbuf : Bytes.t; mutable rlen : int }
 
-  let connect path =
+  let connect ?timeout_s path =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.connect fd (Unix.ADDR_UNIX path);
+    (match timeout_s with
+    | Some t -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO t
+    | None -> ());
     { fd; rbuf = Bytes.create 4096; rlen = 0 }
 
   let send t req = Framing.write_frame t.fd (P.encode_request req)
@@ -263,8 +386,12 @@ module Client = struct
           Bytes.blit t.rbuf 0 bigger 0 t.rlen;
           t.rbuf <- bigger
         end;
-        let r = Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) in
-        if r = 0 then Error "connection closed"
+        let r =
+          try Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+          | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> -1
+        in
+        if r < 0 then Error "receive timeout"
+        else if r = 0 then Error "connection closed"
         else begin
           t.rlen <- t.rlen + r;
           go ()

@@ -30,9 +30,26 @@ type config = {
   disk_cache_dir : string option;
       (** persist last-good certificates here ({!Exec.Cache}); [None] =
           in-memory only *)
+  state_dir : string option;
+      (** crash-only state: open a {!Journal} here, replay it into warm
+          worker state at boot, journal every durable fact while
+          serving; [None] = nothing survives a kill -9 *)
+  snapshot_every : int;
+      (** journal records between snapshot compactions *)
+  idle_timeout_ms : int;
+      (** slowloris guard: a connection holding a partial frame with no
+          byte progress for this long is answered one [Bad_request] and
+          closed (idle connections with empty buffers are unaffected) *)
 }
 
 val default_config : socket_path:string -> config
+
+(** How the accept loop treats [Unix.accept] failures: [`Pause] (fd
+    exhaustion — take the listener out of [select] with exponential
+    backoff; clients queue in the kernel backlog), [`Retry] (transient
+    noise such as [EINTR]/[ECONNABORTED] — drop the attempt, stay hot).
+    Pure; exposed for the regression test. *)
+val accept_error_action : Unix.error -> [ `Pause | `Retry ]
 
 (** [run ?on_ready cfg] binds [cfg.socket_path] (unlinking any stale
     socket first), calls [on_ready] once accepting, and serves until a
@@ -43,7 +60,10 @@ val run : ?on_ready:(unit -> unit) -> config -> unit
 module Client : sig
   type t
 
-  val connect : string -> t
+  (** [connect ?timeout_s path] — [timeout_s] arms a receive deadline
+      ([SO_RCVTIMEO]); {!recv} then returns [Error "receive timeout"]
+      instead of blocking forever on a dead or stalled daemon. *)
+  val connect : ?timeout_s:float -> string -> t
 
   (** One synchronous round trip. *)
   val request : t -> Protocol.request -> (Protocol.response, string) result

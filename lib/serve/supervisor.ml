@@ -1,0 +1,168 @@
+(* Process supervision for the crash-only daemon (DESIGN.md §13).
+
+   The supervisor is deliberately dumb: fork a child, wait for its
+   readiness probe, watch it, and when it dies restart it with
+   exponential backoff — all actual state recovery is the child's own
+   journal replay. The one piece of judgement it holds is the
+   crash-loop circuit breaker: more than [max_crashes] crashes inside
+   [window_s] means restarting is not going to help (corrupt state
+   directory, bad binary, impossible config), and flapping forever
+   would be worse than stopping, so it gives up with [Crash_loop].
+
+   Forking is safe here because the server is single-domain by design:
+   [Exec.Pool.run ~domains:1] runs inline, so the parent never holds
+   live domains whose locks a fork would orphan. *)
+
+type config = {
+  max_crashes : int;
+  window_s : float;
+  backoff0_ms : float;
+  backoff_max_ms : float;
+  stable_s : float;
+  ready_timeout_s : float;
+  probe_interval_ms : float;
+}
+
+let default_config =
+  {
+    max_crashes = 5;
+    window_s = 60.;
+    backoff0_ms = 100.;
+    backoff_max_ms = 5_000.;
+    stable_s = 5.;
+    ready_timeout_s = 30.;
+    probe_interval_ms = 20.;
+  }
+
+type event =
+  | Started of { pid : int; restarts : int }
+  | Ready of { pid : int; wait_s : float }
+  | Exited of { pid : int; status : Unix.process_status; uptime_s : float }
+  | Backoff of { delay_ms : float }
+  | Circuit_open of { crashes : int; window_s : float }
+
+type outcome =
+  | Clean_exit of { restarts : int }
+  | Crash_loop of { crashes : int }
+
+(* OCaml numbers signals internally (sigkill = -7); name the common
+   ones so the log reads "signal KILL", not a negative mystery *)
+let signal_name s =
+  if s = Sys.sigkill then "KILL"
+  else if s = Sys.sigterm then "TERM"
+  else if s = Sys.sigint then "INT"
+  else if s = Sys.sigsegv then "SEGV"
+  else if s = Sys.sigabrt then "ABRT"
+  else string_of_int s
+
+let pp_status ppf = function
+  | Unix.WEXITED c -> Format.fprintf ppf "exit %d" c
+  | Unix.WSIGNALED s -> Format.fprintf ppf "signal %s" (signal_name s)
+  | Unix.WSTOPPED s -> Format.fprintf ppf "stopped %s" (signal_name s)
+
+let pp_event ppf = function
+  | Started { pid; restarts } ->
+    Format.fprintf ppf "started pid=%d restarts=%d" pid restarts
+  | Ready { pid; wait_s } ->
+    Format.fprintf ppf "ready pid=%d after %.3fs" pid wait_s
+  | Exited { pid; status; uptime_s } ->
+    Format.fprintf ppf "exited pid=%d (%a) uptime=%.3fs" pid pp_status status
+      uptime_s
+  | Backoff { delay_ms } -> Format.fprintf ppf "backoff %.0fms" delay_ms
+  | Circuit_open { crashes; window_s } ->
+    Format.fprintf ppf "circuit open: %d crashes in %.0fs" crashes window_s
+
+let now_s () = Unix.gettimeofday ()
+
+(* waitpid, riding out EINTR (we forward SIGTERM/SIGINT, so signals do
+   land on the parent). *)
+let rec waitpid_retry flags pid =
+  try Unix.waitpid flags pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_retry flags pid
+
+let clean_exit = function Unix.WEXITED 0 -> true | _ -> false
+
+let supervise ?(on_event = fun (_ : event) -> ()) cfg ~spawn ~probe =
+  let crashes = ref [] (* timestamps, newest first *) in
+  let restarts = ref 0 in
+  let backoff = ref cfg.backoff0_ms in
+  let child = ref (-1) in
+  (* forward terminal signals so "kill <supervisor>" drains the whole
+     tree; the child's own handler (or default death) takes it down and
+     the supervisor sees a normal exit *)
+  let forward signum =
+    if !child > 0 then try Unix.kill !child signum with Unix.Unix_error _ -> ()
+  in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle forward) in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle forward) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int)
+  @@ fun () ->
+  let rec loop () =
+    (* prune crash timestamps that fell out of the window *)
+    let now = now_s () in
+    crashes := List.filter (fun t -> now -. t <= cfg.window_s) !crashes;
+    if List.length !crashes > cfg.max_crashes then begin
+      on_event (Circuit_open { crashes = List.length !crashes;
+                               window_s = cfg.window_s });
+      Crash_loop { crashes = List.length !crashes }
+    end
+    else begin
+      let started = now_s () in
+      let pid = Unix.fork () in
+      if pid = 0 then begin
+        (* child: run the daemon; _exit so no buffered channels or
+           at_exit hooks of the parent's are replayed *)
+        (try spawn () with _ -> Unix._exit 1);
+        Unix._exit 0
+      end
+      else begin
+        child := pid;
+        on_event (Started { pid; restarts = !restarts });
+        (* readiness gate: traffic is not re-admitted (probe true)
+           until the child answers; a child that hangs before readiness
+           is killed and counted as a crash *)
+        let rec await_ready () =
+          match waitpid_retry [ Unix.WNOHANG ] pid with
+          | p, status when p = pid -> `Died status
+          | _ ->
+            if probe () then `Ready
+            else if now_s () -. started > cfg.ready_timeout_s then begin
+              (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+              let _, status = waitpid_retry [] pid in
+              `Died status
+            end
+            else begin
+              Unix.sleepf (cfg.probe_interval_ms /. 1000.);
+              await_ready ()
+            end
+        in
+        let status =
+          match await_ready () with
+          | `Died status -> status
+          | `Ready ->
+            on_event (Ready { pid; wait_s = now_s () -. started });
+            let _, status = waitpid_retry [] pid in
+            status
+        in
+        child := -1;
+        let uptime = now_s () -. started in
+        on_event (Exited { pid; status; uptime_s = uptime });
+        if clean_exit status then Clean_exit { restarts = !restarts }
+        else begin
+          crashes := now_s () :: !crashes;
+          (* a child that survived long enough proved the state on disk
+             is serviceable: reset the backoff ladder *)
+          if uptime >= cfg.stable_s then backoff := cfg.backoff0_ms;
+          on_event (Backoff { delay_ms = !backoff });
+          Unix.sleepf (!backoff /. 1000.);
+          backoff := Float.min (2. *. !backoff) cfg.backoff_max_ms;
+          incr restarts;
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()

@@ -1,0 +1,55 @@
+(** Process supervision for the crash-only daemon (DESIGN.md §13).
+
+    [supervise] forks the daemon as a child process, gates on a
+    readiness probe before declaring it up, restarts it with
+    exponential backoff when it dies, and opens a crash-loop circuit
+    breaker — giving up — when crashes cluster faster than
+    [max_crashes] per [window_s]. All state recovery is the child's own
+    {!Journal} replay; the supervisor only manages the process.
+
+    Forking is safe because the server is single-domain by design
+    ({!Exec.Pool} with [~domains:1] runs inline), so the parent holds
+    no live domains at fork time. *)
+
+type config = {
+  max_crashes : int;  (** crashes tolerated per window before giving up *)
+  window_s : float;  (** circuit-breaker sliding window *)
+  backoff0_ms : float;  (** first restart delay *)
+  backoff_max_ms : float;  (** restart delay cap *)
+  stable_s : float;
+      (** uptime after which a child is deemed stable and the backoff
+          ladder resets *)
+  ready_timeout_s : float;
+      (** a child not answering its probe within this long is killed
+          and counted as a crash *)
+  probe_interval_ms : float;
+}
+
+val default_config : config
+
+type event =
+  | Started of { pid : int; restarts : int }
+  | Ready of { pid : int; wait_s : float }
+  | Exited of { pid : int; status : Unix.process_status; uptime_s : float }
+  | Backoff of { delay_ms : float }
+  | Circuit_open of { crashes : int; window_s : float }
+
+type outcome =
+  | Clean_exit of { restarts : int }  (** the child exited 0 (drained) *)
+  | Crash_loop of { crashes : int }  (** circuit breaker opened *)
+
+val pp_event : Format.formatter -> event -> unit
+
+(** [supervise ?on_event cfg ~spawn ~probe] runs [spawn ()] in a forked
+    child (exit status 0 on return, 1 on escape by exception) and
+    supervises it until it exits cleanly or crash-loops. [probe] is
+    polled every [probe_interval_ms] after each start; returning [true]
+    means the child is serving (e.g. a successful [Health] round trip).
+    SIGTERM/SIGINT received by the supervisor are forwarded to the
+    live child (original handlers restored on return). *)
+val supervise :
+  ?on_event:(event -> unit) ->
+  config ->
+  spawn:(unit -> unit) ->
+  probe:(unit -> bool) ->
+  outcome

@@ -33,6 +33,12 @@ type t = {
   k_est : (string, int) Hashtbl.t;
   (* full request identity -> memoized fresh response *)
   results : (string, P.response) Hashtbl.t;
+  (* journal sink for durable facts (graph resolutions, promotions);
+     installed by the server AFTER warm-replay so replayed state is not
+     re-journaled. Called only on the server domain — compute closures
+     handed to Exec.Pool never touch it. *)
+  mutable journal : Journal.record -> unit;
+  mutable replayed : int;  (** records folded into warm state at boot *)
 }
 
 let create ?disk_cache cfg =
@@ -42,9 +48,13 @@ let create ?disk_cache cfg =
     graphs = Hashtbl.create 16;
     k_est = Hashtbl.create 16;
     results = Hashtbl.create 256;
+    journal = ignore;
+    replayed = 0;
   }
 
 let store t = t.store
+let set_journal t sink = t.journal <- sink
+let replayed t = t.replayed
 let now_ms () = Unix.gettimeofday () *. 1000.
 
 let graph_digest g =
@@ -86,7 +96,46 @@ let resolve_graph t spec =
     let g = Graphs.Source.gen_graph spec in
     let gd = (g, graph_digest g) in
     Hashtbl.add t.graphs spec gd;
+    (* durable before the client gets an answer built on it *)
+    t.journal (Journal.Graph { spec });
     gd
+
+(* ---- crash-only warm start: fold a journal replay into this worker's
+   state before the journal sink is installed, so nothing here is
+   re-journaled (the snapshot already holds it). *)
+let warm t (r : Journal.replay) =
+  List.iter
+    (fun spec ->
+      match resolve_graph t spec with
+      | _ -> t.replayed <- t.replayed + 1
+      | exception _ ->
+        (* a journaled spec that no longer parses (e.g. generator
+           removed) is dropped, not fatal: crash-only startup must not
+           crash on its own history *)
+        ())
+    r.Journal.r_graphs;
+  List.iter
+    (fun (digest, cert) ->
+      if Degrade.record ~fresh:false t.store ~digest cert then
+        t.replayed <- t.replayed + 1)
+    r.Journal.r_certs
+
+(* The worker's full authoritative durable state, in deterministic
+   order — what a journal snapshot compacts to. *)
+let journal_state t =
+  let specs =
+    Hashtbl.fold (fun spec _ acc -> spec :: acc) t.graphs []
+    |> List.sort String.compare
+  in
+  let graphs = List.map (fun spec -> Journal.Graph { spec }) specs in
+  let certs =
+    Degrade.fold t.store
+      (fun acc digest (e : Degrade.entry) ->
+        Journal.Promote { digest; cert = e.cert } :: acc)
+      []
+    |> List.rev
+  in
+  graphs @ certs
 
 let resolve_k t (d : P.decompose_req) ~digest g =
   if d.k > 0 then d.k
@@ -264,7 +313,11 @@ let exec t ~enqueued_at_ms ~check (d : P.decompose_req) =
                 with
                 | `Ok (resp, cert) -> (
                   (match cert with
-                  | Some c -> Degrade.record t.store ~digest c
+                  | Some c ->
+                    (* [contained] has returned: we are back on the
+                       server domain, so journaling here is race-free *)
+                    if Degrade.record t.store ~digest c then
+                      t.journal (Journal.Promote { digest; cert = c })
                   | None -> ());
                   match resp with
                   | P.Result r when (not r.P.verified) && now_ms () >= deadline_at

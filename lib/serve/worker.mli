@@ -52,6 +52,33 @@ val create : ?disk_cache:Exec.Cache.t -> config -> t
 (** The degradation store (for health reporting and tests). *)
 val store : t -> Degrade.t
 
+(** {2 Crash-only plumbing (DESIGN.md §13)}
+
+    Boot order matters: [create] → {!warm} (fold the journal replay
+    into graph/certificate state, nothing journaled) → {!set_journal}
+    (install the live sink) → serve. Installing the sink first would
+    re-journal every replayed fact on each restart, growing the log
+    without bound. *)
+
+(** [set_journal t sink] installs the durable-fact sink. [sink] is
+    called on the server domain only (never from inside a compute
+    closure) with [Journal.Graph] on each first graph resolution and
+    [Journal.Promote] on each degrade-store promotion. *)
+val set_journal : t -> (Journal.record -> unit) -> unit
+
+(** [warm t replay] folds a journal replay into the worker: re-resolves
+    each journaled graph spec (specs that no longer parse are skipped,
+    not fatal) and records each certificate with [~fresh:false] so it
+    is served as stale until this process re-verifies it. *)
+val warm : t -> Journal.replay -> unit
+
+(** Records folded into warm state by {!warm} (health reporting). *)
+val replayed : t -> int
+
+(** The worker's full durable state as snapshot records: journaled
+    graph specs then promotions, both in deterministic sorted order. *)
+val journal_state : t -> Journal.record list
+
 (** [handle t ~enqueued_at_ms req] executes [req]. [enqueued_at_ms] is
     the wall-clock admission time (milliseconds, {!now_ms}) — queueing
     delay counts against the deadline. [Health] and [Drain] are control

@@ -156,6 +156,10 @@ let test_cache_version_bump_invalidates () =
   Alcotest.(check bool) "old version still hits" true
     (Cache.find c1' ~key:"k" <> None)
 
+let quarantine_entries c =
+  let qdir = Filename.concat (Cache.dir c) "_quarantine" in
+  if Sys.file_exists qdir then Array.to_list (Sys.readdir qdir) else []
+
 let test_cache_corruption_recovers () =
   with_cache_dir @@ fun dir ->
   let c = Cache.open_dir dir in
@@ -169,11 +173,49 @@ let test_cache_corruption_recovers () =
   close_out oc;
   Alcotest.(check (option payload_eq)) "corrupt entry is a miss" None
     (Cache.find c ~key:"kc");
-  Alcotest.(check bool) "corrupt file deleted" false (Sys.file_exists path);
+  (* the evidence is moved aside, never served and never destroyed *)
+  Alcotest.(check bool) "corrupt file vacated the entry slot" false
+    (Sys.file_exists path);
+  Alcotest.(check int) "quarantine counted" 1 (Cache.quarantined c);
+  (match quarantine_entries c with
+  | [ name ] ->
+    Alcotest.(check bool) "quarantined under the original key" true
+      (String.length name > 3 && String.sub name 0 3 = "kc.")
+  | q -> Alcotest.failf "quarantine holds %d files, wanted 1" (List.length q));
   (* recompute-and-overwrite, then hit again *)
   Cache.store c ~key:"kc" p;
   Alcotest.(check (option payload_eq)) "recovered" (Some p)
     (Cache.find c ~key:"kc")
+
+let test_cache_scan_quarantines_corruption () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  List.iter
+    (fun key -> Cache.store c ~key (Job.payload ~rows:[ key ] key))
+    [ "a"; "b"; "z" ];
+  (* bit-flip one entry on disk without touching it through the API *)
+  let victim = Filename.concat (Cache.dir c) "b" in
+  let bytes = In_channel.with_open_bin victim In_channel.input_all in
+  let garbled = Bytes.of_string bytes in
+  let mid = Bytes.length garbled / 2 in
+  Bytes.set garbled mid (Char.chr (Char.code (Bytes.get garbled mid) lxor 1));
+  Out_channel.with_open_bin victim (fun oc ->
+      Out_channel.output_bytes oc garbled);
+  let r = Cache.scan c in
+  Alcotest.(check int) "all entries examined" 3 r.Cache.scanned;
+  Alcotest.(check int) "two decode cleanly" 2 r.Cache.valid;
+  Alcotest.(check int) "the garbled one is swept" 1 r.Cache.swept;
+  Alcotest.(check int) "sweep counted as quarantine" 1 (Cache.quarantined c);
+  Alcotest.(check int) "evidence preserved" 1
+    (List.length (quarantine_entries c));
+  (* after a scan, everything still in place is servable *)
+  let r' = Cache.scan c in
+  Alcotest.(check int) "second scan sees survivors only" 2 r'.Cache.scanned;
+  Alcotest.(check int) "and sweeps nothing" 0 r'.Cache.swept;
+  Alcotest.(check bool) "survivors still hit" true
+    (Cache.find c ~key:"a" <> None && Cache.find c ~key:"z" <> None);
+  Alcotest.(check (option payload_eq)) "the swept key is a clean miss" None
+    (Cache.find c ~key:"b")
 
 let test_cache_ignores_foreign_magic () =
   with_cache_dir @@ fun dir ->
@@ -413,6 +455,8 @@ let () =
             test_cache_version_bump_invalidates;
           Alcotest.test_case "corruption recovers" `Quick
             test_cache_corruption_recovers;
+          Alcotest.test_case "scan quarantines corruption" `Quick
+            test_cache_scan_quarantines_corruption;
           Alcotest.test_case "foreign magic is a miss" `Quick
             test_cache_ignores_foreign_magic;
           Alcotest.test_case "stale tmp files swept on open" `Quick

@@ -10,6 +10,8 @@ module Queue = Serve.Queue
 module Degrade = Serve.Degrade
 module Worker = Serve.Worker
 module Server = Serve.Server
+module Journal = Serve.Journal
+module Supervisor = Serve.Supervisor
 module Gen = Graphs.Gen
 
 (* ------------------------------------------------------------------ *)
@@ -145,6 +147,7 @@ let sample_responses cert =
         h_queue_capacity = 64;
         h_draining = true;
         h_cached_certs = 7;
+        h_replayed = 3;
       };
     P.Drained { served = 99 };
     P.Error (P.Overloaded, "queue full");
@@ -229,7 +232,8 @@ let test_degrade_memory_and_disk () =
   let d = Degrade.create ~disk () in
   Alcotest.(check bool) "cold lookup misses" true
     (Degrade.lookup d ~digest:"g1" = None);
-  Degrade.record d ~digest:"g1" cert;
+  Alcotest.(check bool) "record keeps a first certificate" true
+    (Degrade.record d ~digest:"g1" cert);
   (match Degrade.lookup d ~digest:"g1" with
   | Some { Degrade.cert = c; fresh } ->
     Alcotest.(check bool) "same certificate" true (c = cert);
@@ -266,16 +270,19 @@ let test_degrade_record_is_monotone () =
     (Domtree.Certificate.retained_count weak
     < Domtree.Certificate.retained_count strong);
   let d = Degrade.create () in
-  Degrade.record d ~digest:"g" strong;
-  Degrade.record d ~digest:"g" weak;
+  Alcotest.(check bool) "strong kept" true (Degrade.record d ~digest:"g" strong);
+  Alcotest.(check bool) "weak rejected (signals no journal write)" false
+    (Degrade.record d ~digest:"g" weak);
   (match Degrade.lookup d ~digest:"g" with
   | Some { Degrade.cert; _ } ->
     Alcotest.(check bool) "strong survives a weak record" true (cert = strong)
   | None -> Alcotest.fail "certificate vanished");
   (* the weak certificate is still better than nothing on a fresh
      digest, and a strong record upgrades it *)
-  Degrade.record d ~digest:"g2" weak;
-  Degrade.record d ~digest:"g2" strong;
+  Alcotest.(check bool) "weak kept on fresh digest" true
+    (Degrade.record d ~digest:"g2" weak);
+  Alcotest.(check bool) "strong upgrade kept" true
+    (Degrade.record d ~digest:"g2" strong);
   match Degrade.lookup d ~digest:"g2" with
   | Some { Degrade.cert; _ } ->
     Alcotest.(check bool) "strong upgrades weak" true (cert = strong)
@@ -407,14 +414,21 @@ let test_worker_chaos_survives () =
 (* ------------------------------------------------------------------ *)
 (* End-to-end daemon: all four robustness paths over one socket *)
 
-let with_daemon ?(queue_capacity = 4) f =
+let with_daemon ?(queue_capacity = 4) ?state_dir ?idle_timeout_ms f =
   let socket =
     Filename.concat
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "serve-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ()))
   in
+  let cfg = Server.default_config ~socket_path:socket in
   let cfg =
-    { (Server.default_config ~socket_path:socket) with Server.queue_capacity }
+    {
+      cfg with
+      Server.queue_capacity;
+      state_dir;
+      idle_timeout_ms =
+        Option.value idle_timeout_ms ~default:cfg.Server.idle_timeout_ms;
+    }
   in
   let ready = Atomic.make false in
   let daemon =
@@ -546,6 +560,410 @@ let test_daemon_sheds_under_tiny_queue () =
   Alcotest.(check bool) "some requests were served" true (!okay > 0);
   Server.Client.close cl
 
+(* ------------------------------------------------------------------ *)
+(* Framing under adversarial byte boundaries: however a stream of
+   concatenated frames is split and coalesced by the transport, an
+   incremental reader must recover exactly the original payloads *)
+
+let prop_framing_adversarial_boundaries =
+  QCheck.Test.make
+    ~name:"any chunking of a frame stream decodes to the same payloads"
+    ~count:100
+    QCheck.(
+      pair
+        (list_of_size
+           (QCheck.Gen.int_range 0 8)
+           (string_of_size (QCheck.Gen.int_range 0 64)))
+        small_int)
+    (fun (payloads, seed) ->
+      let stream = String.concat "" (List.map Framing.encode payloads) in
+      let rng = Random.State.make [| seed |] in
+      let pending = Buffer.create 256 in
+      let decoded = ref [] in
+      let drain () =
+        let b = Buffer.to_bytes pending in
+        let len = Bytes.length b in
+        let pos = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match Framing.try_decode ~pos:!pos b ~len with
+          | `Frame (p, consumed) ->
+            decoded := p :: !decoded;
+            pos := !pos + consumed
+          | `Need_more -> continue := false
+          | `Error m -> Alcotest.fail ("valid stream rejected: " ^ m)
+        done;
+        Buffer.clear pending;
+        Buffer.add_subbytes pending b !pos (len - !pos)
+      in
+      let i = ref 0 in
+      let n = String.length stream in
+      while !i < n do
+        let chunk = min (1 + Random.State.int rng 7) (n - !i) in
+        Buffer.add_substring pending stream !i chunk;
+        i := !i + chunk;
+        drain ()
+      done;
+      List.rev !decoded = payloads && Buffer.length pending = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Journal: the write-ahead log behind crash-only restarts *)
+
+let test_journal_record_codec () =
+  let cert = sample_cert () in
+  List.iter
+    (fun r ->
+      match Journal.decode_record (Journal.encode_record r) with
+      | Ok r' ->
+        Alcotest.(check bool) "record survives the codec" true (r = r')
+      | Error m -> Alcotest.fail ("record failed to decode: " ^ m))
+    [
+      Journal.Meta { gen = 7 };
+      Journal.Graph { spec = "harary:k=4,n=32" };
+      Journal.Accept { req = P.encode_request P.Health };
+      Journal.Promote { digest = "abc123"; cert };
+    ];
+  (match Journal.decode_record "" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty record accepted");
+  match Journal.decode_record "\xff\x00\x01" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+
+let journal_graphs n = List.init n (fun i -> Printf.sprintf "g-%d" i)
+
+let test_journal_append_and_reopen () =
+  with_tmp_dir @@ fun dir ->
+  let cert = sample_cert () in
+  let records =
+    List.map (fun s -> Journal.Graph { spec = s }) (journal_graphs 3)
+    @ [
+        Journal.Accept { req = P.encode_request P.Health };
+        Journal.Promote { digest = "d1"; cert };
+        (* duplicate graph: replay must dedup it *)
+        Journal.Graph { spec = "g-0" };
+      ]
+  in
+  let t, r0 = Journal.open_dir dir in
+  Alcotest.(check int) "fresh dir replays nothing" 0 r0.Journal.r_records;
+  List.iter (Journal.append t) records;
+  Journal.sync t;
+  Journal.close t;
+  let t2, r = Journal.open_dir dir in
+  Journal.close t2;
+  let expected = Journal.replay_records records in
+  Alcotest.(check int) "every record replayed" expected.Journal.r_records
+    r.Journal.r_records;
+  Alcotest.(check (list string)) "graphs deduped in first-seen order"
+    expected.Journal.r_graphs r.Journal.r_graphs;
+  Alcotest.(check int) "accepts counted" 1 r.Journal.r_accepted;
+  Alcotest.(check bool) "the promoted certificate replays intact" true
+    (r.Journal.r_certs = [ ("d1", cert) ]);
+  Alcotest.(check int) "nothing torn" 0 r.Journal.r_torn_bytes
+
+let live_segment dir = Filename.concat dir "journal-000000000.wal"
+
+let test_journal_torn_tail_truncated () =
+  with_tmp_dir @@ fun dir ->
+  let t, _ = Journal.open_dir dir in
+  List.iter
+    (fun s -> Journal.append t (Journal.Graph { spec = s }))
+    (journal_graphs 3);
+  Journal.sync t;
+  Journal.close t;
+  (* a kill -9 mid-write leaves a partial frame at the tail *)
+  let torn_frame =
+    Framing.encode (Journal.encode_record (Journal.Graph { spec = "torn" }))
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_binary ] 0o644 (live_segment dir)
+  in
+  output_string oc (String.sub torn_frame 0 7);
+  close_out oc;
+  let t2, r = Journal.open_dir dir in
+  Alcotest.(check int) "synced records all survive" 3 r.Journal.r_records;
+  Alcotest.(check int) "the torn tail is measured" 7 r.Journal.r_torn_bytes;
+  Alcotest.(check int) "torn is not corrupt" 0 r.Journal.r_corrupt_frames;
+  (* the tail was physically cut: the next append extends a valid
+     stream *)
+  Journal.append t2 (Journal.Graph { spec = "after-the-tear" });
+  Journal.sync t2;
+  Journal.close t2;
+  let t3, r' = Journal.open_dir dir in
+  Journal.close t3;
+  Alcotest.(check int) "append after truncation replays cleanly" 4
+    r'.Journal.r_records;
+  Alcotest.(check int) "no residual tear" 0 r'.Journal.r_torn_bytes;
+  Alcotest.(check (list string)) "order preserved"
+    (journal_graphs 3 @ [ "after-the-tear" ])
+    r'.Journal.r_graphs
+
+let test_journal_bit_flip_detected () =
+  with_tmp_dir @@ fun dir ->
+  let t, _ = Journal.open_dir dir in
+  let sizes =
+    List.map
+      (fun s ->
+        Journal.append t (Journal.Graph { spec = s });
+        Journal.sync t;
+        (Unix.stat (live_segment dir)).Unix.st_size)
+      (journal_graphs 5)
+  in
+  Journal.close t;
+  (* flip one payload byte of the third frame: its CRC no longer
+     matches, and frames cannot be resynchronized past it *)
+  let boundary = List.nth sizes 1 in
+  let fd = Unix.openfile (live_segment dir) [ Unix.O_RDWR ] 0 in
+  ignore (Unix.lseek fd (boundary + 5) Unix.SEEK_SET);
+  let b = Bytes.create 1 in
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd (boundary + 5) Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let t2, r = Journal.open_dir dir in
+  Alcotest.(check int) "records before the flip survive" 2
+    r.Journal.r_records;
+  Alcotest.(check int) "corruption is reported, not ignored" 1
+    r.Journal.r_corrupt_frames;
+  Alcotest.(check bool) "poisoned bytes are discarded" true
+    (r.Journal.r_torn_bytes > 0);
+  (* the journal stays writable: crash-only recovery truncated the
+     poisoned region *)
+  Journal.append t2 (Journal.Graph { spec = "after-the-flip" });
+  Journal.sync t2;
+  Journal.close t2;
+  let t3, r' = Journal.open_dir dir in
+  Journal.close t3;
+  Alcotest.(check (list string)) "recovered stream is clean"
+    [ "g-0"; "g-1"; "after-the-flip" ]
+    r'.Journal.r_graphs;
+  Alcotest.(check int) "no residual corruption" 0 r'.Journal.r_corrupt_frames
+
+let test_journal_snapshot_rotation () =
+  with_tmp_dir @@ fun dir ->
+  let cert = sample_cert () in
+  let t, _ = Journal.open_dir dir in
+  List.iter
+    (fun s -> Journal.append t (Journal.Graph { spec = s }))
+    (journal_graphs 4);
+  Journal.append t (Journal.Promote { digest = "d1"; cert });
+  Journal.sync t;
+  Alcotest.(check int) "appends counted" 5 (Journal.appended_since_snapshot t);
+  (* compaction: the snapshot replaces the whole history *)
+  Journal.snapshot t
+    [ Journal.Graph { spec = "g-0" }; Journal.Promote { digest = "d1"; cert } ];
+  Alcotest.(check int) "rotation resets the counter" 0
+    (Journal.appended_since_snapshot t);
+  Alcotest.(check bool) "compacted segment deleted" false
+    (Sys.file_exists (live_segment dir));
+  Alcotest.(check bool) "snapshot materialized" true
+    (Sys.file_exists (Filename.concat dir "snapshot.bin"));
+  Journal.append t (Journal.Graph { spec = "post-snapshot" });
+  Journal.sync t;
+  Journal.close t;
+  let t2, r = Journal.open_dir dir in
+  Journal.close t2;
+  Alcotest.(check int) "snapshot generation advanced" 1
+    r.Journal.r_snapshot_gen;
+  Alcotest.(check (list string)) "snapshot + live segment replay"
+    [ "g-0"; "post-snapshot" ] r.Journal.r_graphs;
+  Alcotest.(check bool) "certificate compacted into the snapshot" true
+    (r.Journal.r_certs = [ ("d1", cert) ])
+
+(* The acceptance property: kill -9 at an arbitrary byte offset loses
+   nothing that was synced and replays a clean prefix of history. Each
+   record is synced individually so every frame boundary is a possible
+   kill point. *)
+let prop_journal_random_kill_point =
+  QCheck.Test.make
+    ~name:"kill -9 at any offset: synced prefix survives, tail is torn"
+    ~count:60
+    QCheck.(pair (int_range 1 40) small_int)
+    (fun (n, cut_salt) ->
+      with_tmp_dir @@ fun dir ->
+      let records =
+        List.init n (fun i ->
+            if i mod 3 = 2 then
+              Journal.Accept { req = Printf.sprintf "req-%d" i }
+            else Journal.Graph { spec = Printf.sprintf "graph-%d" i })
+      in
+      let t, _ = Journal.open_dir dir in
+      let seg = live_segment dir in
+      let sizes =
+        List.map
+          (fun r ->
+            Journal.append t r;
+            Journal.sync t;
+            (Unix.stat seg).Unix.st_size)
+          records
+      in
+      Journal.close t;
+      let total = (Unix.stat seg).Unix.st_size in
+      let cut = cut_salt mod (total + 1) in
+      Unix.truncate seg cut;
+      let t2, r = Journal.open_dir dir in
+      Journal.close t2;
+      (* exactly the records whose sync completed inside the surviving
+         prefix replay; a mid-frame cut is torn, never misread *)
+      let durable = List.length (List.filter (fun s -> s <= cut) sizes) in
+      let expected =
+        Journal.replay_records
+          (List.filteri (fun i _ -> i < durable) records)
+      in
+      r.Journal.r_records = durable
+      && r.Journal.r_graphs = expected.Journal.r_graphs
+      && r.Journal.r_accepted = expected.Journal.r_accepted
+      && r.Journal.r_corrupt_frames = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Daemon crash-only behaviors over a real socket *)
+
+let test_daemon_warm_restart () =
+  with_tmp_dir @@ fun dir ->
+  (* first life: resolve a graph and promote a certificate *)
+  with_daemon ~state_dir:dir (fun socket ->
+      let cl = Server.Client.connect socket in
+      (match
+         request_ok cl (P.Decompose { (P.default_decompose ~gen) with P.k = 4 })
+       with
+      | P.Result r -> Alcotest.(check bool) "verified" true r.P.verified
+      | resp -> Alcotest.failf "decompose broke: %a" P.pp_response resp);
+      Server.Client.close cl);
+  (* second life over the same state directory: the journal replays
+     into warm state before the socket opens *)
+  with_daemon ~state_dir:dir (fun socket ->
+      let cl = Server.Client.connect socket in
+      (match request_ok cl P.Health with
+      | P.Health_report h ->
+        Alcotest.(check bool) "journal replayed into warm state" true
+          (h.P.h_replayed > 0)
+      | resp -> Alcotest.failf "health broke: %a" P.pp_response resp);
+      (match request_ok cl (P.Certificate { gen }) with
+      | P.Cert c ->
+        Alcotest.(check bool) "replayed certificate is stale" true c.P.c_stale;
+        Alcotest.(check bool) "and machine-checkable" false
+          (Domtree.Certificate.degraded c.P.c_cert)
+      | resp ->
+        Alcotest.failf "wanted the replayed certificate, got: %a" P.pp_response
+          resp);
+      Server.Client.close cl)
+
+let test_daemon_drops_stalled_conn () =
+  with_daemon ~idle_timeout_ms:150 @@ fun socket ->
+  (* a dribbling client: three bytes of a valid frame, then silence *)
+  let dribble = Server.Client.connect ~timeout_s:5. socket in
+  let frame = Framing.encode (P.encode_request P.Health) in
+  Server.Client.send_raw dribble (String.sub frame 0 3);
+  (* a fast client keeps working well past the dribbler's deadline *)
+  let cl = Server.Client.connect socket in
+  let deadline = Unix.gettimeofday () +. 0.6 in
+  while Unix.gettimeofday () < deadline do
+    (match request_ok cl P.Health with
+    | P.Health_report _ -> ()
+    | resp -> Alcotest.failf "health under dribble: %a" P.pp_response resp);
+    Unix.sleepf 0.02
+  done;
+  (* the stalled connection got one structured complaint and was
+     dropped; an idle-but-empty connection would have been spared *)
+  (match Server.Client.recv dribble with
+  | Ok (P.Error (P.Bad_request, m)) ->
+    Alcotest.(check bool) "the error names the stall" true
+      (String.length m > 0)
+  | Ok resp -> Alcotest.failf "stalled conn answered: %a" P.pp_response resp
+  | Error m -> Alcotest.fail ("stalled conn transport error: " ^ m));
+  (match Server.Client.recv dribble with
+  | Error _ -> ()
+  | Ok resp -> Alcotest.failf "dead conn answered: %a" P.pp_response resp);
+  Server.Client.close dribble;
+  (match request_ok cl P.Health with
+  | P.Health_report _ -> ()
+  | resp -> Alcotest.failf "fast client collateral: %a" P.pp_response resp);
+  Server.Client.close cl
+
+let test_accept_error_action () =
+  Alcotest.(check bool) "EMFILE pauses the listener" true
+    (Server.accept_error_action Unix.EMFILE = `Pause);
+  Alcotest.(check bool) "ENFILE pauses the listener" true
+    (Server.accept_error_action Unix.ENFILE = `Pause);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "transient accept noise retries" true
+        (Server.accept_error_action e = `Retry))
+    [ Unix.EINTR; Unix.ECONNABORTED; Unix.ECONNRESET; Unix.EAGAIN ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: restart policy without a real daemon underneath *)
+
+let sup_cfg =
+  {
+    Supervisor.max_crashes = 3;
+    window_s = 60.;
+    backoff0_ms = 1.;
+    backoff_max_ms = 4.;
+    stable_s = 5.;
+    ready_timeout_s = 2.;
+    probe_interval_ms = 2.;
+  }
+
+let test_supervisor_clean_exit () =
+  match
+    Supervisor.supervise sup_cfg
+      ~spawn:(fun () -> ())
+      ~probe:(fun () -> false)
+  with
+  | Supervisor.Clean_exit { restarts } ->
+    Alcotest.(check int) "no restarts for a clean child" 0 restarts
+  | Supervisor.Crash_loop _ ->
+    Alcotest.fail "clean exit reported as a crash loop"
+
+let test_supervisor_crash_loop_opens_circuit () =
+  let events = ref [] in
+  match
+    Supervisor.supervise
+      ~on_event:(fun e -> events := e :: !events)
+      sup_cfg
+      ~spawn:(fun () -> failwith "always crashing")
+      ~probe:(fun () -> false)
+  with
+  | Supervisor.Crash_loop { crashes } ->
+    Alcotest.(check bool) "breaker opened past the budget" true (crashes > 3);
+    Alcotest.(check bool) "backoff ladder was climbed" true
+      (List.exists
+         (function Supervisor.Backoff _ -> true | _ -> false)
+         !events);
+    Alcotest.(check bool) "circuit-open event emitted" true
+      (List.exists
+         (function Supervisor.Circuit_open _ -> true | _ -> false)
+         !events)
+  | Supervisor.Clean_exit _ ->
+    Alcotest.fail "a child that always crashes reported clean"
+
+let test_supervisor_flaky_child_heals () =
+  with_tmp_dir @@ fun dir ->
+  (* the child is a forked process: the crash counter must live on
+     disk, exactly like the daemon's own journal *)
+  let counter = Filename.concat dir "attempts" in
+  let spawn () =
+    let attempts =
+      if Sys.file_exists counter then (
+        let ic = open_in counter in
+        let n = int_of_string (input_line ic) in
+        close_in ic;
+        n)
+      else 0
+    in
+    let oc = open_out counter in
+    output_string oc (string_of_int (attempts + 1));
+    close_out oc;
+    if attempts < 2 then failwith "still flaky"
+  in
+  match Supervisor.supervise sup_cfg ~spawn ~probe:(fun () -> false) with
+  | Supervisor.Clean_exit { restarts } ->
+    Alcotest.(check int) "two restarts healed it" 2 restarts
+  | Supervisor.Crash_loop _ ->
+    Alcotest.fail "a healing child tripped the breaker"
+
 let () =
   Alcotest.run "serve"
     [
@@ -561,6 +979,7 @@ let () =
             test_framing_bad_version;
           Alcotest.test_case "oversize length rejected" `Quick
             test_framing_oversize_rejected;
+          QCheck_alcotest.to_alcotest prop_framing_adversarial_boundaries;
         ] );
       ( "protocol",
         [
@@ -597,11 +1016,38 @@ let () =
           Alcotest.test_case "chaos answers structurally" `Quick
             test_worker_chaos_survives;
         ] );
+      ( "journal",
+        [
+          Alcotest.test_case "record codec" `Quick test_journal_record_codec;
+          Alcotest.test_case "append, sync, reopen" `Quick
+            test_journal_append_and_reopen;
+          Alcotest.test_case "torn tail truncated" `Quick
+            test_journal_torn_tail_truncated;
+          Alcotest.test_case "bit flip detected and contained" `Quick
+            test_journal_bit_flip_detected;
+          Alcotest.test_case "snapshot rotation" `Quick
+            test_journal_snapshot_rotation;
+          QCheck_alcotest.to_alcotest prop_journal_random_kill_point;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "clean exit" `Quick test_supervisor_clean_exit;
+          Alcotest.test_case "crash loop opens the circuit" `Quick
+            test_supervisor_crash_loop_opens_circuit;
+          Alcotest.test_case "flaky child heals after restarts" `Quick
+            test_supervisor_flaky_child_heals;
+        ] );
       ( "daemon",
         [
           Alcotest.test_case "end to end robustness" `Quick
             test_daemon_end_to_end;
           Alcotest.test_case "sheds under a tiny queue" `Quick
             test_daemon_sheds_under_tiny_queue;
+          Alcotest.test_case "warm restart replays the journal" `Quick
+            test_daemon_warm_restart;
+          Alcotest.test_case "stalled partial frame is dropped" `Quick
+            test_daemon_drops_stalled_conn;
+          Alcotest.test_case "accept error policy" `Quick
+            test_accept_error_action;
         ] );
     ]
