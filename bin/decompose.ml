@@ -626,7 +626,8 @@ let serve_cmd =
   in
   let snapshot_every_arg =
     Arg.(value & opt nonneg_int_conv 512 & info [ "snapshot-every" ] ~docv:"N"
-           ~doc:"Journal records between snapshot compactions.")
+           ~doc:"Journal records between snapshot compactions; 0 disables \
+                 snapshots (the journal only grows).")
   in
   let idle_timeout_arg =
     Arg.(value & opt nonneg_int_conv 10_000 & info [ "idle-timeout-ms" ]

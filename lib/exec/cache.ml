@@ -181,13 +181,24 @@ let scan t =
   List.fold_left
     (fun acc name ->
       let path = Filename.concat t.root name in
-      if name = quarantine_dirname || is_stale_tmp name || Sys.is_directory path
-      then acc
-      else
-        match decode (read_file path) with
-        | Some _ -> { acc with scanned = acc.scanned + 1; valid = acc.valid + 1 }
-        | None | (exception Sys_error _) ->
-          quarantine t path;
-          { acc with scanned = acc.scanned + 1; swept = acc.swept + 1 })
+      (* an entry can vanish between readdir and the stat/read (another
+         process quarantining or sweeping it): Sys.is_directory and
+         read_file then raise Sys_error, which must skip just that
+         entry — counted neither valid nor swept — not abort the audit *)
+      match
+        if
+          name = quarantine_dirname || is_stale_tmp name
+          || Sys.is_directory path
+        then `Skip
+        else
+          match decode (read_file path) with
+          | Some _ -> `Valid
+          | None -> `Corrupt
+      with
+      | `Skip | (exception Sys_error _) -> acc
+      | `Valid -> { acc with scanned = acc.scanned + 1; valid = acc.valid + 1 }
+      | `Corrupt ->
+        quarantine t path;
+        { acc with scanned = acc.scanned + 1; swept = acc.swept + 1 })
     { scanned = 0; valid = 0; swept = 0 }
     (List.sort String.compare entries)

@@ -335,8 +335,13 @@ let run ?(on_ready = fun () -> ()) cfg =
         | Some j ->
           journal_try (fun () ->
               Journal.sync j;
-              if Journal.appended_since_snapshot j >= cfg.snapshot_every then
-                Journal.snapshot j (Worker.journal_state worker))
+              (* snapshot_every = 0 means "snapshots disabled" — without
+                 the guard, 0 appended >= 0 would trigger a full
+                 snapshot + segment rotation every ~50ms loop tick *)
+              if
+                cfg.snapshot_every > 0
+                && Journal.appended_since_snapshot j >= cfg.snapshot_every
+              then Journal.snapshot j (Worker.journal_state worker))
         | None -> ());
         if st.draining && Queue.is_empty st.queue then begin
           (match st.drain_conn with

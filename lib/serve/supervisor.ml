@@ -88,9 +88,12 @@ let supervise ?(on_event = fun (_ : event) -> ()) cfg ~spawn ~probe =
   let backoff = ref cfg.backoff0_ms in
   let child = ref (-1) in
   (* forward terminal signals so "kill <supervisor>" drains the whole
-     tree; the child's own handler (or default death) takes it down and
-     the supervisor sees a normal exit *)
+     tree. [terminating] records that the operator asked for shutdown:
+     the child's resulting death (typically WSIGNALED sigterm) must be
+     treated as a clean exit, not a crash to restart from. *)
+  let terminating = ref false in
   let forward signum =
+    terminating := true;
     if !child > 0 then try Unix.kill !child signum with Unix.Unix_error _ -> ()
   in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle forward) in
@@ -104,7 +107,10 @@ let supervise ?(on_event = fun (_ : event) -> ()) cfg ~spawn ~probe =
     (* prune crash timestamps that fell out of the window *)
     let now = now_s () in
     crashes := List.filter (fun t -> now -. t <= cfg.window_s) !crashes;
-    if List.length !crashes > cfg.max_crashes then begin
+    (* a signal that arrived during the backoff sleep must stop the
+       restart ladder, not fork a fresh child into a shutdown *)
+    if !terminating then Clean_exit { restarts = !restarts }
+    else if List.length !crashes > cfg.max_crashes then begin
       on_event (Circuit_open { crashes = List.length !crashes;
                                window_s = cfg.window_s });
       Crash_loop { crashes = List.length !crashes }
@@ -113,13 +119,22 @@ let supervise ?(on_event = fun (_ : event) -> ()) cfg ~spawn ~probe =
       let started = now_s () in
       let pid = Unix.fork () in
       if pid = 0 then begin
-        (* child: run the daemon; _exit so no buffered channels or
-           at_exit hooks of the parent's are replayed *)
+        (* child: the parent's forward handler survives the fork (only
+           exec resets dispositions) and would be a no-op here (!child
+           is -1), silently discarding TERM/INT — restore the defaults
+           so a forwarded signal actually takes the daemon down. Then
+           run the daemon; _exit so no buffered channels or at_exit
+           hooks of the parent's are replayed *)
+        Sys.set_signal Sys.sigterm Sys.Signal_default;
+        Sys.set_signal Sys.sigint Sys.Signal_default;
         (try spawn () with _ -> Unix._exit 1);
         Unix._exit 0
       end
       else begin
         child := pid;
+        (* close the fork/child:=pid race: a signal that landed in
+           between found !child = -1 and forwarded to nobody *)
+        if !terminating then forward Sys.sigterm;
         on_event (Started { pid; restarts = !restarts });
         (* readiness gate: traffic is not re-admitted (probe true)
            until the child answers; a child that hangs before readiness
@@ -150,7 +165,11 @@ let supervise ?(on_event = fun (_ : event) -> ()) cfg ~spawn ~probe =
         child := -1;
         let uptime = now_s () -. started in
         on_event (Exited { pid; status; uptime_s = uptime });
-        if clean_exit status then Clean_exit { restarts = !restarts }
+        (* an exit provoked by operator shutdown is clean whatever the
+           status (a SIGTERM'd child reports WSIGNALED, not WEXITED 0) —
+           restarting it would turn "kill <supervisor>" into a respawn *)
+        if clean_exit status || !terminating then
+          Clean_exit { restarts = !restarts }
         else begin
           crashes := now_s () :: !crashes;
           (* a child that survived long enough proved the state on disk

@@ -35,7 +35,9 @@ type event =
   | Circuit_open of { crashes : int; window_s : float }
 
 type outcome =
-  | Clean_exit of { restarts : int }  (** the child exited 0 (drained) *)
+  | Clean_exit of { restarts : int }
+      (** the child exited 0 (drained), or died from an operator
+          SIGTERM/SIGINT forwarded by the supervisor *)
   | Crash_loop of { crashes : int }  (** circuit breaker opened *)
 
 val pp_event : Format.formatter -> event -> unit
@@ -46,7 +48,9 @@ val pp_event : Format.formatter -> event -> unit
     polled every [probe_interval_ms] after each start; returning [true]
     means the child is serving (e.g. a successful [Health] round trip).
     SIGTERM/SIGINT received by the supervisor are forwarded to the
-    live child (original handlers restored on return). *)
+    live child — whose default dispositions are restored after the
+    fork — and the resulting death is reported as {!Clean_exit}, never
+    restarted (original handlers restored on return). *)
 val supervise :
   ?on_event:(event -> unit) ->
   config ->

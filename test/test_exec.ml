@@ -217,6 +217,25 @@ let test_cache_scan_quarantines_corruption () =
   Alcotest.(check (option payload_eq)) "the swept key is a clean miss" None
     (Cache.find c ~key:"b")
 
+let test_cache_scan_skips_vanishing_entries () =
+  with_cache_dir @@ fun dir ->
+  let c = Cache.open_dir dir in
+  List.iter
+    (fun key -> Cache.store c ~key (Job.payload ~rows:[ key ] key))
+    [ "a"; "z" ];
+  (* a concurrent sweeper can remove an entry between scan's readdir and
+     its stat; a dangling symlink makes Sys.is_directory raise the same
+     Sys_error deterministically. The audit must skip the ghost — not
+     abort, not quarantine — and still report the survivors. *)
+  let ghost = Filename.concat (Cache.dir c) "ghost" in
+  Unix.symlink (Filename.concat dir "does-not-exist") ghost;
+  let r = try Cache.scan c with e -> Sys.remove ghost; raise e in
+  Sys.remove ghost;
+  Alcotest.(check int) "survivors scanned" 2 r.Cache.scanned;
+  Alcotest.(check int) "survivors valid" 2 r.Cache.valid;
+  Alcotest.(check int) "ghost neither valid nor swept" 0 r.Cache.swept;
+  Alcotest.(check int) "ghost not quarantined" 0 (Cache.quarantined c)
+
 let test_cache_ignores_foreign_magic () =
   with_cache_dir @@ fun dir ->
   let c = Cache.open_dir dir in
@@ -457,6 +476,8 @@ let () =
             test_cache_corruption_recovers;
           Alcotest.test_case "scan quarantines corruption" `Quick
             test_cache_scan_quarantines_corruption;
+          Alcotest.test_case "scan skips entries that vanish mid-audit" `Quick
+            test_cache_scan_skips_vanishing_entries;
           Alcotest.test_case "foreign magic is a miss" `Quick
             test_cache_ignores_foreign_magic;
           Alcotest.test_case "stale tmp files swept on open" `Quick

@@ -964,6 +964,56 @@ let test_supervisor_flaky_child_heals () =
   | Supervisor.Crash_loop _ ->
     Alcotest.fail "a healing child tripped the breaker"
 
+let test_supervisor_operator_sigterm () =
+  (* "kill <supervisor>" must drain the whole tree: the forwarded TERM
+     reaches a child whose default disposition was restored after the
+     fork (the inherited forward handler would discard it), and the
+     supervisor reports the death as Clean_exit instead of restarting
+     into a shutdown. Run supervise in its own process so the real
+     signal path — handler, forward, waitpid EINTR — is exercised. *)
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    let outcome =
+      Supervisor.supervise sup_cfg
+        ~spawn:(fun () ->
+          while true do
+            Unix.sleepf 3600.
+          done)
+        ~probe:(fun () -> true)
+    in
+    match outcome with
+    | Supervisor.Clean_exit _ -> Unix._exit 0
+    | Supervisor.Crash_loop _ -> Unix._exit 7
+  end
+  else begin
+    (* let the supervisor fork its child and pass the readiness gate *)
+    Unix.sleepf 0.3;
+    Unix.kill pid Sys.sigterm;
+    let deadline = Unix.gettimeofday () +. 5. in
+    let rec await () =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        if Unix.gettimeofday () > deadline then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid);
+          Alcotest.fail "supervisor ignored SIGTERM (tree still alive)"
+        end
+        else begin
+          Unix.sleepf 0.02;
+          await ()
+        end
+      | _, status -> status
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+    in
+    match await () with
+    | Unix.WEXITED 0 -> ()
+    | Unix.WEXITED 7 ->
+      Alcotest.fail "operator SIGTERM was counted as a crash loop"
+    | Unix.WEXITED c -> Alcotest.failf "supervisor exited %d on SIGTERM" c
+    | Unix.WSIGNALED s | Unix.WSTOPPED s ->
+      Alcotest.failf "supervisor killed by signal %d instead of draining" s
+  end
+
 let () =
   Alcotest.run "serve"
     [
@@ -1036,6 +1086,8 @@ let () =
             test_supervisor_crash_loop_opens_circuit;
           Alcotest.test_case "flaky child heals after restarts" `Quick
             test_supervisor_flaky_child_heals;
+          Alcotest.test_case "operator SIGTERM drains, never restarts" `Quick
+            test_supervisor_operator_sigterm;
         ] );
       ( "daemon",
         [
