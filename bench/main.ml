@@ -107,8 +107,9 @@ type cli = { mode : string; pos : int list; jobs : int option; cache : bool }
 
 let usage () =
   prerr_endline
-    "usage: main.exe [all|tables|micro|csv|failures|chaos|perf|serve|recovery] \
-     [n [k]] [-j N | --jobs N] [--no-cache]";
+    "usage: main.exe \
+     [all|tables|micro|csv|failures|chaos|perf|serve|recovery|obs] [n [k]] [-j \
+     N | --jobs N] [--no-cache]";
   exit 2
 
 let parse_cli argv =
@@ -176,6 +177,12 @@ let () =
        Drives the daemon over its real socket; never cached. *)
     ignore cache;
     Sweeps.Serve_sweep.all ?requests:(List.nth_opt cli.pos 0) ()
+  | "obs" ->
+    (* optional size override: `-- obs 512`. Interleaved metrics-off vs
+       metrics-on timing of the round engine; never cached, never
+       parallel (it is a timing sweep). *)
+    ignore cache;
+    Sweeps.Obs_sweep.all ?n:(List.nth_opt cli.pos 0) ()
   | "recovery" ->
     (* optional kill-point count: `-- recovery 3`. Drives a real
        out-of-process daemon through SIGKILL/corruption/starvation;

@@ -55,7 +55,8 @@ let count t = function
     else t.ok <- t.ok + 1
   | Ok (P.Cert c) ->
     if c.P.c_stale then t.stale <- t.stale + 1 else t.ok <- t.ok + 1
-  | Ok (P.Health_report _ | P.Drained _) -> t.ok <- t.ok + 1
+  | Ok (P.Health_report _ | P.Drained _ | P.Stats_report _) ->
+    t.ok <- t.ok + 1
   | Ok (P.Error (P.Overloaded, _)) -> t.shed <- t.shed + 1
   | Ok (P.Error _) | Error _ -> t.errors <- t.errors + 1
 
@@ -225,8 +226,13 @@ let all ?(requests = 3000) () =
   let chaos = chaos_phase ~requests:24 socket in
   let rows = [ tp; burst; chaos ] in
   List.iter pp_row rows;
-  (* clean shutdown: drain, then join the daemon domain *)
+  (* clean shutdown: scrape the metrics once, drain, then join *)
   let cl = Client.connect socket in
+  (match Client.request cl P.Stats with
+  | Ok (P.Stats_report _ as resp) ->
+    Format.printf "%a@." P.pp_response resp
+  | Ok resp -> Format.printf "stats surprise: %a@." P.pp_response resp
+  | Error m -> Format.printf "stats failed: %s@." m);
   let drained =
     match Client.request cl P.Drain with
     | Ok (P.Drained { served }) ->

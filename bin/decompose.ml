@@ -509,7 +509,7 @@ let socket_arg =
 let serve_cmd =
   let run socket queue deadline_ms rounds_per_ms ms_per_attempt max_n cache_dir
       chaos_fail_p chaos_storm state_dir snapshot_every idle_timeout_ms
-      supervise max_crashes =
+      metrics_file metrics_every_ms supervise max_crashes =
     let cfg =
       {
         (Serve.Server.default_config ~socket_path:socket) with
@@ -518,6 +518,8 @@ let serve_cmd =
         state_dir;
         snapshot_every;
         idle_timeout_ms;
+        metrics_file;
+        metrics_every_ms;
         worker =
           {
             Serve.Worker.default_config with
@@ -634,6 +636,15 @@ let serve_cmd =
            ~doc:"Slow-client guard: drop a connection whose partial frame \
                  makes no byte progress for this long.")
   in
+  let metrics_file_arg =
+    Arg.(value & opt (some string) None & info [ "metrics-file" ] ~docv:"PATH"
+           ~doc:"Dump the metrics snapshot here as JSON (atomic rename) \
+                 every --metrics-every-ms and once on shutdown.")
+  in
+  let metrics_every_arg =
+    Arg.(value & opt nonneg_int_conv 1_000 & info [ "metrics-every-ms" ]
+           ~doc:"Period of the --metrics-file dump.")
+  in
   let supervise_arg =
     Arg.(value & flag & info [ "supervise" ]
            ~doc:"Run the daemon as a supervised child process: restart on \
@@ -652,20 +663,40 @@ let serve_cmd =
     Term.(const run $ socket_arg $ queue_arg $ deadline_arg $ rpm_arg $ mpa_arg
           $ max_n_arg $ cache_arg $ chaos_p_arg $ chaos_storm_arg
           $ state_dir_arg $ snapshot_every_arg $ idle_timeout_arg
-          $ supervise_arg $ max_crashes_arg)
+          $ metrics_file_arg $ metrics_every_arg $ supervise_arg
+          $ max_crashes_arg)
+
+(* serve-call --health, humanized: grouped key=value lines so operators
+   can read it and scripts can keep grepping the same tokens the
+   one-line rendering used (CI asserts on "replayed=N"). *)
+let pp_health ppf (h : Sp.health_resp) =
+  Format.fprintf ppf
+    "health@,\
+     \  uptime=%dms@,\
+     \  served=%d fresh=%d stale=%d@,\
+     \  shed=%d errors=%d@,\
+     \  queue=%d/%d draining=%b@,\
+     \  cached_certs=%d replayed=%d@,\
+     \  journal_bytes=%d journal_segments=%d"
+    h.Sp.h_uptime_ms h.Sp.h_served h.Sp.h_fresh h.Sp.h_stale h.Sp.h_shed
+    h.Sp.h_errors h.Sp.h_queue_depth h.Sp.h_queue_capacity h.Sp.h_draining
+    h.Sp.h_cached_certs h.Sp.h_replayed h.Sp.h_journal_bytes
+    h.Sp.h_journal_segments
 
 let serve_call_cmd =
-  let run socket health drain crash_test certificate verify gen seed k policy
-      distributed deadline_ms fail_p storm =
+  let run socket health stats drain crash_test certificate verify gen seed k
+      policy distributed deadline_ms fail_p storm =
     let req =
       if health then Sp.Health
+      else if stats then Sp.Stats
       else if drain then Sp.Drain
       else if crash_test then Sp.Crash_test
       else
         match gen with
         | None ->
           failwith
-            "serve-call needs --gen (or one of --health/--drain/--crash-test)"
+            "serve-call needs --gen (or one of \
+             --health/--stats/--drain/--crash-test)"
         | Some gen ->
           if certificate then Sp.Certificate { gen }
           else begin
@@ -692,7 +723,23 @@ let serve_call_cmd =
       Format.eprintf "serve-call: transport error: %s@." m;
       exit Exit_codes.failure
     | Ok resp ->
-      Format.printf "%a@." Sp.pp_response resp;
+      (match resp with
+      | Sp.Health_report h -> Format.printf "@[<v>%a@]@." pp_health h
+      | Sp.Stats_report s ->
+        (* Prometheus text exposition: exactly what a scrape endpoint
+           would serve, pipeable into promtool. Quantile estimates ride
+           along as comment lines for the human reading the terminal. *)
+        Format.printf "# uptime_ms %d@.%s" s.Sp.s_uptime_ms
+          (Obs.Export.prometheus s.Sp.s_metrics);
+        List.iter
+          (fun (name, h) ->
+            if h.Obs.Metrics.h_count > 0 then
+              Format.printf "# quantiles %s count=%d p50=%d p99=%d@." name
+                h.Obs.Metrics.h_count
+                (Obs.Metrics.quantile h 0.50)
+                (Obs.Metrics.quantile h 0.99))
+          s.Sp.s_metrics.Obs.Metrics.s_hists
+      | resp -> Format.printf "%a@." Sp.pp_response resp);
       let code =
         match resp with
         | Sp.Result r ->
@@ -701,7 +748,8 @@ let serve_call_cmd =
           else Exit_codes.failure
         | Sp.Cert c ->
           if c.Sp.c_stale then Exit_codes.degraded else Exit_codes.ok
-        | Sp.Health_report _ | Sp.Drained _ -> Exit_codes.ok
+        | Sp.Health_report _ | Sp.Drained _ | Sp.Stats_report _ ->
+          Exit_codes.ok
         | Sp.Error (Sp.Overloaded, _) -> Exit_codes.overloaded
         | Sp.Error (Sp.Bad_request, _) -> Exit_codes.usage
         | Sp.Error _ -> Exit_codes.failure
@@ -711,6 +759,11 @@ let serve_call_cmd =
   let health_arg =
     Arg.(value & flag & info [ "health" ] ~doc:"Liveness probe; answers \
                                                even under a full queue.")
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Fetch the metrics snapshot and print it in Prometheus \
+                 text exposition format.")
   in
   let drain_arg =
     Arg.(value & flag & info [ "drain" ]
@@ -754,9 +807,9 @@ let serve_call_cmd =
        ~doc:"Send one request to a running daemon and print the reply; \
              exit codes: 0 ok, 1 failure, 2 bad request, 4 \
              degraded/stale, 5 overloaded")
-    Term.(const run $ socket_arg $ health_arg $ drain_arg $ crash_arg'
-          $ cert_arg $ verify_flag $ gen_arg $ seed_arg $ k_arg $ policy_arg
-          $ dist_arg $ deadline_arg $ fail_p_arg $ storm_arg)
+    Term.(const run $ socket_arg $ health_arg $ stats_arg $ drain_arg
+          $ crash_arg' $ cert_arg $ verify_flag $ gen_arg $ seed_arg $ k_arg
+          $ policy_arg $ dist_arg $ deadline_arg $ fail_p_arg $ storm_arg)
 
 let () =
   let doc = "distributed connectivity decomposition (PODC'14), executable" in

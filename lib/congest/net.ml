@@ -40,6 +40,23 @@ type fault_hook = {
       (* snapshot adversary state; the returned thunk restores it *)
 }
 
+(* Pre-registered instrument bundle: lookups (which take the registry
+   mutex) happen once in [make_obs]; the per-round path only touches
+   atomics. Metrics feed from the same counters the replay digests
+   certify but are written out-of-band — attaching or detaching obs
+   cannot change [round_digest] or any telemetry field, so
+   [replay_check] is oblivious to it by construction. *)
+type obs = {
+  o_rounds : Obs.Metrics.counter;
+  o_messages : Obs.Metrics.counter;
+  o_words : Obs.Metrics.counter;
+  o_words_lost : Obs.Metrics.counter;
+  o_budget_words : Obs.Metrics.counter;
+      (* capacity actually offered to the traffic sent: messages ×
+         words_budget, so words/budget_words is budget utilization *)
+  o_spans : Obs.Span.t;
+}
+
 type t = {
   graph : Graph.t;
   (* CSR views of [graph], captured once: the round loops walk adjacency
@@ -77,6 +94,13 @@ type t = {
   mutable round_digest : int;
       (* running hash of this round's delivered and destroyed traffic *)
   mutable digests_rev : int list; (* one digest per message round *)
+  mutable obs : obs option;
+  (* counter values as of the previous end_round, so obs counters get
+     per-round deltas and survive [reset_stats] without double-counting *)
+  mutable obs_prev_messages : int;
+  mutable obs_prev_words : int;
+  mutable obs_prev_words_lost : int;
+  mutable obs_round_tok : Obs.Span.token option;
 }
 
 let create ?words_budget model g =
@@ -109,7 +133,32 @@ let create ?words_budget model g =
     faults = None;
     round_digest = 0;
     digests_rev = [];
+    obs = None;
+    obs_prev_messages = 0;
+    obs_prev_words = 0;
+    obs_prev_words_lost = 0;
+    obs_round_tok = None;
   }
+
+let make_obs ?(spans = Obs.Span.disabled) metrics =
+  {
+    o_rounds = Obs.Metrics.counter metrics "congest_rounds_total";
+    o_messages = Obs.Metrics.counter metrics "congest_messages_total";
+    o_words = Obs.Metrics.counter metrics "congest_words_total";
+    o_words_lost = Obs.Metrics.counter metrics "congest_words_lost_total";
+    o_budget_words = Obs.Metrics.counter metrics "congest_budget_words_total";
+    o_spans = spans;
+  }
+
+let attach_obs net o =
+  net.obs <- Some o;
+  net.obs_prev_messages <- net.messages;
+  net.obs_prev_words <- net.words;
+  net.obs_prev_words_lost <- net.words_lost
+
+let detach_obs net =
+  net.obs <- None;
+  net.obs_round_tok <- None
 
 let graph net = net.graph
 let model net = net.model
@@ -145,6 +194,11 @@ let begin_round net =
   Array.fill net.node_load 0 (Array.length net.node_load) 0;
   Array.fill net.edge_load 0 (Array.length net.edge_load) 0;
   net.round_digest <- 0;
+  (match net.obs with
+  | None -> ()
+  | Some o ->
+    if Obs.Span.is_enabled o.o_spans then
+      net.obs_round_tok <- Some (Obs.Span.start o.o_spans "congest.round"));
   match net.faults with
   | Some h -> h.on_round_start net.rounds
   | None -> ()
@@ -155,7 +209,24 @@ let end_round net =
   Array.iter (fun l -> if l > net.max_node_load then net.max_node_load <- l)
     net.node_load;
   Array.iter (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
-    net.edge_load
+    net.edge_load;
+  match net.obs with
+  | None -> ()
+  | Some o ->
+    let dm = net.messages - net.obs_prev_messages in
+    Obs.Metrics.incr o.o_rounds;
+    Obs.Metrics.add o.o_messages dm;
+    Obs.Metrics.add o.o_words (net.words - net.obs_prev_words);
+    Obs.Metrics.add o.o_words_lost (net.words_lost - net.obs_prev_words_lost);
+    Obs.Metrics.add o.o_budget_words (dm * net.words_budget);
+    net.obs_prev_messages <- net.messages;
+    net.obs_prev_words <- net.words;
+    net.obs_prev_words_lost <- net.words_lost;
+    (match net.obs_round_tok with
+    | Some tok ->
+      net.obs_round_tok <- None;
+      Obs.Span.finish o.o_spans tok
+    | None -> ())
 
 (* FNV-style mix; folded over (src, dst, payload) of every message the
    round moves — delivered or destroyed — so two executions agree on a
@@ -308,7 +379,11 @@ let reset_stats net =
   net.max_edge_load <- 0;
   net.boundary_words <- 0;
   net.round_digest <- 0;
-  net.digests_rev <- []
+  net.digests_rev <- [];
+  (* obs counters are cumulative across resets: re-base the deltas *)
+  net.obs_prev_messages <- 0;
+  net.obs_prev_words <- 0;
+  net.obs_prev_words_lost <- 0
 
 let set_boundary net side = net.boundary <- Some side
 let clear_boundary net = net.boundary <- None

@@ -168,6 +168,30 @@ val set_boundary : t -> (int -> bool) -> unit
 val clear_boundary : t -> unit
 val boundary_words : t -> int
 
+(** {1 Observability}
+
+    A pre-registered bundle of [Obs] instruments the round engine feeds
+    per-round deltas into: [congest_rounds_total], [..._messages_total],
+    [..._words_total], [..._words_lost_total], and
+    [congest_budget_words_total] (messages × words budget — the capacity
+    offered, so words/budget_words is budget utilization), plus an
+    optional per-round ["congest.round"] span.
+
+    Metrics are strictly out-of-band: attaching obs never touches the
+    telemetry counters or round digests, so {!replay_check} verdicts are
+    identical with and without it. With no obs attached the round loops
+    pay one [None] branch per round. *)
+
+type obs
+
+(** [make_obs metrics] registers the congest instruments in [metrics]
+    (idempotent — the same registry hands back the same counters, so one
+    bundle can serve many nets). [spans] defaults to disabled. *)
+val make_obs : ?spans:Obs.Span.t -> Obs.Metrics.t -> obs
+
+val attach_obs : t -> obs -> unit
+val detach_obs : t -> unit
+
 (** [checkpoint net] snapshots the counters; [rounds_since net cp] is the
     rounds elapsed since. *)
 type checkpoint

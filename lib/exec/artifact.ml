@@ -107,6 +107,29 @@ let json_to_string j =
   Buffer.add_char b '\n';
   Buffer.contents b
 
+(* Trajectory mirror: BENCH_*.json run reports are gitignored (they
+   are machine-local measurements), but the repo tracks one snapshot of
+   each under bench/trajectory/ so perf history survives in git. Any
+   sweep run from the repo root refreshes its snapshot as a side
+   effect; from any other cwd the directory is absent and the mirror
+   is skipped. *)
+let trajectory_dir = Filename.concat "bench" "trajectory"
+
+let mirror_trajectory ~path content =
+  let base = Filename.basename path in
+  if
+    String.length base > 6
+    && String.sub base 0 6 = "BENCH_"
+    && Filename.check_suffix base ".json"
+    && (try Sys.is_directory trajectory_dir with Sys_error _ -> false)
+  then begin
+    let snap = Filename.concat trajectory_dir base in
+    write_atomic ~path:snap content;
+    Format.eprintf "trajectory snapshot: %s@." snap
+  end
+
 let write_json ~path j =
-  write_atomic ~path (json_to_string j);
-  Format.eprintf "bench artifact: %s@." path
+  let content = json_to_string j in
+  write_atomic ~path content;
+  Format.eprintf "bench artifact: %s@." path;
+  mirror_trajectory ~path content

@@ -41,5 +41,13 @@ type json =
 val json_to_string : json -> string
 
 (** [write_json ~path j] pretty-prints [j] and writes it atomically,
-    announcing the artifact on stdout. *)
+    announcing the artifact on stdout.
+
+    [BENCH_*.json] run reports get one extra behavior: if a
+    [bench/trajectory/] directory exists under the current working
+    directory (i.e. the sweep runs from the repo root), the same
+    content is also written to [bench/trajectory/BENCH_<sweep>.json] —
+    the {e tracked} snapshot of an otherwise gitignored artifact, so
+    the performance trajectory survives in git history (see README
+    "Benchmarks"). *)
 val write_json : path:string -> json -> unit

@@ -4,12 +4,21 @@ let magic = "EXEC-CACHE"
 
 let quarantine_dirname = "_quarantine"
 
+type cache_obs = {
+  co_hits : Obs.Metrics.counter;
+  co_misses : Obs.Metrics.counter;
+  co_quarantined : Obs.Metrics.counter;
+}
+
 type t = {
   root : string;  (** the versioned subdirectory entries live in *)
   version : int;
   hits : int Atomic.t;
   misses : int Atomic.t;
   quarantined : int Atomic.t;
+  obs : cache_obs option;
+      (* mirrors of the three atomics in a shared registry, so a daemon
+         can export them without holding the cache handle *)
 }
 
 let rec mkdir_p path =
@@ -56,7 +65,7 @@ let sweep_stale_tmp root =
         else swept)
       0 entries
 
-let open_dir ?(version = format_version) dir =
+let open_dir ?(version = format_version) ?metrics dir =
   let root = Filename.concat dir (Printf.sprintf "v%d" version) in
   mkdir_p root;
   ignore (sweep_stale_tmp root);
@@ -66,7 +75,20 @@ let open_dir ?(version = format_version) dir =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     quarantined = Atomic.make 0;
+    obs =
+      Option.map
+        (fun m ->
+          {
+            co_hits = Obs.Metrics.counter m "exec_cache_hits_total";
+            co_misses = Obs.Metrics.counter m "exec_cache_misses_total";
+            co_quarantined =
+              Obs.Metrics.counter m "exec_cache_quarantined_total";
+          })
+        metrics;
   }
+
+let obs_incr t f =
+  match t.obs with None -> () | Some o -> Obs.Metrics.incr (f o)
 
 let dir t = t.root
 let entry_path t ~key = Filename.concat t.root key
@@ -117,7 +139,8 @@ let quarantine t path =
   (try Sys.rename path dest
    with Sys_error _ -> ( (* cross-device or perms: deletion beats serving *)
      try Sys.remove path with Sys_error _ -> ()));
-  Atomic.incr t.quarantined
+  Atomic.incr t.quarantined;
+  obs_incr t (fun o -> o.co_quarantined)
 
 let find t ~key =
   let path = entry_path t ~key in
@@ -131,8 +154,12 @@ let find t ~key =
         None
   in
   (match entry with
-  | Some _ -> Atomic.incr t.hits
-  | None -> Atomic.incr t.misses);
+  | Some _ ->
+    Atomic.incr t.hits;
+    obs_incr t (fun o -> o.co_hits)
+  | None ->
+    Atomic.incr t.misses;
+    obs_incr t (fun o -> o.co_misses));
   entry
 
 let store t ~key payload =

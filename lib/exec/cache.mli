@@ -26,12 +26,14 @@ val default_dir : string
     entry encoding changes shape. *)
 val format_version : int
 
-(** [open_dir ?version dir] creates [<dir>/v<version>/] if needed, and
-    sweeps stale write temporaries ([<key>.tmp.<domain>] files a crashed
-    writer left behind — nothing ever reads them, so at open time, which
-    precedes every pool write of this process, they are garbage).
-    [version] defaults to {!format_version}. *)
-val open_dir : ?version:int -> string -> t
+(** [open_dir ?version ?metrics dir] creates [<dir>/v<version>/] if
+    needed, and sweeps stale write temporaries ([<key>.tmp.<domain>]
+    files a crashed writer left behind — nothing ever reads them, so at
+    open time, which precedes every pool write of this process, they are
+    garbage). [version] defaults to {!format_version}. With [metrics],
+    the hit/miss/quarantine counters are mirrored into that registry as
+    [exec_cache_{hits,misses,quarantined}_total]. *)
+val open_dir : ?version:int -> ?metrics:Obs.Metrics.t -> string -> t
 
 val dir : t -> string
 

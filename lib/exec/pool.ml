@@ -17,8 +17,24 @@ type 'a report = {
 let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
 let now () = Unix.gettimeofday ()
 
-let run ?domains ?on_progress tasks =
+(* Instrument lookups happen once per [run] (they take the registry
+   mutex); the per-task path is Atomic-only and shared across domains. *)
+type pool_obs = {
+  po_jobs : Obs.Metrics.counter;
+  po_failed : Obs.Metrics.counter;
+  po_steals : Obs.Metrics.counter;
+}
+
+let make_obs metrics =
+  {
+    po_jobs = Obs.Metrics.counter metrics "exec_jobs_total";
+    po_failed = Obs.Metrics.counter metrics "exec_jobs_failed_total";
+    po_steals = Obs.Metrics.counter metrics "exec_steals_total";
+  }
+
+let run ?domains ?metrics ?on_progress tasks =
   let total = Array.length tasks in
+  let obs = Option.map make_obs metrics in
   let domains =
     let d = match domains with Some d -> max 1 d | None -> default_domains () in
     (* never park idle domains on a short grid *)
@@ -70,6 +86,16 @@ let run ?domains ?on_progress tasks =
         in
         busy_s.(d) <- busy_s.(d) +. (now () -. start);
         results.(i) <- r;
+        (match obs with
+        | None -> ()
+        | Some o ->
+          Obs.Metrics.incr o.po_jobs;
+          (match r with
+          | `Failed _ -> Obs.Metrics.incr o.po_failed
+          | `Ok _ -> ());
+          (* a claim by any domain other than the caller's is a steal
+             off the shared counter *)
+          if d > 0 then Obs.Metrics.incr o.po_steals);
         Atomic.incr completed;
         notify ()
       end

@@ -37,11 +37,17 @@ type 'a report = {
     for the coordinator/OS. *)
 val default_domains : unit -> int
 
-(** [run ?domains ?on_progress tasks] executes every task and returns
-    the ordered outcomes. [on_progress] is invoked (serialized, from
-    whichever domain finished a task) after each completion. *)
+(** [run ?domains ?metrics ?on_progress tasks] executes every task and
+    returns the ordered outcomes. [on_progress] is invoked (serialized,
+    from whichever domain finished a task) after each completion.
+
+    With [metrics], the pool feeds [exec_jobs_total],
+    [exec_jobs_failed_total], and [exec_steals_total] (tasks claimed by
+    a domain other than the caller's) — counter updates only, so the
+    schedule and results are unaffected. *)
 val run :
   ?domains:int ->
+  ?metrics:Obs.Metrics.t ->
   ?on_progress:(progress -> unit) ->
   (unit -> 'a) array ->
   'a report

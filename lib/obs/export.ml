@@ -1,0 +1,141 @@
+(* An instrument name is either bare ("exec_jobs_total") or labeled
+   ("serve_latency_us{op=\"decompose\"}", from Metrics.labeled). The
+   family is the part before '{'; histogram suffixes and the le label
+   must attach to the family, inside any existing label block. *)
+let split_name name =
+  match String.index_opt name '{' with
+  | None -> (name, None)
+  | Some i ->
+    ( String.sub name 0 i,
+      Some (String.sub name (i + 1) (String.length name - i - 2)) )
+
+let sample buf ~family ~suffix ~labels ~extra value =
+  Buffer.add_string buf family;
+  Buffer.add_string buf suffix;
+  (match (labels, extra) with
+  | None, None -> ()
+  | _ ->
+    Buffer.add_char buf '{';
+    (match labels with
+    | Some l -> Buffer.add_string buf l
+    | None -> ());
+    (match extra with
+    | Some e ->
+      if labels <> None then Buffer.add_char buf ',';
+      Buffer.add_string buf e
+    | None -> ());
+    Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf (string_of_int value);
+  Buffer.add_char buf '\n'
+
+let type_line buf seen family kind =
+  if not (List.mem family !seen) then begin
+    seen := family :: !seen;
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" family kind)
+  end
+
+let prometheus (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let seen = ref [] in
+  List.iter
+    (fun (name, v) ->
+      let family, labels = split_name name in
+      type_line buf seen family "counter";
+      sample buf ~family ~suffix:"" ~labels ~extra:None v)
+    s.Metrics.s_counters;
+  List.iter
+    (fun (name, v) ->
+      let family, labels = split_name name in
+      type_line buf seen family "gauge";
+      sample buf ~family ~suffix:"" ~labels ~extra:None v)
+    s.Metrics.s_gauges;
+  List.iter
+    (fun (name, h) ->
+      let family, labels = split_name name in
+      type_line buf seen family "histogram";
+      let cum = ref 0 in
+      List.iter
+        (fun (i, c) ->
+          cum := !cum + c;
+          let le = Printf.sprintf "le=\"%d\"" (Metrics.upper_bound i) in
+          sample buf ~family ~suffix:"_bucket" ~labels ~extra:(Some le) !cum)
+        h.Metrics.h_buckets;
+      sample buf ~family ~suffix:"_bucket" ~labels
+        ~extra:(Some "le=\"+Inf\"") h.Metrics.h_count;
+      sample buf ~family ~suffix:"_sum" ~labels ~extra:None h.Metrics.h_sum;
+      sample buf ~family ~suffix:"_count" ~labels ~extra:None h.Metrics.h_count)
+    s.Metrics.s_hists;
+  Buffer.contents buf
+
+(* ---- JSON ---- *)
+
+let add_jstring buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let add_obj buf items render =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_jstring buf k;
+      Buffer.add_char buf ':';
+      render buf v)
+    items;
+  Buffer.add_char buf '}'
+
+let add_hist buf (h : Metrics.hist) =
+  Buffer.add_string buf "{\"count\":";
+  Buffer.add_string buf (string_of_int h.Metrics.h_count);
+  Buffer.add_string buf ",\"sum\":";
+  Buffer.add_string buf (string_of_int h.Metrics.h_sum);
+  Buffer.add_string buf ",\"buckets\":[";
+  List.iteri
+    (fun i (idx, c) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "[%d,%d]" idx c))
+    h.Metrics.h_buckets;
+  Buffer.add_string buf "]}"
+
+let add_span buf (sp : Span.span) =
+  Buffer.add_string buf
+    (Printf.sprintf "{\"id\":%d,\"parent\":%d,\"name\":" sp.Span.sp_id
+       sp.Span.sp_parent);
+  add_jstring buf sp.Span.sp_name;
+  Buffer.add_string buf
+    (Printf.sprintf ",\"start_us\":%d,\"dur_us\":%d}" sp.Span.sp_start_us
+       sp.Span.sp_dur_us)
+
+let json ?spans (s : Metrics.snapshot) =
+  let buf = Buffer.create 1024 in
+  let add_int b v = Buffer.add_string b (string_of_int v) in
+  Buffer.add_string buf "{\"counters\":";
+  add_obj buf s.Metrics.s_counters add_int;
+  Buffer.add_string buf ",\"gauges\":";
+  add_obj buf s.Metrics.s_gauges add_int;
+  Buffer.add_string buf ",\"histograms\":";
+  add_obj buf s.Metrics.s_hists add_hist;
+  (match spans with
+  | None -> ()
+  | Some sps ->
+    Buffer.add_string buf ",\"spans\":[";
+    List.iteri
+      (fun i sp ->
+        if i > 0 then Buffer.add_char buf ',';
+        add_span buf sp)
+      sps;
+    Buffer.add_char buf ']');
+  Buffer.add_char buf '}';
+  Buffer.contents buf

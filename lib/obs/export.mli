@@ -1,0 +1,21 @@
+(** Snapshot renderers. This module produces strings only — writing
+    them somewhere durable is the caller's job (the daemon composes
+    [json] with [Exec.Artifact.write] for the atomic-rename dump), which
+    keeps [lib/obs] free of dependencies and dependency cycles.
+
+    Both renderings are deterministic functions of the snapshot:
+    instruments are name-sorted and histogram buckets index-sorted
+    already, and no clock or environment is consulted here. *)
+
+val prometheus : Metrics.snapshot -> string
+(** Prometheus text exposition (version 0.0.4): one [# TYPE] line per
+    metric family, counters/gauges as plain samples, histograms as
+    cumulative [_bucket{le="..."}] series plus [_sum] and [_count].
+    Instrument names built with [Metrics.labeled] have their label
+    block spliced so [le] lands inside it. *)
+
+val json : ?spans:Span.span list -> Metrics.snapshot -> string
+(** Compact JSON: [{"counters":{...},"gauges":{...},
+    "histograms":{name:{"count":n,"sum":n,"buckets":[[index,count]...]}},
+    "spans":[...]}]. Buckets are sparse [index, count] pairs under the
+    scheme of {!Metrics.bucket_of}; [spans] is omitted when not given. *)

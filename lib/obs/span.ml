@@ -1,0 +1,103 @@
+type span = {
+  sp_id : int;
+  sp_parent : int;
+  sp_name : string;
+  sp_start_us : int;
+  sp_dur_us : int;
+}
+
+type state = {
+  ring : span array;
+  cap : int;
+  lock : Mutex.t;
+  mutable next_slot : int;
+  mutable total : int;
+  mutable next_id : int;
+}
+
+(* Disabled is a constant constructor: the off switch carries no state,
+   so a module can hold a [Span.t] unconditionally and pay one branch
+   per call when tracing is off. *)
+type t = Disabled | Enabled of state
+
+type token = { tk_id : int; tk_parent : int; tk_name : string; tk_start_us : int }
+
+let none = 0
+let dummy_span = { sp_id = 0; sp_parent = 0; sp_name = ""; sp_start_us = 0; sp_dur_us = 0 }
+let dummy_token = { tk_id = 0; tk_parent = 0; tk_name = ""; tk_start_us = 0 }
+
+let disabled = Disabled
+
+let enabled ?(capacity = 1024) () =
+  let capacity = max 1 capacity in
+  Enabled
+    {
+      ring = Array.make capacity dummy_span;
+      cap = capacity;
+      lock = Mutex.create ();
+      next_slot = 0;
+      total = 0;
+      next_id = 1;
+    }
+
+let is_enabled = function Disabled -> false | Enabled _ -> true
+
+let now_us () =
+  (* lint: allow nondet-clock — span timestamps are observability
+     metrics only: they never enter payloads or replay digests
+     (DESIGN.md §14 determinism boundary) *)
+  int_of_float (Unix.gettimeofday () *. 1e6)
+
+let start t ?(parent = none) name =
+  match t with
+  | Disabled -> dummy_token
+  | Enabled s ->
+    Mutex.lock s.lock;
+    let id = s.next_id in
+    s.next_id <- id + 1;
+    Mutex.unlock s.lock;
+    { tk_id = id; tk_parent = parent; tk_name = name; tk_start_us = now_us () }
+
+let id tok = tok.tk_id
+
+let finish t tok =
+  match t with
+  | Disabled -> ()
+  | Enabled s ->
+    let dur = now_us () - tok.tk_start_us in
+    let sp =
+      {
+        sp_id = tok.tk_id;
+        sp_parent = tok.tk_parent;
+        sp_name = tok.tk_name;
+        sp_start_us = tok.tk_start_us;
+        sp_dur_us = (if dur < 0 then 0 else dur);
+      }
+    in
+    Mutex.lock s.lock;
+    s.ring.(s.next_slot) <- sp;
+    s.next_slot <- (s.next_slot + 1) mod s.cap;
+    s.total <- s.total + 1;
+    Mutex.unlock s.lock
+
+let with_span t ?parent name f =
+  match t with
+  | Disabled -> f ()
+  | Enabled _ ->
+    let tok = start t ?parent name in
+    Fun.protect ~finally:(fun () -> finish t tok) f
+
+let spans t =
+  match t with
+  | Disabled -> []
+  | Enabled s ->
+    Mutex.lock s.lock;
+    let n = min s.total s.cap in
+    (* oldest retained span sits at next_slot once the ring has wrapped *)
+    let first = if s.total <= s.cap then 0 else s.next_slot in
+    let out = List.init n (fun i -> s.ring.((first + i) mod s.cap)) in
+    Mutex.unlock s.lock;
+    out
+
+let recorded = function Disabled -> 0 | Enabled s -> s.total
+let dropped = function Disabled -> 0 | Enabled s -> max 0 (s.total - s.cap)

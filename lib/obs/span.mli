@@ -1,0 +1,53 @@
+(** Trace spans: named intervals with parent/child ids, kept in a
+    bounded ring buffer (newest overwrite oldest). A recorder is either
+    [enabled] or [disabled]; against a disabled recorder [start] and
+    [finish] touch no state and allocate nothing, so instrumented fast
+    paths cost one branch when tracing is off.
+
+    Timestamps come from the wall clock (the toolchain has no
+    monotonic-clock binding without C stubs); durations are clamped at
+    zero so a clock step back never yields a negative span. Both sit
+    outside the determinism boundary — see DESIGN.md §14. *)
+
+type t
+
+type span = {
+  sp_id : int;
+  sp_parent : int;  (** [none] for roots *)
+  sp_name : string;
+  sp_start_us : int;  (** microseconds since the epoch *)
+  sp_dur_us : int;
+}
+
+type token
+(** An open span, returned by [start] and consumed by [finish]. *)
+
+val disabled : t
+
+val enabled : ?capacity:int -> unit -> t
+(** A live recorder retaining the most recent [capacity] (default 1024)
+    finished spans. Safe to share across domains (finish takes a lock —
+    use [disabled] where that matters). *)
+
+val is_enabled : t -> bool
+
+val none : int
+(** The parent id meaning "root" (0). Real span ids start at 1. *)
+
+val start : t -> ?parent:int -> string -> token
+val id : token -> int
+(** The span id to pass as [~parent] of children; [none] if disabled. *)
+
+val finish : t -> token -> unit
+
+val with_span : t -> ?parent:int -> string -> (unit -> 'a) -> 'a
+(** Runs the thunk inside a span; the span is finished even on raise. *)
+
+val spans : t -> span list
+(** Retained finished spans, oldest first. [] when disabled. *)
+
+val recorded : t -> int
+(** Total spans finished since creation (including overwritten ones). *)
+
+val dropped : t -> int
+(** [max 0 (recorded - capacity)]: spans lost to ring overwrite. *)

@@ -1,4 +1,7 @@
-let version = 1
+(* v2: Stats request/response opcodes and the journal fields on
+   Health_report — a v1 peer would mis-decode both, so the frame
+   version gates them out. *)
+let version = 2
 let default_max_len = 4 * 1024 * 1024
 let overhead = 1 + 4 + 4
 

@@ -335,6 +335,39 @@ let sync t =
   end
 
 let appended_since_snapshot t = t.appended
+let is_dirty t = t.dirty
+
+(* On-disk footprint: snapshot plus every segment. The live segment is
+   measured by its channel position, so buffered-but-unflushed appends
+   count — health reflects what the next sync will make durable. *)
+let size_bytes t =
+  let live = segment_name t.gen in
+  let on_disk name =
+    match Unix.stat (Filename.concat t.dir name) with
+    | st -> st.Unix.st_size
+    | exception Unix.Unix_error _ -> 0
+  in
+  let dir_sum =
+    match Sys.readdir t.dir with
+    | exception Sys_error _ -> 0
+    | entries ->
+      Array.fold_left
+        (fun acc name ->
+          if name = live then acc
+          else if name = snapshot_name || segment_gen name <> None then
+            acc + on_disk name
+          else acc)
+        0 entries
+  in
+  dir_sum + pos_out t.oc
+
+let segment_count t =
+  match Sys.readdir t.dir with
+  | exception Sys_error _ -> 1
+  | entries ->
+    Array.fold_left
+      (fun acc name -> if segment_gen name <> None then acc + 1 else acc)
+      0 entries
 
 let snapshot t records =
   sync t;

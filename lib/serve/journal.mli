@@ -73,6 +73,20 @@ val sync : t -> unit
 (** Records appended since the last {!snapshot} (or since open). *)
 val appended_since_snapshot : t -> int
 
+(** [true] iff appends since the last {!sync} make the next sync a real
+    flush+fsync (lets callers time only the syncs that touch disk). *)
+val is_dirty : t -> bool
+
+(** On-disk footprint in bytes: snapshot plus segments, the live
+    segment counted at its append position (buffered writes included) —
+    what [Health]'s [h_journal_bytes] reports so operators and the
+    supervisor's health gate can watch journal growth. *)
+val size_bytes : t -> int
+
+(** Number of WAL segments currently on disk (sealed + live); stays at
+    1 when compaction keeps up. *)
+val segment_count : t -> int
+
 (** [snapshot t records] atomically replaces the snapshot with
     [records] (fsync-then-rename), rotates to a fresh live segment at
     the next generation, and deletes the compacted segments. [records]

@@ -30,6 +30,7 @@ type request =
   | Health
   | Drain
   | Crash_test
+  | Stats
 
 type decompose_resp = {
   digest : string;
@@ -61,7 +62,11 @@ type health_resp = {
   h_draining : bool;
   h_cached_certs : int;
   h_replayed : int;
+  h_journal_bytes : int;
+  h_journal_segments : int;
 }
+
+type stats_resp = { s_uptime_ms : int; s_metrics : Obs.Metrics.snapshot }
 
 type error_kind =
   | Bad_request
@@ -76,6 +81,7 @@ type response =
   | Cert of certificate_resp
   | Health_report of health_resp
   | Drained of { served : int }
+  | Stats_report of stats_resp
   | Error of error_kind * string
 
 let error_kind_to_string = function
@@ -205,7 +211,8 @@ let encode_request req =
     put_str b gen
   | Health -> put_u8 b 0x04
   | Drain -> put_u8 b 0x05
-  | Crash_test -> put_u8 b 0x06);
+  | Crash_test -> put_u8 b 0x06
+  | Stats -> put_u8 b 0x07);
   Buffer.contents b
 
 let decode_request s =
@@ -219,6 +226,7 @@ let decode_request s =
       | 0x04 -> Health
       | 0x05 -> Drain
       | 0x06 -> Crash_test
+      | 0x07 -> Stats
       | op -> bad "unknown request opcode 0x%02x" op
     in
     finish r req
@@ -293,6 +301,64 @@ let decode_certificate s =
   | exception Malformed m -> Error m
 
 (* ------------------------------------------------------------------ *)
+(* Metrics snapshot codec. The snapshot is already canonical (names and
+   bucket indices sorted), so encode/decode is the identity on the
+   Obs.Metrics invariants and the roundtrip is exact. *)
+
+let put_named put_v b (name, v) =
+  put_str b name;
+  put_v b v
+
+let get_named get_v r =
+  let name = get_str r in
+  let v = get_v r in
+  (name, v)
+
+let put_hist b (h : Obs.Metrics.hist) =
+  put_int b h.Obs.Metrics.h_count;
+  put_int b h.Obs.Metrics.h_sum;
+  put_list b
+    (fun b (i, c) ->
+      put_int b i;
+      put_int b c)
+    h.Obs.Metrics.h_buckets
+
+let get_hist r =
+  let h_count = get_int r in
+  let h_sum = get_int r in
+  let h_buckets =
+    get_list r (fun r ->
+        let i = get_int r in
+        let c = get_int r in
+        (i, c))
+  in
+  { Obs.Metrics.h_count; h_sum; h_buckets }
+
+let put_snapshot b (s : Obs.Metrics.snapshot) =
+  put_list b (put_named put_int) s.Obs.Metrics.s_counters;
+  put_list b (put_named put_int) s.Obs.Metrics.s_gauges;
+  put_list b (put_named put_hist) s.Obs.Metrics.s_hists
+
+let get_snapshot r =
+  let s_counters = get_list r (get_named get_int) in
+  let s_gauges = get_list r (get_named get_int) in
+  let s_hists = get_list r (get_named get_hist) in
+  { Obs.Metrics.s_counters; s_gauges; s_hists }
+
+let encode_snapshot s =
+  let b = Buffer.create 256 in
+  put_snapshot b s;
+  Buffer.contents b
+
+let decode_snapshot s =
+  match
+    let r = reader s in
+    finish r (get_snapshot r)
+  with
+  | snap -> Ok snap
+  | exception Malformed m -> Error m
+
+(* ------------------------------------------------------------------ *)
 (* Response codec *)
 
 let put_error_kind b k =
@@ -346,10 +412,16 @@ let encode_response resp =
     put_int b h.h_queue_capacity;
     put_bool b h.h_draining;
     put_int b h.h_cached_certs;
-    put_int b h.h_replayed
+    put_int b h.h_replayed;
+    put_int b h.h_journal_bytes;
+    put_int b h.h_journal_segments
   | Drained { served } ->
     put_u8 b 0x84;
     put_int b served
+  | Stats_report s ->
+    put_u8 b 0x85;
+    put_int b s.s_uptime_ms;
+    put_snapshot b s.s_metrics
   | Error (kind, msg) ->
     put_u8 b 0xEE;
     put_error_kind b kind;
@@ -400,6 +472,8 @@ let decode_response s =
         let h_draining = get_bool r in
         let h_cached_certs = get_int r in
         let h_replayed = get_int r in
+        let h_journal_bytes = get_int r in
+        let h_journal_segments = get_int r in
         Health_report
           {
             h_uptime_ms;
@@ -413,8 +487,14 @@ let decode_response s =
             h_draining;
             h_cached_certs;
             h_replayed;
+            h_journal_bytes;
+            h_journal_segments;
           }
       | 0x84 -> Drained { served = get_int r }
+      | 0x85 ->
+        let s_uptime_ms = get_int r in
+        let s_metrics = get_snapshot r in
+        Stats_report { s_uptime_ms; s_metrics }
       | 0xEE ->
         let kind = get_error_kind r in
         let msg = get_str r in
@@ -439,10 +519,16 @@ let pp_response ppf = function
   | Health_report h ->
     Format.fprintf ppf
       "health uptime=%dms served=%d (fresh=%d stale=%d) shed=%d errors=%d \
-       queue=%d/%d draining=%b cached_certs=%d replayed=%d"
+       queue=%d/%d draining=%b cached_certs=%d replayed=%d journal=%dB/%dseg"
       h.h_uptime_ms h.h_served h.h_fresh h.h_stale h.h_shed h.h_errors
       h.h_queue_depth h.h_queue_capacity h.h_draining h.h_cached_certs
-      h.h_replayed
+      h.h_replayed h.h_journal_bytes h.h_journal_segments
   | Drained { served } -> Format.fprintf ppf "drained served=%d" served
+  | Stats_report s ->
+    Format.fprintf ppf "stats uptime=%dms counters=%d gauges=%d histograms=%d"
+      s.s_uptime_ms
+      (List.length s.s_metrics.Obs.Metrics.s_counters)
+      (List.length s.s_metrics.Obs.Metrics.s_gauges)
+      (List.length s.s_metrics.Obs.Metrics.s_hists)
   | Error (kind, msg) ->
     Format.fprintf ppf "error %s: %s" (error_kind_to_string kind) msg

@@ -45,6 +45,9 @@ type request =
   | Crash_test
       (** test hook: the worker raises mid-request; the daemon must
           contain it and answer [Internal_error] *)
+  | Stats
+      (** metrics snapshot; answered from the serve loop like [Health],
+          so it stays responsive under full queues *)
 
 type decompose_resp = {
   digest : string;  (** content digest of the graph's edge set *)
@@ -82,7 +85,16 @@ type health_resp = {
   h_replayed : int;
       (** journal records folded into warm state at boot — [> 0] after
           a recovery, the signal the CI crash smoke asserts on *)
+  h_journal_bytes : int;
+      (** on-disk size of the journal directory (segments + snapshot),
+          the growth the supervisor's health gate watches *)
+  h_journal_segments : int;  (** sealed + active WAL segment count *)
 }
+
+(** A metrics snapshot stamped with the daemon's uptime. The snapshot
+    is canonical ({!Obs.Metrics.snapshot} sorts names and buckets), so
+    its codec roundtrips exactly. *)
+type stats_resp = { s_uptime_ms : int; s_metrics : Obs.Metrics.snapshot }
 
 type error_kind =
   | Bad_request
@@ -99,6 +111,7 @@ type response =
   | Cert of certificate_resp
   | Health_report of health_resp
   | Drained of { served : int }
+  | Stats_report of stats_resp
   | Error of error_kind * string
 
 val error_kind_to_string : error_kind -> string
@@ -118,4 +131,10 @@ val decode_response : string -> (response, string) result
 val encode_certificate : Domtree.Certificate.t -> string
 
 val decode_certificate : string -> (Domtree.Certificate.t, string) result
+
+(** Standalone snapshot codec — what [Stats_report] carries on the
+    wire, exposed for property tests and offline dump tooling. *)
+val encode_snapshot : Obs.Metrics.snapshot -> string
+
+val decode_snapshot : string -> (Obs.Metrics.snapshot, string) result
 val pp_response : Format.formatter -> response -> unit

@@ -10,6 +10,8 @@ type config = {
   state_dir : string option;
   snapshot_every : int;
   idle_timeout_ms : int;
+  metrics_file : string option;
+  metrics_every_ms : int;
 }
 
 let default_config ~socket_path =
@@ -23,6 +25,8 @@ let default_config ~socket_path =
     state_dir = None;
     snapshot_every = Journal.default_snapshot_every;
     idle_timeout_ms = 10_000;
+    metrics_file = None;
+    metrics_every_ms = 1_000;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -69,11 +73,59 @@ type stats = {
   mutable errors : int;
 }
 
+(* The daemon's own instruments, registered once at boot. Per-opcode
+   latency is observed only for queued work requests; control ops
+   (Health/Drain/Stats) answer inline in the loop and are not timed. *)
+type sobs = {
+  so_requests : Obs.Metrics.counter;
+  so_shed : Obs.Metrics.counter;
+  so_errors : Obs.Metrics.counter;
+  so_queue_depth : Obs.Metrics.gauge;
+  so_journal_appends : Obs.Metrics.counter;
+  so_fsync_us : Obs.Metrics.histogram;
+  so_journal_bytes : Obs.Metrics.gauge;
+  so_journal_segments : Obs.Metrics.gauge;
+  so_replayed : Obs.Metrics.gauge;
+  so_lat_decompose : Obs.Metrics.histogram;
+  so_lat_verify : Obs.Metrics.histogram;
+  so_lat_certificate : Obs.Metrics.histogram;
+  so_lat_crash_test : Obs.Metrics.histogram;
+}
+
+let latency_name op = Obs.Metrics.labeled "serve_latency_us" [ ("op", op) ]
+
+let make_sobs m =
+  {
+    so_requests = Obs.Metrics.counter m "serve_requests_total";
+    so_shed = Obs.Metrics.counter m "serve_shed_total";
+    so_errors = Obs.Metrics.counter m "serve_errors_total";
+    so_queue_depth = Obs.Metrics.gauge m "serve_queue_depth";
+    so_journal_appends = Obs.Metrics.counter m "serve_journal_appends_total";
+    so_fsync_us = Obs.Metrics.histogram m "serve_journal_fsync_us";
+    so_journal_bytes = Obs.Metrics.gauge m "serve_journal_bytes";
+    so_journal_segments = Obs.Metrics.gauge m "serve_journal_segments";
+    so_replayed = Obs.Metrics.gauge m "serve_replayed";
+    so_lat_decompose = Obs.Metrics.histogram m (latency_name "decompose");
+    so_lat_verify = Obs.Metrics.histogram m (latency_name "verify");
+    so_lat_certificate = Obs.Metrics.histogram m (latency_name "certificate");
+    so_lat_crash_test = Obs.Metrics.histogram m (latency_name "crash_test");
+  }
+
+let latency_hist o = function
+  | P.Decompose _ -> Some o.so_lat_decompose
+  | P.Verify _ -> Some o.so_lat_verify
+  | P.Certificate _ -> Some o.so_lat_certificate
+  | P.Crash_test -> Some o.so_lat_crash_test
+  | P.Health | P.Drain | P.Stats -> None
+
 type state = {
   cfg : config;
   worker : Worker.t;
   queue : pending Queue.t;
   stats : stats;
+  metrics : Obs.Metrics.t;
+  sobs : sobs;
+  mutable last_dump_ms : float;
   started_ms : float;
   journal : Journal.t option;
   mutable conns : conn list;
@@ -116,17 +168,33 @@ let health st =
       h_draining = st.draining;
       h_cached_certs = Degrade.count (Worker.store st.worker);
       h_replayed = Worker.replayed st.worker;
+      h_journal_bytes =
+        (match st.journal with Some j -> Journal.size_bytes j | None -> 0);
+      h_journal_segments =
+        (match st.journal with Some j -> Journal.segment_count j | None -> 0);
     }
+
+let stats_report st =
+  P.Stats_report
+    {
+      P.s_uptime_ms = int_of_float (Worker.now_ms () -. st.started_ms);
+      s_metrics = Obs.Metrics.snapshot st.metrics;
+    }
+
+let count_error st =
+  st.stats.errors <- st.stats.errors + 1;
+  Obs.Metrics.incr st.sobs.so_errors
 
 let account st resp =
   st.stats.served <- st.stats.served + 1;
+  Obs.Metrics.incr st.sobs.so_requests;
   match resp with
   | P.Result { P.stale = false; _ } -> st.stats.fresh <- st.stats.fresh + 1
   | P.Result { P.stale = true; _ } | P.Cert { P.c_stale = true; _ } ->
     st.stats.stale <- st.stats.stale + 1
   | P.Cert _ -> st.stats.fresh <- st.stats.fresh + 1
-  | P.Error _ -> st.stats.errors <- st.stats.errors + 1
-  | P.Health_report _ | P.Drained _ -> ()
+  | P.Error _ -> count_error st
+  | P.Health_report _ | P.Drained _ | P.Stats_report _ -> ()
 
 (* Admission: control ops answer in the loop; work requests face the
    bounded queue and are shed with an explicit Overloaded the moment it
@@ -134,6 +202,7 @@ let account st resp =
 let admit st c req =
   match req with
   | P.Health -> reply c (health st)
+  | P.Stats -> reply c (stats_report st)
   | P.Drain ->
     st.draining <- true;
     st.drain_conn <- Some c
@@ -149,12 +218,15 @@ let admit st c req =
       match st.journal with
       | Some j ->
         journal_try (fun () ->
-            Journal.append j (Journal.Accept { req = P.encode_request req }))
+            Journal.append j (Journal.Accept { req = P.encode_request req });
+            Obs.Metrics.incr st.sobs.so_journal_appends)
       | None -> ()
     end
     else begin
       st.stats.shed <- st.stats.shed + 1;
       st.stats.served <- st.stats.served + 1;
+      Obs.Metrics.incr st.sobs.so_shed;
+      Obs.Metrics.incr st.sobs.so_requests;
       reply c
         (P.Error
            ( P.Overloaded,
@@ -172,14 +244,14 @@ let drain_frames st c =
       (* the stream cannot be resynchronized after a framing error:
          answer once, then drop the connection *)
       reply c (P.Error (P.Bad_request, "frame: " ^ m));
-      st.stats.errors <- st.stats.errors + 1;
+      count_error st;
       conn_close c
     | `Frame (payload, consumed) -> (
       Bytes.blit c.buf consumed c.buf 0 (c.len - consumed);
       c.len <- c.len - consumed;
       match P.decode_request payload with
       | Error m ->
-        st.stats.errors <- st.stats.errors + 1;
+        count_error st;
         reply c (P.Error (P.Bad_request, "request: " ^ m))
       | Ok req -> admit st c req)
   done
@@ -214,7 +286,7 @@ let reap_stalled st ~now_ms =
              ( P.Bad_request,
                Printf.sprintf "frame stalled: no bytes for %d ms"
                  st.cfg.idle_timeout_ms ));
-        st.stats.errors <- st.stats.errors + 1;
+        count_error st;
         conn_close c
       end)
     st.conns
@@ -228,7 +300,13 @@ let process_queue st =
       if p_conn.alive then begin
         let resp = Worker.handle st.worker ~enqueued_at_ms:p_enqueued_ms p_req in
         account st resp;
-        reply p_conn resp
+        reply p_conn resp;
+        match latency_hist st.sobs p_req with
+        | Some h ->
+          (* queue wait + compute + reply write, in µs *)
+          Obs.Metrics.observe h
+            (int_of_float ((Worker.now_ms () -. p_enqueued_ms) *. 1000.))
+        | None -> ()
       end
   done
 
@@ -244,11 +322,14 @@ let run ?(on_ready = fun () -> ()) cfg =
       let j, r = Journal.open_dir dir in
       (Some j, r)
   in
+  let metrics = Obs.Metrics.create () in
+  let sobs = make_sobs metrics in
   let worker =
     let disk_cache =
-      Option.map (fun dir -> Exec.Cache.open_dir dir) cfg.disk_cache_dir
+      Option.map (fun dir -> Exec.Cache.open_dir ~metrics dir)
+        cfg.disk_cache_dir
     in
-    Worker.create ?disk_cache cfg.worker
+    Worker.create ?disk_cache ~metrics cfg.worker
   in
   Worker.warm worker replay;
   (match journal with
@@ -259,13 +340,20 @@ let run ?(on_ready = fun () -> ()) cfg =
            durable before the reply built on them reaches the client *)
         journal_try (fun () ->
             Journal.append j r;
-            Journal.sync j)));
+            Obs.Metrics.incr sobs.so_journal_appends;
+            let t0 = Worker.now_ms () in
+            Journal.sync j;
+            Obs.Metrics.observe sobs.so_fsync_us
+              (int_of_float ((Worker.now_ms () -. t0) *. 1000.)))));
   let st =
     {
       cfg;
       worker;
       queue = Queue.create ~capacity:cfg.queue_capacity;
       stats = { served = 0; fresh = 0; stale = 0; shed = 0; errors = 0 };
+      metrics;
+      sobs;
+      last_dump_ms = Worker.now_ms ();
       started_ms = Worker.now_ms ();
       journal;
       conns = [];
@@ -275,6 +363,7 @@ let run ?(on_ready = fun () -> ()) cfg =
       accept_backoff_ms = accept_backoff0_ms;
     }
   in
+  Obs.Metrics.set sobs.so_replayed (Worker.replayed worker);
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Fun.protect
@@ -283,6 +372,15 @@ let run ?(on_ready = fun () -> ()) cfg =
       List.iter conn_close st.conns;
       (match journal with
       | Some j -> journal_try (fun () -> Journal.close j)
+      | None -> ());
+      (* final dump so a short-lived or drained daemon still leaves a
+         complete metrics file behind *)
+      (match cfg.metrics_file with
+      | Some path -> (
+        try
+          Exec.Artifact.write ~path
+            (Obs.Export.json (Obs.Metrics.snapshot st.metrics))
+        with Sys_error _ | Unix.Unix_error _ -> ())
       | None -> ());
       try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ())
     (fun () ->
@@ -330,18 +428,43 @@ let run ?(on_ready = fun () -> ()) cfg =
               | None -> ())
           readable;
         reap_stalled st ~now_ms:(Worker.now_ms ());
+        Obs.Metrics.set st.sobs.so_queue_depth (Queue.depth st.queue);
         process_queue st;
         (match st.journal with
         | Some j ->
           journal_try (fun () ->
-              Journal.sync j;
+              (* time only dirty syncs: a clean sync is a no-op and its
+                 ~0µs samples would drown the real fsync latencies *)
+              if Journal.is_dirty j then begin
+                let t0 = Worker.now_ms () in
+                Journal.sync j;
+                Obs.Metrics.observe st.sobs.so_fsync_us
+                  (int_of_float ((Worker.now_ms () -. t0) *. 1000.))
+              end;
               (* snapshot_every = 0 means "snapshots disabled" — without
                  the guard, 0 appended >= 0 would trigger a full
                  snapshot + segment rotation every ~50ms loop tick *)
               if
                 cfg.snapshot_every > 0
                 && Journal.appended_since_snapshot j >= cfg.snapshot_every
-              then Journal.snapshot j (Worker.journal_state worker))
+              then Journal.snapshot j (Worker.journal_state worker);
+              Obs.Metrics.set st.sobs.so_journal_bytes (Journal.size_bytes j);
+              Obs.Metrics.set st.sobs.so_journal_segments
+                (Journal.segment_count j))
+        | None -> ());
+        (match cfg.metrics_file with
+        | Some path ->
+          let now_dump = Worker.now_ms () in
+          if
+            now_dump -. st.last_dump_ms
+            >= float_of_int (max 1 cfg.metrics_every_ms)
+          then begin
+            st.last_dump_ms <- now_dump;
+            try
+              Exec.Artifact.write ~path
+                (Obs.Export.json (Obs.Metrics.snapshot st.metrics))
+            with Sys_error _ | Unix.Unix_error _ -> ()
+          end
         | None -> ());
         if st.draining && Queue.is_empty st.queue then begin
           (match st.drain_conn with

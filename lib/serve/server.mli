@@ -16,10 +16,16 @@
     - a crash inside a request is the {!Worker}'s problem and comes
       back as an [Internal_error] frame; the loop never sees it.
 
-    [Health] and [Drain] are control operations handled in the loop
-    itself: health answers immediately even under full queues (it is
-    the liveness probe), drain stops admission, lets the queue empty,
-    answers [Drained], and makes {!run} return cleanly. *)
+    [Health], [Stats] and [Drain] are control operations handled in the
+    loop itself: health and stats answer immediately even under full
+    queues (health is the liveness probe; stats is the metrics scrape),
+    drain stops admission, lets the queue empty, answers [Drained], and
+    makes {!run} return cleanly.
+
+    Observability: the loop owns one {!Obs.Metrics} registry, threaded
+    through the worker, its {!Exec.Pool} containment runs, the
+    {!Exec.Cache} certificate store, and every per-request
+    {!Congest.Net} — see DESIGN.md §14 for the instrument inventory. *)
 
 type config = {
   socket_path : string;
@@ -40,6 +46,12 @@ type config = {
       (** slowloris guard: a connection holding a partial frame with no
           byte progress for this long is answered one [Bad_request] and
           closed (idle connections with empty buffers are unaffected) *)
+  metrics_file : string option;
+      (** periodically dump the metrics snapshot here as JSON
+          ({!Obs.Export.json}, written atomically via
+          {!Exec.Artifact.write}), plus once on shutdown; [None] = no
+          dump. The [Stats] request serves the same snapshot live. *)
+  metrics_every_ms : int;  (** dump period (default 1000) *)
 }
 
 val default_config : socket_path:string -> config

@@ -24,6 +24,19 @@ let default_config =
     backoff_ms = 2.0;
   }
 
+(* Degradation-ladder step counters, one per rung the DESIGN.md §11
+   ladder can land on, plus the congest bundle attached to per-request
+   nets. Registered once at create; the request path only hits
+   atomics. *)
+type wobs = {
+  wo_memo_hits : Obs.Metrics.counter;
+  wo_computes : Obs.Metrics.counter;
+  wo_retries : Obs.Metrics.counter;
+  wo_queue_expired : Obs.Metrics.counter;
+  wo_stale_served : Obs.Metrics.counter;
+  wo_net : Congest.Net.obs;
+}
+
 type t = {
   cfg : config;
   store : Degrade.t;
@@ -39,9 +52,15 @@ type t = {
      handed to Exec.Pool never touch it. *)
   mutable journal : Journal.record -> unit;
   mutable replayed : int;  (** records folded into warm state at boot *)
+  metrics : Obs.Metrics.t option;
+  obs : wobs option;
 }
 
-let create ?disk_cache cfg =
+let ladder_step metrics step =
+  Obs.Metrics.counter metrics
+    (Obs.Metrics.labeled "serve_degrade_steps_total" [ ("step", step) ])
+
+let create ?disk_cache ?metrics cfg =
   {
     cfg;
     store = Degrade.create ?disk:disk_cache ();
@@ -50,7 +69,23 @@ let create ?disk_cache cfg =
     results = Hashtbl.create 256;
     journal = ignore;
     replayed = 0;
+    metrics;
+    obs =
+      Option.map
+        (fun m ->
+          {
+            wo_memo_hits = ladder_step m "memo_hit";
+            wo_computes = ladder_step m "compute";
+            wo_retries = ladder_step m "retry";
+            wo_queue_expired = ladder_step m "queue_expired";
+            wo_stale_served = ladder_step m "stale_served";
+            wo_net = Congest.Net.make_obs m;
+          })
+        metrics;
   }
+
+let obs_incr t f =
+  match t.obs with None -> () | Some o -> Obs.Metrics.incr (f o)
 
 let store t = t.store
 let set_journal t sink = t.journal <- sink
@@ -72,8 +107,10 @@ let graph_digest g =
 
 (* [Exec.Pool]'s crash containment, inline on this domain: an exception
    escaping [f] comes back as [`Failed msg], never up the daemon's
-   stack. *)
-let contained f = (Exec.Pool.run ~domains:1 [| f |]).results.(0)
+   stack. Routing through the pool also feeds exec_jobs_total /
+   exec_jobs_failed_total when the daemon carries a registry. *)
+let contained t f =
+  (Exec.Pool.run ~domains:1 ?metrics:t.metrics [| f |]).results.(0)
 
 (* Spec strings canonicalized through the parser, so "a:k=1,n=2" and
    "a:n=2,k=1" share one cache line and one digest. Raises [Failure] on
@@ -189,7 +226,9 @@ let memo_key ~digest ~check (d : P.decompose_req) ~budgets =
    cached does the client get an error. *)
 let degrade_or t ~digest err =
   match Degrade.lookup t.store ~digest with
-  | Some e -> P.Cert { P.c_digest = digest; c_stale = true; c_cert = e.cert }
+  | Some e ->
+    obs_incr t (fun o -> o.wo_stale_served);
+    P.Cert { P.c_digest = digest; c_stale = true; c_cert = e.cert }
   | None -> err
 
 let compute_once t (d : P.decompose_req) ~check ~seed ~deadline_ms g ~digest ~k
@@ -198,6 +237,9 @@ let compute_once t (d : P.decompose_req) ~check ~seed ~deadline_ms g ~digest ~k
   let r, live =
     if d.distributed then begin
       let net = Congest.Net.create Congest.Model.V_congest g in
+      (match t.obs with
+      | Some o -> Congest.Net.attach_obs net o.wo_net
+      | None -> ());
       let n = Graph.n g in
       (* daemon-wide chaos composes with per-request fault specs; storm
          universes are resolved here because they depend on the graph *)
@@ -291,24 +333,30 @@ let exec t ~enqueued_at_ms ~check (d : P.decompose_req) =
           in
           let key = memo_key ~digest ~check d ~budgets in
           match Hashtbl.find_opt t.results key with
-          | Some resp -> resp (* memo hit: instant, always beats a deadline *)
+          | Some resp ->
+            (* memo hit: instant, always beats a deadline *)
+            obs_incr t (fun o -> o.wo_memo_hits);
+            resp
           | None ->
-            if now_ms () >= deadline_at then
+            if now_ms () >= deadline_at then begin
               (* expired while queued: never start a compute we already
                  know is late *)
+              obs_incr t (fun o -> o.wo_queue_expired);
               degrade_or t ~digest
                 (P.Error
                    ( P.Deadline_exceeded,
                      Printf.sprintf "deadline (%d ms) expired in queue"
                        deadline_ms ))
+            end
             else begin
               let k = resolve_k t d ~digest g in
               (* ---- contained compute with transient retry-and-backoff:
                  under fault injection an attempt can crash outright;
                  reseed and retry while the deadline allows *)
               let rec attempt i seed =
+                obs_incr t (fun o -> o.wo_computes);
                 match
-                  contained
+                  contained t
                     (compute_once t d ~check ~seed ~deadline_ms g ~digest ~k)
                 with
                 | `Ok (resp, cert) -> (
@@ -334,6 +382,7 @@ let exec t ~enqueued_at_ms ~check (d : P.decompose_req) =
                     i < t.cfg.transient_retries
                     && now_ms () +. backoff < deadline_at
                   then begin
+                    obs_incr t (fun o -> o.wo_retries);
                     Unix.sleepf (backoff /. 1000.);
                     attempt (i + 1) (reseed d.seed i)
                   end
@@ -366,8 +415,8 @@ let handle t ~enqueued_at_ms req =
   | P.Verify d -> exec t ~enqueued_at_ms ~check:true d
   | P.Certificate { gen } -> certificate t gen
   | P.Crash_test -> (
-    match contained (fun () -> failwith "crash-test hook") with
+    match contained t (fun () -> failwith "crash-test hook") with
     | `Ok _ -> assert false
     | `Failed m -> P.Error (P.Internal_error, m))
-  | P.Health | P.Drain ->
+  | P.Health | P.Drain | P.Stats ->
     P.Error (P.Bad_request, "control request outside the server loop")

@@ -417,6 +417,54 @@ let test_msg_budget_allow_with_model () =
   Alcotest.(check (list string)) "no audit findings" []
     (List.map (fun f -> f.Lint_core.rule) kept)
 
+let test_obs_clock_allow_needs_metrics () =
+  (* inside lib/obs a nondet-clock allow must cite the metrics
+     determinism boundary, same shape as the msg-budget Model anchor *)
+  let src = "(* lint: allow nondet-clock — timing stuff *)\nlet x = 1\n" in
+  let allows = Lint_core.scan_allows src in
+  let finding =
+    { Lint_core.file = "lib/obs/span.ml"; line = 2; col = 0;
+      rule = "nondet-clock"; message = "m" }
+  in
+  let kept, suppressed =
+    Lint_core.apply_allows ~file:"lib/obs/span.ml" ~allows [ finding ]
+  in
+  Alcotest.(check int) "finding suppressed" 1 suppressed;
+  Alcotest.(check (list string)) "but flagged for missing metrics anchor"
+    [ "bare-allow" ]
+    (List.map (fun f -> f.Lint_core.rule) kept)
+
+let test_obs_clock_allow_with_metrics () =
+  let src =
+    "(* lint: allow nondet-clock — span timestamps are observability \
+     metrics only; never in payloads or digests *)\n\
+     let x = 1\n"
+  in
+  let allows = Lint_core.scan_allows src in
+  let finding =
+    { Lint_core.file = "lib/obs/span.ml"; line = 2; col = 0;
+      rule = "nondet-clock"; message = "m" }
+  in
+  let kept, suppressed =
+    Lint_core.apply_allows ~file:"lib/obs/span.ml" ~allows [ finding ]
+  in
+  Alcotest.(check int) "finding suppressed" 1 suppressed;
+  Alcotest.(check (list string)) "no audit findings" []
+    (List.map (fun f -> f.Lint_core.rule) kept);
+  (* the same reason outside lib/obs is also fine — the rule is scoped *)
+  let src' = "(* lint: allow nondet-clock — wall-clock deadline *)\nlet x = 1\n" in
+  let allows' = Lint_core.scan_allows src' in
+  let finding' =
+    { Lint_core.file = "lib/serve/worker.ml"; line = 2; col = 0;
+      rule = "nondet-clock"; message = "m" }
+  in
+  let kept', _ =
+    Lint_core.apply_allows ~file:"lib/serve/worker.ml" ~allows:allows'
+      [ finding' ]
+  in
+  Alcotest.(check (list string)) "unscoped file not audited" []
+    (List.map (fun f -> f.Lint_core.rule) kept')
+
 let test_multiline_allow () =
   (* the justification may span lines; suppression anchors on the line
      the comment closes, and the Model anchor may sit on any of them *)
@@ -671,6 +719,10 @@ let () =
             test_msg_budget_allow_needs_model;
           Alcotest.test_case "msg-budget allow with Model passes" `Quick
             test_msg_budget_allow_with_model;
+          Alcotest.test_case "lib/obs clock allow needs metrics anchor" `Quick
+            test_obs_clock_allow_needs_metrics;
+          Alcotest.test_case "lib/obs clock allow with metrics passes" `Quick
+            test_obs_clock_allow_with_metrics;
           Alcotest.test_case "multi-line allow" `Quick test_multiline_allow;
         ] );
       ( "sarif",

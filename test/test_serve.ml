@@ -148,6 +148,8 @@ let sample_responses cert =
         h_draining = true;
         h_cached_certs = 7;
         h_replayed = 3;
+        h_journal_bytes = 4096;
+        h_journal_segments = 2;
       };
     P.Drained { served = 99 };
     P.Error (P.Overloaded, "queue full");

@@ -482,6 +482,22 @@ let apply_allows ~file ~allows findings =
                    cite Model.words_budget (mention \"Model\") and say why \
                    the encoding stays within it";
               } ]
+          else if
+            a.a_rule = "nondet-clock"
+            && contains_substring ~sub:"lib/obs/" file
+            && not (contains_substring ~sub:"metrics" a.a_reason)
+          then
+            [ {
+                file;
+                line = a.a_line;
+                col = 0;
+                rule = "bare-allow";
+                message =
+                  "a nondet-clock allow inside lib/obs must cite the \
+                   metrics determinism boundary: say the timestamps are \
+                   observability metrics only (mention \"metrics\") and \
+                   never enter payloads or replay digests (DESIGN.md §14)";
+              } ]
           else []
         in
         unused @ bare)
