@@ -57,6 +57,51 @@ type obs = {
   o_spans : Obs.Span.t;
 }
 
+(* Per-round per-edge received-word loads. Each direction carries at
+   most [words_budget] words per round, so a whole edge carries at most
+   [2 * words_budget]: when that fits a byte (every default — the
+   budget is the O(log n)-word constant 8), loads pack into a Bytes of
+   one byte per edge instead of a word per edge, an 8x density win that
+   keeps the per-edge bookkeeping cache-resident at m ~ 4M. *)
+type edge_loads = Packed of Bytes.t | Wide of int array
+
+(* Per-net sharding state: a persistent domain team plus the per-shard
+   scratch the two round engines hand out. Present iff the net was
+   created with [domains > 1].
+
+   Shard-merge determinism (DESIGN.md §15): shard k owns the contiguous
+   vertex range [st_bounds.(k), st_bounds.(k+1)) — as senders in phase
+   1, as receivers in phase 2 — and writes only slots indexed by its
+   own vertices or by k itself. Every cross-shard quantity is merged on
+   the calling domain in shard-index order after the team barrier, and
+   the order-sensitive FNV digest fold is not sharded at all: it runs
+   sequentially on the calling domain, overlapped with phase 2. *)
+type shard_state = {
+  st_team : Team.t;
+  st_width : int;
+  st_bounds : int array;  (* width+1 partition bounds over [0, n] *)
+  st_sent : msg option array;  (* broadcast phase 1: per-sender message *)
+  st_fail_u : int array;  (* per shard: sender of first violation, -1 *)
+  st_fail : exn array;  (* per shard: that violation (dummy Not_found) *)
+  st_edge_max : int array;  (* per shard: this round's max edge load *)
+  (* per-shard metrics registries; phase 2 counts deliveries into them
+     and round end merges the snapshots in shard order — the exactness
+     of congest_*_total under sharding rides on [Obs.Metrics.merge]
+     being associative *)
+  st_metrics : Obs.Metrics.t array;
+  st_msg_c : Obs.Metrics.counter array;
+  st_word_c : Obs.Metrics.counter array;
+  mutable st_prev_messages : int;  (* merged counter values, last merge *)
+  mutable st_prev_words : int;
+  (* E-CONGEST arenas, sized 2m lazily on the first sharded edge_round *)
+  mutable st_edge_ready : bool;
+  mutable st_outs : (int * msg) list array;  (* phase 1: per-sender outs *)
+  mutable st_out_msg : msg array;  (* sender-slot -> message this round *)
+  mutable st_out_stamp : int array;  (* sender-slot -> st_tag when sent *)
+  mutable st_mirror : int array;  (* slot (u lists v) -> slot (v lists u) *)
+  mutable st_tag : int;  (* one fresh stamp per sharded edge round *)
+}
+
 type t = {
   graph : Graph.t;
   (* CSR views of [graph], captured once: the round loops walk adjacency
@@ -77,11 +122,11 @@ type t = {
   mutable max_node_load : int;
   mutable max_edge_load : int;
   node_load : int array; (* scratch: words received this round *)
-  edge_load : int array; (* scratch: words over each edge this round *)
+  edge_load : edge_loads; (* scratch: words over each edge this round *)
   inboxes : (int * msg) list array;
       (* scratch arena returned by broadcast_round/edge_round; refilled
-         with [] at the start of every round, so its contents are valid
-         only until the next round on the same net *)
+         at the start of every round, so its contents are valid only
+         until the next round on the same net *)
   stamp : int array; (* scratch: duplicate-edge-direction check *)
   mutable stamp_token : int;
       (* one fresh token per sender per round; [stamp.(v) = token] iff
@@ -94,6 +139,7 @@ type t = {
   mutable round_digest : int;
       (* running hash of this round's delivered and destroyed traffic *)
   mutable digests_rev : int list; (* one digest per message round *)
+  mutable shard : shard_state option;
   mutable obs : obs option;
   (* counter values as of the previous end_round, so obs counters get
      per-round deltas and survive [reset_stats] without double-counting *)
@@ -103,10 +149,61 @@ type t = {
   mutable obs_round_tok : Obs.Span.token option;
 }
 
-let create ?words_budget model g =
+let make_shard_state g width =
+  let n = Graph.n g in
+  let off = Graph.csr_offsets g in
+  let slots = Array.length (Graph.csr_neighbors g) in
+  (* degree-weighted contiguous partition: shard k starts at the first
+     vertex whose adjacency begins at or after slot k/width of 2m, so
+     shards carry comparable edge work even on skewed degree profiles
+     (lollipop: the clique core spreads across shards) *)
+  let bounds = Array.make (width + 1) 0 in
+  bounds.(width) <- n;
+  let v = ref 0 in
+  for k = 1 to width - 1 do
+    let target = slots * k / width in
+    while !v < n && off.(!v) < target do
+      incr v
+    done;
+    bounds.(k) <- !v
+  done;
+  let metrics = Array.init width (fun _ -> Obs.Metrics.create ()) in
+  {
+    st_team = Team.create ~width;
+    st_width = width;
+    st_bounds = bounds;
+    st_sent = Array.make n None;
+    st_fail_u = Array.make width (-1);
+    st_fail = Array.make width Not_found;
+    st_edge_max = Array.make width 0;
+    st_metrics = metrics;
+    st_msg_c =
+      Array.map (fun r -> Obs.Metrics.counter r "congest_messages_total") metrics;
+    st_word_c =
+      Array.map (fun r -> Obs.Metrics.counter r "congest_words_total") metrics;
+    st_prev_messages = 0;
+    st_prev_words = 0;
+    st_edge_ready = false;
+    st_outs = [||];
+    st_out_msg = [||];
+    st_out_stamp = [||];
+    st_mirror = [||];
+    st_tag = 0;
+  }
+
+let create ?words_budget ?domains model g =
   let n = Graph.n g in
   let budget =
     match words_budget with Some b -> b | None -> Model.words_budget ~n
+  in
+  let requested =
+    match domains with Some d -> d | None -> Par.net_domains ()
+  in
+  (* nested-parallelism guard: inside an Exec.Pool worker (or another
+     net's shard) a sharded net would oversubscribe the machine — the
+     composition runs one whole simulation per domain instead *)
+  let width =
+    if Par.in_worker () then 1 else max 1 (min requested (max 1 n))
   in
   {
     graph = g;
@@ -124,7 +221,9 @@ let create ?words_budget model g =
     max_node_load = 0;
     max_edge_load = 0;
     node_load = Array.make n 0;
-    edge_load = Array.make (Graph.m g) 0;
+    edge_load =
+      (if 2 * budget <= 255 then Packed (Bytes.make (Graph.m g) '\000')
+       else Wide (Array.make (Graph.m g) 0));
     inboxes = Array.make n [];
     stamp = Array.make n 0;
     stamp_token = 0;
@@ -133,12 +232,23 @@ let create ?words_budget model g =
     faults = None;
     round_digest = 0;
     digests_rev = [];
+    shard = (if width > 1 then Some (make_shard_state g width) else None);
     obs = None;
     obs_prev_messages = 0;
     obs_prev_words = 0;
     obs_prev_words_lost = 0;
     obs_round_tok = None;
   }
+
+let domains net =
+  match net.shard with Some st -> st.st_width | None -> 1
+
+let shutdown net =
+  match net.shard with
+  | Some st ->
+    net.shard <- None;
+    Team.shutdown st.st_team
+  | None -> ()
 
 let make_obs ?(spans = Obs.Span.disabled) metrics =
   {
@@ -190,9 +300,16 @@ let install_faults net hook = net.faults <- Some hook
 let clear_faults net = net.faults <- None
 let has_faults net = net.faults <> None
 
-let begin_round net =
-  Array.fill net.node_load 0 (Array.length net.node_load) 0;
-  Array.fill net.edge_load 0 (Array.length net.edge_load) 0;
+(* [fill] is false on sharded rounds: phase 2 stores (rather than
+   accumulates) every node's load and inbox, and the per-edge array is
+   bypassed entirely in favor of per-shard running maxima. *)
+let begin_round ?(fill = true) net =
+  if fill then begin
+    Array.fill net.node_load 0 (Array.length net.node_load) 0;
+    match net.edge_load with
+    | Packed b -> Bytes.fill b 0 (Bytes.length b) '\000'
+    | Wide a -> Array.fill a 0 (Array.length a) 0
+  end;
   net.round_digest <- 0;
   (match net.obs with
   | None -> ()
@@ -203,13 +320,23 @@ let begin_round net =
   | Some h -> h.on_round_start net.rounds
   | None -> ()
 
-let end_round net =
+let end_round ?(edge_scan = true) net =
   net.rounds <- net.rounds + 1;
   net.digests_rev <- net.round_digest :: net.digests_rev;
   Array.iter (fun l -> if l > net.max_node_load then net.max_node_load <- l)
     net.node_load;
-  Array.iter (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
-    net.edge_load;
+  if edge_scan then begin
+    match net.edge_load with
+    | Packed b ->
+      for i = 0 to Bytes.length b - 1 do
+        let l = Bytes.get_uint8 b i in
+        if l > net.max_edge_load then net.max_edge_load <- l
+      done
+    | Wide a ->
+      Array.iter
+        (fun l -> if l > net.max_edge_load then net.max_edge_load <- l)
+        a
+  end;
   match net.obs with
   | None -> ()
   | Some o ->
@@ -259,7 +386,9 @@ let account net ~src ~dst ~ei m =
   | Some side -> if side src <> side dst then
       net.boundary_words <- net.boundary_words + len
   | None -> ());
-  net.edge_load.(ei) <- net.edge_load.(ei) + len
+  match net.edge_load with
+  | Packed b -> Bytes.set_uint8 b ei (Bytes.get_uint8 b ei + len)
+  | Wide a -> a.(ei) <- a.(ei) + len
 
 let lose net ~src ~dst m =
   digest_msg net ~tag:2 ~src ~dst m;
@@ -280,7 +409,157 @@ let fresh_inboxes net =
   Array.fill inboxes 0 (Array.length inboxes) [];
   inboxes
 
-let broadcast_round net send =
+(* The sharded engines take over only when no fault hook and no boundary
+   predicate is installed: both are stateful sequential oracles
+   (adversary RNG, cross-cut accounting) whose consultation order is
+   part of the certified semantics, so rounds under them run the
+   sequential engine — on every width, which keeps domains=N trivially
+   byte-identical to domains=1 there too. *)
+let shard_ready net =
+  match net.shard with
+  | Some _ when net.faults = None && net.boundary = None -> net.shard
+  | _ -> None
+
+(* Re-raise the recorded violation of the highest offending sender —
+   exactly the one the sequential engine (senders swept descending)
+   would have raised first. *)
+let reraise_shard_failure st =
+  let width = st.st_width in
+  let worst = ref (-1) and worst_k = ref (-1) in
+  for k = 0 to width - 1 do
+    if st.st_fail_u.(k) > !worst then begin
+      worst := st.st_fail_u.(k);
+      worst_k := k
+    end
+  done;
+  if !worst >= 0 then raise st.st_fail.(!worst_k)
+
+(* Merge the per-shard delivery counters into the net totals, in shard
+   order, through [Obs.Metrics.merge] — the associative merge is what
+   keeps messages/words exact (and the obs feed in [end_round] then
+   sees ordinary deltas, identical to the sequential engine's). *)
+let merge_shard_counters net st =
+  let merged =
+    Array.fold_left
+      (fun acc reg -> Obs.Metrics.merge acc (Obs.Metrics.snapshot reg))
+      Obs.Metrics.empty st.st_metrics
+  in
+  let total name =
+    match Obs.Metrics.find_counter merged name with Some v -> v | None -> 0
+  in
+  let tm = total "congest_messages_total" in
+  let tw = total "congest_words_total" in
+  net.messages <- net.messages + tm - st.st_prev_messages;
+  net.words <- net.words + tw - st.st_prev_words;
+  st.st_prev_messages <- tm;
+  st.st_prev_words <- tw;
+  for k = 0 to st.st_width - 1 do
+    if st.st_edge_max.(k) > net.max_edge_load then
+      net.max_edge_load <- st.st_edge_max.(k)
+  done
+
+(* One sharded V-CONGEST round. Three phases against the shard-merge
+   determinism boundary:
+
+   1. (parallel) shard k sweeps its senders descending, validates each
+      message and stores it in [st_sent] — per-sender slots, disjoint
+      across shards. First violation is recorded per shard, and the
+      highest-sender one is re-raised after the barrier: the same
+      exception the sequential sweep raises, before any accounting.
+   2. (parallel) shard k sweeps its receivers, assembling each inbox by
+      walking the CSR slice descending (cons yields the ascending
+      sender order the sequential engine produces), storing per-node
+      loads, counting deliveries into its own metrics registry, and
+      tracking the max load over the edges it owns (min endpoint).
+   3. (sequential, overlapped with 2) the calling domain replays the
+      sends in exactly the sequential order — senders descending,
+      neighbors ascending — through the order-sensitive FNV digest
+      fold. The fold reads only [st_sent], so it commutes with 2.
+
+   The merge (shard order, [merge_shard_counters]) then reproduces the
+   sequential counters exactly; no shard result depends on which domain
+   ran which shard. *)
+let broadcast_round_sharded net st send =
+  begin_round ~fill:false net;
+  let nn = n net in
+  let off = net.csr_off and adj = net.csr_adj in
+  let inboxes = net.inboxes in
+  let node_load = net.node_load in
+  let bounds = st.st_bounds in
+  let sent = st.st_sent in
+  let fail_u = st.st_fail_u and fail = st.st_fail in
+  let edge_max = st.st_edge_max in
+  let msg_c = st.st_msg_c and word_c = st.st_word_c in
+  let phase_send k =
+    fail_u.(k) <- -1;
+    let lo = bounds.(k) and hi = bounds.(k + 1) in
+    let u = ref (hi - 1) in
+    let stopped = ref false in
+    while (not !stopped) && !u >= lo do
+      let uu = !u in
+      (try
+         match send uu with
+         | None -> sent.(uu) <- None
+         | Some m ->
+           check_msg ~node:uu net m;
+           sent.(uu) <- Some m
+       with e ->
+         fail_u.(k) <- uu;
+         fail.(k) <- e;
+         sent.(uu) <- None;
+         stopped := true);
+      decr u
+    done
+  in
+  let phase_receive k =
+    let lo = bounds.(k) and hi = bounds.(k + 1) in
+    let msgs = ref 0 and words = ref 0 and emax = ref 0 in
+    for v = lo to hi - 1 do
+      let len_v =
+        match sent.(v) with Some m -> Array.length m | None -> 0
+      in
+      let acc = ref [] and w_in = ref 0 and c_in = ref 0 in
+      for s = off.(v + 1) - 1 downto off.(v) do
+        let u = adj.(s) in
+        (match sent.(u) with
+        | Some m ->
+          let len = Array.length m in
+          acc := (u, m) :: !acc;
+          incr c_in;
+          w_in := !w_in + len;
+          if u > v then begin
+            let tot = len + len_v in
+            if tot > !emax then emax := tot
+          end
+        | None -> if u > v && len_v > !emax then emax := len_v)
+      done;
+      inboxes.(v) <- !acc;
+      node_load.(v) <- !w_in;
+      msgs := !msgs + !c_in;
+      words := !words + !w_in
+    done;
+    edge_max.(k) <- !emax;
+    Obs.Metrics.add msg_c.(k) !msgs;
+    Obs.Metrics.add word_c.(k) !words
+  in
+  let digest () =
+    for u = nn - 1 downto 0 do
+      match sent.(u) with
+      | None -> ()
+      | Some m ->
+        for s = off.(u) to off.(u + 1) - 1 do
+          digest_msg net ~tag:1 ~src:u ~dst:adj.(s) m
+        done
+    done
+  in
+  Team.run st.st_team ~shards:st.st_width phase_send;
+  reraise_shard_failure st;
+  Team.run st.st_team ~main:digest ~shards:st.st_width phase_receive;
+  merge_shard_counters net st;
+  end_round ~edge_scan:false net;
+  inboxes
+
+let broadcast_round_seq net send =
   begin_round net;
   let nn = n net in
   let inboxes = fresh_inboxes net in
@@ -318,9 +597,142 @@ let broadcast_round net send =
   end_round net;
   inboxes
 
-let edge_round net send =
-  if net.model = Model.V_congest then
-    violate net "edge_round: per-edge messages illegal in V-CONGEST";
+let broadcast_round net send =
+  match shard_ready net with
+  | Some st -> broadcast_round_sharded net st send
+  | None -> broadcast_round_seq net send
+
+(* binary search for [v] in [u]'s sorted CSR slice; -1 when absent *)
+let slot_in off adj u v =
+  let lo = ref off.(u) and hi = ref off.(u + 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let w = adj.(mid) in
+    if w = v then found := mid else if w < v then lo := mid + 1 else hi := mid
+  done;
+  !found
+
+let ensure_edge_arenas net st =
+  if not st.st_edge_ready then begin
+    let slots = Array.length net.csr_adj in
+    let ids = net.csr_ids in
+    let mirror = Array.make slots 0 in
+    (* the two slots of each undirected edge point at each other *)
+    let first = Array.make (Graph.m net.graph) (-1) in
+    for s = 0 to slots - 1 do
+      let ei = ids.(s) in
+      if first.(ei) < 0 then first.(ei) <- s
+      else begin
+        mirror.(s) <- first.(ei);
+        mirror.(first.(ei)) <- s
+      end
+    done;
+    st.st_outs <- Array.make (n net) [];
+    st.st_out_msg <- Array.make slots [||];
+    st.st_out_stamp <- Array.make slots 0;
+    st.st_mirror <- mirror;
+    st.st_edge_ready <- true
+  end
+
+(* One sharded E-CONGEST round; same three phases as the broadcast
+   engine, with the per-direction traffic staged in sender-slot arenas:
+   sender u's message to v lives at u's CSR slot for v, stamped with
+   this round's tag, so phase 2 reads direction (u -> v) through
+   [st_mirror] and the duplicate-direction check is one stamp probe. *)
+let edge_round_sharded net st send =
+  ensure_edge_arenas net st;
+  begin_round ~fill:false net;
+  let nn = n net in
+  let off = net.csr_off and adj = net.csr_adj in
+  let inboxes = net.inboxes in
+  let node_load = net.node_load in
+  let bounds = st.st_bounds in
+  let outs_arr = st.st_outs in
+  let out_msg = st.st_out_msg and out_stamp = st.st_out_stamp in
+  let mirror = st.st_mirror in
+  let fail_u = st.st_fail_u and fail = st.st_fail in
+  let edge_max = st.st_edge_max in
+  let msg_c = st.st_msg_c and word_c = st.st_word_c in
+  st.st_tag <- st.st_tag + 1;
+  let tag = st.st_tag in
+  let phase_send k =
+    fail_u.(k) <- -1;
+    let lo = bounds.(k) and hi = bounds.(k + 1) in
+    let u = ref (hi - 1) in
+    let stopped = ref false in
+    while (not !stopped) && !u >= lo do
+      let uu = !u in
+      (try
+         let outs = send uu in
+         outs_arr.(uu) <- outs;
+         List.iter
+           (fun (v, m) ->
+             let s = slot_in off adj uu v in
+             if s < 0 then
+               violate net ~node:uu ~edge:(uu, v)
+                 "edge_round: message along a non-edge";
+             if out_stamp.(s) = tag then
+               violate net ~node:uu ~edge:(uu, v)
+                 "edge_round: two messages on one edge direction";
+             out_stamp.(s) <- tag;
+             check_msg ~node:uu net m;
+             out_msg.(s) <- m)
+           outs
+       with e ->
+         fail_u.(k) <- uu;
+         fail.(k) <- e;
+         outs_arr.(uu) <- [];
+         stopped := true);
+      decr u
+    done
+  in
+  let phase_receive k =
+    let lo = bounds.(k) and hi = bounds.(k + 1) in
+    let msgs = ref 0 and words = ref 0 and emax = ref 0 in
+    for v = lo to hi - 1 do
+      let acc = ref [] and w_in = ref 0 and c_in = ref 0 in
+      for s' = off.(v + 1) - 1 downto off.(v) do
+        let u = adj.(s') in
+        let s = mirror.(s') in
+        if out_stamp.(s) = tag then begin
+          let m = out_msg.(s) in
+          acc := (u, m) :: !acc;
+          incr c_in;
+          w_in := !w_in + Array.length m
+        end;
+        if u > v then begin
+          let tot =
+            (if out_stamp.(s) = tag then Array.length out_msg.(s) else 0)
+            + (if out_stamp.(s') = tag then Array.length out_msg.(s') else 0)
+          in
+          if tot > !emax then emax := tot
+        end
+      done;
+      inboxes.(v) <- !acc;
+      node_load.(v) <- !w_in;
+      msgs := !msgs + !c_in;
+      words := !words + !w_in
+    done;
+    edge_max.(k) <- !emax;
+    Obs.Metrics.add msg_c.(k) !msgs;
+    Obs.Metrics.add word_c.(k) !words
+  in
+  let digest () =
+    for u = nn - 1 downto 0 do
+      List.iter
+        (fun (v, m) -> digest_msg net ~tag:1 ~src:u ~dst:v m)
+        outs_arr.(u)
+    done
+  in
+  Team.run st.st_team ~shards:st.st_width phase_send;
+  reraise_shard_failure st;
+  Team.run st.st_team ~main:digest ~shards:st.st_width phase_receive;
+  merge_shard_counters net st;
+  end_round ~edge_scan:false net;
+  inboxes
+
+let edge_round_seq net send =
   begin_round net;
   let nn = n net in
   let inboxes = fresh_inboxes net in
@@ -357,6 +769,13 @@ let edge_round net send =
   end_round net;
   inboxes
 
+let edge_round net send =
+  if net.model = Model.V_congest then
+    violate net "edge_round: per-edge messages illegal in V-CONGEST";
+  match shard_ready net with
+  | Some st -> edge_round_sharded net st send
+  | None -> edge_round_seq net send
+
 let silent_rounds net k =
   if k < 0 then invalid_arg "Congest.silent_rounds: negative";
   net.rounds <- net.rounds + k
@@ -380,7 +799,10 @@ let reset_stats net =
   net.boundary_words <- 0;
   net.round_digest <- 0;
   net.digests_rev <- [];
-  (* obs counters are cumulative across resets: re-base the deltas *)
+  (* obs counters are cumulative across resets: re-base the deltas.
+     The per-shard registries are likewise cumulative (their counters
+     never rewind), so their [st_prev_*] bases are left alone — the
+     next sharded round still merges an exact per-round delta. *)
   net.obs_prev_messages <- 0;
   net.obs_prev_words <- 0;
   net.obs_prev_words_lost <- 0

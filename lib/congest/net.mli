@@ -43,12 +43,41 @@ val pp_violation : Format.formatter -> violation -> unit
 
 type t
 
-(** [create ?words_budget model g] wraps graph [g]. *)
-val create : ?words_budget:int -> Model.t -> Graphs.Graph.t -> t
+(** [create ?words_budget ?domains model g] wraps graph [g].
+
+    [domains] (default {!Par.net_domains}, itself 1 unless the CLI's
+    [--domains] raised it) sizes the net's round engine: with
+    [domains > 1] a persistent {!Team} of worker domains is spawned once
+    and every fault-free, boundary-free round is sharded across it —
+    nodes are partitioned into degree-weighted contiguous shards,
+    per-shard scratch results are merged in shard-index order, and the
+    order-sensitive digest fold runs sequentially on the calling domain
+    (overlapped with inbox assembly). The merge discipline makes every
+    observable — inboxes, telemetry, round digests, {!replay_check}
+    verdicts — byte-identical across domain counts: [domains = n]
+    produces exactly the output of [domains = 1].
+
+    Rounds with a fault hook or boundary predicate installed always run
+    the sequential engine (both are stateful sequential oracles whose
+    consultation order is part of the certified semantics). A net
+    created inside an [Exec.Pool] worker or another net's shard clamps
+    to [domains = 1] — outer parallelism wins; see DESIGN.md §15. *)
+val create : ?words_budget:int -> ?domains:int -> Model.t -> Graphs.Graph.t -> t
 
 val graph : t -> Graphs.Graph.t
 val model : t -> Model.t
 val n : t -> int
+
+(** Effective domain count of the round engine ([1] = sequential). May
+    be less than the [?domains] requested: clamped by node count and by
+    the nested-parallelism guard. *)
+val domains : t -> int
+
+(** [shutdown net] joins the net's worker domains, if any; the net stays
+    usable and all subsequent rounds run sequentially. Idempotent.
+    Without it, teams are joined by an [at_exit] hook — call it eagerly
+    when creating many sharded nets in one process. *)
+val shutdown : t -> unit
 
 (** {1 Fault injection}
 

@@ -175,6 +175,54 @@ let erdos_renyi rng ~n ~p =
   done;
   Graph.of_edges ~n !es
 
+(* G(n,p) by geometric skipping (Batagelj–Brandes): instead of one
+   Bernoulli draw per pair, draw the gap to the next present pair as a
+   geometric variate and jump straight to it — O(n + m) work and RNG
+   draws, which is what makes n = 2^20 rows feasible (the classic
+   [erdos_renyi] is O(n^2) and its exact draw sequence is pinned by
+   determinism digests, so it stays as is). Pairs are visited in the
+   canonical lex order, so the resulting graph is identical in
+   distribution but NOT draw-for-draw compatible with [erdos_renyi]. *)
+let erdos_renyi_skip rng ~n ~p =
+  if not (p >= 0. && p <= 1.) then
+    invalid_arg "Gen.erdos_renyi_skip: p out of [0,1]";
+  if p = 0. then Graph.of_endpoints ~n [||] [||]
+  else if p = 1. then clique n
+  else begin
+    let lq = log1p (-.p) in
+    let cap = ref 1024 in
+    let us = ref (Array.make !cap 0) and vs = ref (Array.make !cap 0) in
+    let len = ref 0 in
+    let push u v =
+      if !len = !cap then begin
+        let cap' = 2 * !cap in
+        let us' = Array.make cap' 0 and vs' = Array.make cap' 0 in
+        Array.blit !us 0 us' 0 !len;
+        Array.blit !vs 0 vs' 0 !len;
+        us := us';
+        vs := vs';
+        cap := cap'
+      end;
+      !us.(!len) <- u;
+      !vs.(!len) <- v;
+      incr len
+    in
+    (* enumerate pairs (w, u) with w < u in lex-by-u order, jumping a
+       1 + Geometric(p) gap between successive present pairs *)
+    let u = ref 1 and w = ref (-1) in
+    while !u < n do
+      let r = Random.State.float rng 1.0 in
+      let gap = int_of_float (log1p (-.r) /. lq) in
+      w := !w + 1 + gap;
+      while !w >= !u && !u < n do
+        w := !w - !u;
+        incr u
+      done;
+      if !u < n then push !w !u
+    done;
+    Graph.of_endpoints ~n (Array.sub !us 0 !len) (Array.sub !vs 0 !len)
+  end
+
 let add_random_chords rng g extra =
   let n = Graph.n g in
   let es = ref [] in

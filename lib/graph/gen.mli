@@ -52,8 +52,17 @@ val cds_vs_independent_trees : t:int -> Graph.t
 
 (** {1 Random models} *)
 
-(** [erdos_renyi rng ~n ~p] samples G(n,p). *)
+(** [erdos_renyi rng ~n ~p] samples G(n,p). One Bernoulli draw per
+    vertex pair: O(n^2) — fine up to a few thousand vertices. The draw
+    sequence is pinned by determinism digests; do not change it. *)
 val erdos_renyi : Random.State.t -> n:int -> p:float -> Graph.t
+
+(** [erdos_renyi_skip rng ~n ~p] samples G(n,p) by geometric gap
+    skipping (Batagelj–Brandes) in O(n + m) time and RNG draws — the
+    generator for the million-node perf rows. Identical distribution to
+    [erdos_renyi] but a different draw sequence for the same [rng]
+    seed, so the two are not interchangeable under pinned digests. *)
+val erdos_renyi_skip : Random.State.t -> n:int -> p:float -> Graph.t
 
 (** [random_k_connected rng ~n ~k ~extra] is the Harary graph H_{k,n}
     with [extra] additional uniformly-random chords: vertex connectivity

@@ -14,49 +14,69 @@
    downstream (edge ids in packing certificates, broadcast congestion
    tables, Net edge loads) depends on that order being stable.
 
-   The per-vertex [nbr] views exist so [neighbors] keeps its historical
-   contract — the same physical sorted array on every call, owned by
-   the graph — without exposing the flat CSR arrays to mutation. *)
+   Edge endpoints are stored as two flat unboxed int arrays [eu]/[ev]
+   rather than a [(int * int) array]: at n = 2^20 (m ~ 4m edges) the
+   tuple array costs three words per edge plus a pointer chase per
+   access, which dominated [iter_edges]-shaped scans. The historical
+   tuple view ([edges]) and the per-vertex [nbr] views ([neighbors]'s
+   "same physical array every call" contract) are materialized lazily,
+   published once through an [Atomic] so concurrent first calls from
+   shard domains agree on one physical array. *)
 
 type t = {
   n : int;
+  m : int;  (* number of undirected edges *)
   off : int array;  (* n+1 offsets into adj/slot_edge *)
   adj : int array;  (* flat neighbor lists, each slice sorted *)
   slot_edge : int array;  (* adjacency slot -> edge index *)
-  nbr : int array array;  (* per-vertex neighbor views (aliases of adj data) *)
-  edges : (int * int) array;  (* canonical (min,max), lex-sorted *)
+  eu : int array;  (* edge i -> smaller endpoint, lex-sorted *)
+  ev : int array;  (* edge i -> larger endpoint *)
+  nbr : int array array option Atomic.t;
+      (* lazy per-vertex neighbor views (copies of adj slices) *)
+  tup : (int * int) array option Atomic.t;  (* lazy tuple edge view *)
 }
 
-let build ~n pairs =
-  (* validate in list order, with the seed's exact messages *)
-  List.iter
-    (fun (u, v) ->
-      if u = v then invalid_arg "Graph: self-loop";
-      if u < 0 || v < 0 || u >= n || v >= n then
-        invalid_arg "Graph: endpoint out of range")
-    pairs;
-  (* encode canonical pairs as u*n+v keys: dedup and lex-sort become
-     monomorphic int operations *)
-  let keys =
-    Array.of_list (List.map (fun (u, v) -> (min u v * n) + max u v) pairs)
-  in
-  Array.sort Int.compare keys;
+(* Publish-once lazy view: the first caller to install wins; losers
+   re-read so every caller returns the same physical array. *)
+let force holder make =
+  match Atomic.get holder with
+  | Some v -> v
+  | None ->
+    let v = make () in
+    if Atomic.compare_and_set holder None (Some v) then v
+    else begin
+      match Atomic.get holder with
+      | Some v -> v
+      | None -> assert false
+    end
+
+let validate n u v =
+  if u = v then invalid_arg "Graph: self-loop";
+  if u < 0 || v < 0 || u >= n || v >= n then
+    invalid_arg "Graph: endpoint out of range"
+
+(* Core constructor over canonical edge keys [min u v * n + max u v],
+   sorted ascending, duplicates allowed (collapsed here). Keys are
+   destructive-input: the caller hands over the array. *)
+let build_sorted_keys ~n keys =
+  let nk = Array.length keys in
   let m =
-    (* count distinct keys *)
     let c = ref 0 in
-    Array.iteri (fun i k -> if i = 0 || keys.(i - 1) <> k then incr c) keys;
+    for i = 0 to nk - 1 do
+      if i = 0 || keys.(i - 1) <> keys.(i) then incr c
+    done;
     !c
   in
   let eu = Array.make m 0 and ev = Array.make m 0 in
   let w = ref 0 in
-  Array.iteri
-    (fun i k ->
-      if i = 0 || keys.(i - 1) <> k then begin
-        eu.(!w) <- k / n;
-        ev.(!w) <- k mod n;
-        incr w
-      end)
-    keys;
+  for i = 0 to nk - 1 do
+    let k = keys.(i) in
+    if i = 0 || keys.(i - 1) <> k then begin
+      eu.(!w) <- k / n;
+      ev.(!w) <- k mod n;
+      incr w
+    end
+  done;
   let deg = Array.make n 0 in
   for i = 0 to m - 1 do
     deg.(eu.(i)) <- deg.(eu.(i)) + 1;
@@ -85,16 +105,51 @@ let build ~n pairs =
   for i = 0 to m - 1 do
     put eu.(i) ev.(i) i
   done;
-  let nbr = Array.init n (fun u -> Array.sub adj off.(u) deg.(u)) in
-  let edges = Array.init m (fun i -> (eu.(i), ev.(i))) in
-  { n; off; adj; slot_edge; nbr; edges }
+  {
+    n;
+    m;
+    off;
+    adj;
+    slot_edge;
+    eu;
+    ev;
+    nbr = Atomic.make None;
+    tup = Atomic.make None;
+  }
+
+let build ~n pairs =
+  (* validate in list order, with the seed's exact messages *)
+  List.iter (fun (u, v) -> validate n u v) pairs;
+  let keys =
+    Array.of_list (List.map (fun (u, v) -> (min u v * n) + max u v) pairs)
+  in
+  Array.sort Int.compare keys;
+  build_sorted_keys ~n keys
 
 let of_edges ~n edges = build ~n edges
 let of_edge_array ~n edges = build ~n (Array.to_list edges)
 
+let of_endpoints ~n us vs =
+  let len = Array.length us in
+  if Array.length vs <> len then
+    invalid_arg "Graph.of_endpoints: endpoint arrays differ in length";
+  let keys = Array.make len 0 in
+  for i = 0 to len - 1 do
+    let u = us.(i) and v = vs.(i) in
+    validate n u v;
+    keys.(i) <- (min u v * n) + max u v
+  done;
+  Array.sort Int.compare keys;
+  build_sorted_keys ~n keys
+
 let n g = g.n
-let m g = Array.length g.edges
-let neighbors g u = g.nbr.(u)
+let m g = g.m
+
+let force_nbr g =
+  force g.nbr (fun () ->
+      Array.init g.n (fun u -> Array.sub g.adj g.off.(u) (g.off.(u + 1) - g.off.(u))))
+
+let neighbors g u = (force_nbr g).(u)
 let degree g u = g.off.(u + 1) - g.off.(u)
 
 let min_degree g =
@@ -123,7 +178,7 @@ let mem_edge g u v =
   if u = v || u < 0 || v < 0 || u >= g.n || v >= g.n then false
   else slot_of g u v >= 0
 
-let edges g = g.edges
+let edges g = force g.tup (fun () -> Array.init g.m (fun i -> (g.eu.(i), g.ev.(i))))
 
 let edge_index g u v =
   if u = v || u < 0 || v < 0 || u >= g.n || v >= g.n then raise Not_found;
@@ -131,6 +186,7 @@ let edge_index g u v =
   if s < 0 then raise Not_found;
   g.slot_edge.(s)
 
+let edge_endpoints g i = (g.eu.(i), g.ev.(i))
 let csr_offsets g = g.off
 let csr_neighbors g = g.adj
 let csr_edge_ids g = g.slot_edge
@@ -140,8 +196,18 @@ let iter_incident g u f =
     f g.adj.(s) g.slot_edge.(s)
   done
 
-let iter_edges f g = Array.iter (fun (u, v) -> f u v) g.edges
-let fold_edges f acc g = Array.fold_left (fun acc (u, v) -> f acc u v) acc g.edges
+let iter_edges f g =
+  for i = 0 to g.m - 1 do
+    f g.eu.(i) g.ev.(i)
+  done
+
+let fold_edges f acc g =
+  let acc = ref acc in
+  for i = 0 to g.m - 1 do
+    acc := f !acc g.eu.(i) g.ev.(i)
+  done;
+  !acc
+
 let iter_vertices f g = for u = 0 to g.n - 1 do f u done
 
 let induced g keep =
@@ -170,7 +236,17 @@ let spanning_subgraph g pred =
   build ~n:g.n es
 
 let union_edges g extra =
-  build ~n:g.n (Array.to_list g.edges @ extra)
+  List.iter (fun (u, v) -> validate g.n u v) extra;
+  let nx = List.length extra in
+  let keys = Array.make (g.m + nx) 0 in
+  for i = 0 to g.m - 1 do
+    keys.(i) <- (g.eu.(i) * g.n) + g.ev.(i)
+  done;
+  List.iteri
+    (fun j (u, v) -> keys.(g.m + j) <- (min u v * g.n) + max u v)
+    extra;
+  Array.sort Int.compare keys;
+  build_sorted_keys ~n:g.n keys
 
 let pp ppf g =
   Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n (m g);

@@ -19,6 +19,14 @@ val of_edges : n:int -> (int * int) list -> t
 (** [of_edge_array ~n edges] is [of_edges] on an array. *)
 val of_edge_array : n:int -> (int * int) array -> t
 
+(** [of_endpoints ~n us vs] builds from two parallel endpoint arrays
+    ([us.(i), vs.(i)] is an edge, either orientation, any order,
+    duplicates collapsed) without materializing tuples — the
+    constructor of choice for generated million-edge graphs.
+    @raise Invalid_argument on self-loops, out-of-range endpoints, or
+    length mismatch. *)
+val of_endpoints : n:int -> int array -> int array -> t
+
 (** {1 Accessors} *)
 
 (** Number of vertices. *)
@@ -28,7 +36,11 @@ val n : t -> int
 val m : t -> int
 
 (** [neighbors g u] is the sorted array of neighbors of [u]. The returned
-    array is owned by the graph and must not be mutated. *)
+    array is owned by the graph and must not be mutated. Per-vertex
+    views are materialized lazily on the first call (and published
+    atomically, so concurrent first calls agree); every call returns
+    the same physical array. Hot loops that only scan adjacency should
+    prefer the CSR accessors below, which allocate nothing. *)
 val neighbors : t -> int -> int array
 
 (** [degree g u] is the number of neighbors of [u]. *)
@@ -41,12 +53,20 @@ val min_degree : t -> int
 val mem_edge : t -> int -> int -> bool
 
 (** [edges g] is the canonical edge array, each edge once as [(u, v)],
-    [u < v], in lexicographic order. Owned by the graph; do not mutate. *)
+    [u < v], in lexicographic order. Owned by the graph; do not mutate.
+    The tuple array is materialized lazily on the first call (published
+    atomically); every call returns the same physical array. Prefer
+    [iter_edges] / [fold_edges] / [edge_endpoints], which read the
+    unboxed endpoint storage directly. *)
 val edges : t -> (int * int) array
 
 (** [edge_index g u v] is the index of edge [{u,v}] in [edges g].
     @raise Not_found if absent. *)
 val edge_index : t -> int -> int -> int
+
+(** [edge_endpoints g i] is the [i]-th canonical edge as [(u, v)],
+    [u < v], without materializing the tuple view. *)
+val edge_endpoints : t -> int -> int * int
 
 (** {1 CSR access}
 

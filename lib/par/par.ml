@@ -1,0 +1,15 @@
+let worker_key = Domain.DLS.new_key (fun () -> false)
+let in_worker () = Domain.DLS.get worker_key
+
+let with_worker f =
+  let prev = Domain.DLS.get worker_key in
+  Domain.DLS.set worker_key true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set worker_key prev) f
+
+(* lint: allow global-mutable-state — process-wide parallelism policy
+   knob, set once at CLI startup before any protocol runs; it sizes
+   domain teams and is never read by node closures, so it cannot carry
+   state between nodes. Atomic for cross-domain publication order. *)
+let default_net_domains = Atomic.make 1
+let set_net_domains d = Atomic.set default_net_domains (max 1 d)
+let net_domains () = Atomic.get default_net_domains

@@ -1,0 +1,40 @@
+(** Process-wide parallelism policy.
+
+    Two independent subsystems of this repository spawn domains: the
+    experiment pool ([Exec.Pool], one whole simulation per domain) and
+    the sharded round engine ([Congest.Net] with [domains > 1], many
+    domains inside one simulation). Composing them naively
+    oversubscribes the machine: a pool running [-j 4] jobs, each of
+    which creates a 4-domain net, asks for 16 runnable domains.
+
+    This module is the tiny shared base both consult:
+
+    - a domain-local flag marking "this domain is already a parallel
+      worker", set by whichever subsystem owns the domain, so nested
+      layers can degrade to sequential instead of multiplying; and
+    - the process-wide default width for new sharded nets, threaded
+      from the CLI ([--domains]) through [Graphs.Source.load] so the
+      many [Net.create] call sites pick it up without each growing a
+      parameter.
+
+    It has no dependencies so every library can use it. *)
+
+val in_worker : unit -> bool
+(** [in_worker ()] is [true] when the calling domain is a worker owned
+    by an enclosing parallel subsystem (an [Exec.Pool] worker running
+    with pool parallelism, or a [Congest.Team] shard worker). New
+    parallel layers must check this and fall back to width 1. *)
+
+val with_worker : (unit -> 'a) -> 'a
+(** [with_worker f] runs [f] with [in_worker () = true], restoring the
+    previous flag on exit (including exceptional exit). *)
+
+val set_net_domains : int -> unit
+(** [set_net_domains d] sets the process default width for subsequently
+    created nets to [max 1 d]. Called once at startup from the CLI; the
+    perf sweep overrides per-net instead via [Net.create ?domains]. *)
+
+val net_domains : unit -> int
+(** Current process default width for new nets. Initially [1]: sharding
+    is strictly opt-in, and [domains = 1] is the reference sequential
+    engine every other width must match byte-for-byte. *)

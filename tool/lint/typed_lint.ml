@@ -325,7 +325,11 @@ let spawn_heads = [ [ "Domain"; "spawn" ] ]
    int is the positional index of that argument (-1 = last) *)
 let pool_entries =
   [ ([ "Pool"; "run" ], 0); ([ "Exec"; "Pool"; "run" ], 0);
-    ([ "Job"; "make" ], -1); ([ "Exec"; "Job"; "make" ], -1) ]
+    ([ "Job"; "make" ], -1); ([ "Exec"; "Job"; "make" ], -1);
+    (* the sharded round engine's team: the shard body (last unlabelled
+       argument) runs on worker domains. The labelled ~main thunk stays
+       on the caller and is deliberately not walked. *)
+    ([ "Team"; "run" ], -1); ([ "Congest"; "Team"; "run" ], -1) ]
 
 let order_normalizer = function
   | [ "List"; ("sort" | "sort_uniq" | "stable_sort" | "fast_sort" | "length") ]
